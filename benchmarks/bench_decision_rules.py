@@ -1,0 +1,110 @@
+"""Micro-benchmarks of the decision machinery (Figures 1, 2 and 6).
+
+Measures the costs the paper's design minimizes: vote interpretation by
+depth-first search, certificate checks, the direct and indirect decision
+rules, and sub-DAG linearization — on DAGs shaped like the paper's
+walkthrough examples (but at committee size 10).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tests"))
+
+from repro.committee import Committee
+from repro.config import ProtocolConfig
+from repro.core.committer import Committer
+from repro.dag.traversal import DagTraversal
+
+from helpers import DagBuilder, FixedCoin  # noqa: E402  (tests/helpers.py)
+
+
+def build_dag(n=10, rounds=20):
+    committee = Committee.of_size(n)
+    coin = FixedCoin(n=n, threshold=committee.quorum_threshold)
+    builder = DagBuilder(committee, coin)
+    builder.rounds(1, rounds)
+    return committee, coin, builder
+
+
+@pytest.fixture(scope="module")
+def dag():
+    return build_dag()
+
+
+def test_is_vote_dfs(benchmark, dag):
+    committee, _, builder = dag
+    traversal = DagTraversal(builder.store, committee.quorum_threshold)
+    leader = builder.get(0, 1)
+    votes = builder.store.round_blocks(4)
+
+    def check():
+        fresh = DagTraversal(builder.store, committee.quorum_threshold)
+        return sum(fresh.is_vote(v, leader) for v in votes)
+
+    assert benchmark(check) == len(votes)
+
+
+def test_is_vote_memoized(benchmark, dag):
+    committee, _, builder = dag
+    traversal = DagTraversal(builder.store, committee.quorum_threshold)
+    leader = builder.get(0, 1)
+    votes = builder.store.round_blocks(4)
+    traversal.is_vote(votes[0], leader)  # warm the memo
+
+    def check():
+        return sum(traversal.is_vote(v, leader) for v in votes)
+
+    assert benchmark(check) == len(votes)
+
+
+def test_is_cert(benchmark, dag):
+    committee, _, builder = dag
+    leader = builder.get(0, 1)
+    certifiers = builder.store.round_blocks(5)
+
+    def check():
+        fresh = DagTraversal(builder.store, committee.quorum_threshold)
+        return sum(fresh.is_cert(c, leader) for c in certifiers)
+
+    assert benchmark(check) == len(certifiers)
+
+
+def test_direct_decision_rule(benchmark, dag):
+    committee, coin, builder = dag
+    config = ProtocolConfig(wave_length=5, leaders_per_round=2)
+
+    def decide():
+        committer = Committer(builder.store, committee, coin, config)
+        return committer.try_decide(1, 10)
+
+    statuses = benchmark(decide)
+    assert any(s.is_decided for s in statuses)
+
+
+def test_extend_commit_sequence(benchmark, dag):
+    committee, coin, builder = dag
+    config = ProtocolConfig(wave_length=5, leaders_per_round=2)
+
+    def commit():
+        committer = Committer(builder.store, committee, coin, config)
+        return committer.extend_commit_sequence()
+
+    observations = benchmark(commit)
+    assert observations
+
+
+def test_linearize_subdag(benchmark, dag):
+    committee, _, builder = dag
+    leader = builder.get(0, 20)
+
+    def linearize():
+        traversal = DagTraversal(builder.store, committee.quorum_threshold)
+        return traversal.linearize([leader], set())
+
+    sequence = benchmark(linearize)
+    assert len(sequence) > 100

@@ -1,0 +1,75 @@
+"""Figure 5: impact of the number of leader slots per round (wave 4).
+
+Mahi-Mahi-4 with 1, 2 and 3 leaders per round, 10 validators, zero and
+three crash faults (Section 5.4; claim C4).  The paper reports latency
+dropping by ~40 ms (ideal) and ~100 ms (faulty) going from 1 to 3
+leaders, with no further gain beyond 3.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.runner import Experiment, ExperimentConfig
+
+from .paper_data import LEADER_SWEEP_IMPROVEMENT, Row, bench_scale, print_table
+
+WAVE_PROTOCOL = "mahi-mahi-4"
+LEADERS = (1, 2, 3)
+
+
+def run_leader_sweep(protocol: str, num_crashed: int, seed: int = 7):
+    scale = bench_scale()
+    results = {}
+    for leaders in LEADERS:
+        config = ExperimentConfig(
+            protocol=protocol,
+            num_validators=10,
+            leaders_per_round=leaders,
+            num_crashed=num_crashed,
+            load_tps=20_000,
+            duration=14.0 * scale,
+            warmup=4.0 * scale,
+            seed=seed,
+        )
+        results[leaders] = Experiment(config).run()
+    return results
+
+
+def report(protocol: str, num_crashed: int, results) -> None:
+    paper_gain = (
+        LEADER_SWEEP_IMPROVEMENT["faulty_ms"]
+        if num_crashed
+        else LEADER_SWEEP_IMPROVEMENT["ideal_ms"]
+    )
+    label = f"{num_crashed} faults" if num_crashed else "no faults"
+    rows = [
+        Row(
+            label=f"{protocol}, {leaders} leader(s), {label}",
+            paper="latency decreases with leaders",
+            measured=f"{results[leaders].latency.avg * 1000:.0f} ms avg",
+        )
+        for leaders in LEADERS
+    ]
+    gain_ms = (results[1].latency.avg - results[3].latency.avg) * 1000
+    rows.append(
+        Row(
+            label="1 -> 3 leaders improvement",
+            paper=f"~{paper_gain:.0f} ms",
+            measured=f"{gain_ms:.0f} ms",
+        )
+    )
+    print_table(f"Figure 5 ({protocol}, {label})", rows)
+
+
+@pytest.mark.parametrize("num_crashed", [0, 3])
+def test_fig5_leader_sweep(benchmark, num_crashed):
+    results = benchmark.pedantic(
+        run_leader_sweep, args=(WAVE_PROTOCOL, num_crashed), rounds=1, iterations=1
+    )
+    report(WAVE_PROTOCOL, num_crashed, results)
+    benchmark.extra_info.update(
+        {f"latency_{l}_leaders_ms": results[l].latency.avg * 1000 for l in LEADERS}
+    )
+    # Claim C4: more leader slots never hurt, and help under faults.
+    assert results[3].latency.avg <= results[1].latency.avg + 0.02

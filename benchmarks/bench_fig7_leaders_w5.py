@@ -1,0 +1,25 @@
+"""Figure 7 (Appendix D): leader-slot sweep for wave length 5.
+
+Identical methodology to Figure 5 but with Mahi-Mahi-5: 1, 2 and 3
+leader slots per round, 10 validators, zero and three crash faults.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from .bench_fig5_leaders_w4 import LEADERS, report, run_leader_sweep
+
+WAVE_PROTOCOL = "mahi-mahi-5"
+
+
+@pytest.mark.parametrize("num_crashed", [0, 3])
+def test_fig7_leader_sweep(benchmark, num_crashed):
+    results = benchmark.pedantic(
+        run_leader_sweep, args=(WAVE_PROTOCOL, num_crashed), rounds=1, iterations=1
+    )
+    report(WAVE_PROTOCOL, num_crashed, results)
+    benchmark.extra_info.update(
+        {f"latency_{l}_leaders_ms": results[l].latency.avg * 1000 for l in LEADERS}
+    )
+    assert results[3].latency.avg <= results[1].latency.avg + 0.02

@@ -1,0 +1,106 @@
+"""Implementation-level micro-benchmarks (Section 4's components):
+hashing, signatures, the threshold coin, block codec and the WAL."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.block import Block, make_genesis
+from repro.crypto.coin import FastCoin, ThresholdCoin
+from repro.crypto.hashing import hash_bytes
+from repro.crypto.schnorr import SchnorrSignatureScheme
+from repro.crypto.signing import NullSignatureScheme
+from repro.runtime.wal import RECORD_PEER_BLOCK, WriteAheadLog
+from repro.transaction import Transaction
+
+
+def sample_block(num_txs=64):
+    genesis = make_genesis(10)
+    return Block(
+        author=1,
+        round=1,
+        parents=tuple(b.reference for b in genesis),
+        transactions=tuple(Transaction.dummy(i) for i in range(num_txs)),
+        signature=b"\x00" * 32,
+    )
+
+
+class TestHashing:
+    def test_blake2b_512B(self, benchmark):
+        data = b"\xab" * 512
+        benchmark(hash_bytes, data)
+
+    def test_block_digest(self, benchmark):
+        def digest():
+            block, _ = Block.decode(ENCODED)
+            return block.digest
+
+        ENCODED = sample_block().encode()
+        assert len(benchmark(digest)) == 32
+
+
+class TestSignatures:
+    def test_null_sign(self, benchmark):
+        scheme = NullSignatureScheme()
+        keys = scheme.generate(b"bench")
+        benchmark(scheme.sign, keys.private_key, b"message" * 16)
+
+    def test_null_verify(self, benchmark):
+        scheme = NullSignatureScheme()
+        keys = scheme.generate(b"bench")
+        signature = scheme.sign(keys.private_key, b"message")
+        assert benchmark(scheme.verify, keys.public_key, b"message", signature)
+
+    def test_schnorr_sign(self, benchmark):
+        scheme = SchnorrSignatureScheme()
+        keys = scheme.generate(b"bench")
+        benchmark(scheme.sign, keys.private_key, b"message" * 16)
+
+    def test_schnorr_verify(self, benchmark):
+        scheme = SchnorrSignatureScheme()
+        keys = scheme.generate(b"bench")
+        signature = scheme.sign(keys.private_key, b"message")
+        assert benchmark(scheme.verify, keys.public_key, b"message", signature)
+
+
+class TestCoin:
+    def test_fast_coin_reconstruct(self, benchmark):
+        coin = FastCoin(seed=b"bench", n=10, threshold=7)
+        shares = [coin.share(i, 5) for i in range(7)]
+        benchmark(coin.reconstruct, 5, shares)
+
+    def test_threshold_coin_share(self, benchmark):
+        coins = ThresholdCoin.deal(n=4, threshold=3, seed=1)
+        benchmark(coins[0].share, 0, 5)
+
+    def test_threshold_coin_reconstruct(self, benchmark):
+        coins = ThresholdCoin.deal(n=4, threshold=3, seed=1)
+        shares = [coins[i].share(i, 5) for i in range(3)]
+        benchmark(coins[0].reconstruct, 5, shares)
+
+
+class TestCodec:
+    def test_block_encode(self, benchmark):
+        block = sample_block()
+        benchmark(block.encode)
+
+    def test_block_decode(self, benchmark):
+        encoded = sample_block().encode()
+        block, _ = benchmark(Block.decode, encoded)
+        assert block.round == 1
+
+
+class TestWal:
+    def test_append(self, benchmark, tmp_path):
+        payload = sample_block().encode()
+        with WriteAheadLog(tmp_path / "bench.wal") as wal:
+            benchmark(wal.append, RECORD_PEER_BLOCK, payload)
+
+    def test_recover_1000_blocks(self, benchmark, tmp_path):
+        path = tmp_path / "recover.wal"
+        payload = sample_block().encode()
+        with WriteAheadLog(path) as wal:
+            for _ in range(1000):
+                wal.append(RECORD_PEER_BLOCK, payload)
+        records = benchmark(lambda: list(WriteAheadLog.read_records(path)))
+        assert len(records) == 1000

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Standalone figure regeneration CLI (no pytest needed).
+
+Usage::
+
+    python -m benchmarks.figures --figure 3          # one figure
+    python -m benchmarks.figures --figure all        # everything
+    python -m benchmarks.figures --figure 4 --scale 3  # longer runs
+
+Prints the same paper-vs-measured tables as the pytest-benchmark
+modules; see EXPERIMENTS.md for the recorded comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import time
+
+
+def _figure3() -> None:
+    from repro.sim.runner import ExperimentConfig, PROTOCOLS, run_load_sweep
+
+    from .bench_fig3_ideal import LOADS_10
+    from .paper_data import FIG3_10_NODES, Row, bench_scale, print_table
+
+    scale = bench_scale()
+    for protocol in PROTOCOLS:
+        base = ExperimentConfig(
+            protocol=protocol,
+            num_validators=10,
+            duration=20.0 * scale,
+            warmup=5.0 * scale,
+            seed=3,
+        )
+        results = run_load_sweep(base, LOADS_10)
+        paper = FIG3_10_NODES[protocol]
+        print_table(
+            f"Figure 3 (10 validators) - {protocol}",
+            [
+                Row(
+                    label=f"@ {r.config.load_tps / 1000:.0f}k tx/s",
+                    paper=f"{paper['latency_s']:.2f}s @ <= {paper['peak_tps'] / 1000:.0f}k",
+                    measured=f"{r.latency.avg:.2f}s, {r.throughput_tps / 1000:.1f}k tx/s",
+                )
+                for r in results
+            ],
+        )
+
+
+def _figure4() -> None:
+    from repro.sim.runner import Experiment, ExperimentConfig, PROTOCOLS
+
+    from .paper_data import FIG4_FAULTS, Row, bench_scale, print_table
+
+    scale = bench_scale()
+    rows = []
+    for protocol in PROTOCOLS:
+        config = ExperimentConfig(
+            protocol=protocol,
+            num_validators=10,
+            num_crashed=3,
+            load_tps=10_000,
+            duration=12.0 * scale,
+            warmup=4.0 * scale,
+            seed=5,
+        )
+        result = Experiment(config).run()
+        rows.append(
+            Row(
+                label=protocol,
+                paper=f"{FIG4_FAULTS[protocol]['latency_s']:.2f}s",
+                measured=(
+                    f"{result.latency.avg:.2f}s, skips "
+                    f"{result.direct_skips}/{result.indirect_skips}"
+                ),
+            )
+        )
+    print_table("Figure 4 (10 validators, 3 crash faults)", rows)
+
+
+def _leader_sweep(protocol: str) -> None:
+    from .bench_fig5_leaders_w4 import report, run_leader_sweep
+
+    for crashed in (0, 3):
+        report(protocol, crashed, run_leader_sweep(protocol, crashed))
+
+
+def _figure5() -> None:
+    _leader_sweep("mahi-mahi-4")
+
+
+def _figure7() -> None:
+    _leader_sweep("mahi-mahi-5")
+
+
+FIGURES = {"3": _figure3, "4": _figure4, "5": _figure5, "7": _figure7}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--figure",
+        choices=[*FIGURES, "all"],
+        default="all",
+        help="which paper figure to regenerate",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="duration multiplier (sets REPRO_BENCH_SCALE)",
+    )
+    args = parser.parse_args()
+    if args.scale is not None:
+        os.environ["REPRO_BENCH_SCALE"] = str(args.scale)
+    targets = FIGURES.values() if args.figure == "all" else [FIGURES[args.figure]]
+    for target in targets:
+        started = time.time()
+        target()
+        print(f"\n[{target.__name__.lstrip('_')} done in {time.time() - started:.0f}s]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Crash faults and the direct skip rule (paper Section 5.3, Figure 4).
+
+Runs 10 validators with 3 crashed (the maximum tolerable for n = 10) and
+shows why Mahi-Mahi stays fast: dead leaders' slots are classified
+``skip`` by the direct rule two rounds earlier than Cordial Miners'
+anchor-based skipping — no head-of-line blocking.
+
+Run:  python examples/fault_tolerance.py
+"""
+
+from repro.sim import Experiment, ExperimentConfig
+
+
+def run(protocol: str, crashed: int):
+    config = ExperimentConfig(
+        protocol=protocol,
+        num_validators=10,
+        num_crashed=crashed,
+        load_tps=10_000,
+        duration=12.0,
+        warmup=4.0,
+        seed=9,
+    )
+    return Experiment(config).run()
+
+
+def main() -> None:
+    print("== ideal vs 3 crash faults ==\n")
+    for protocol in ("mahi-mahi-5", "cordial-miners"):
+        ideal = run(protocol, crashed=0)
+        faulty = run(protocol, crashed=3)
+        print(f"{protocol}:")
+        print(f"  ideal   : {ideal.latency.avg:.2f}s avg latency")
+        print(
+            f"  3 faults: {faulty.latency.avg:.2f}s avg latency "
+            f"({faulty.direct_skips} direct skips, "
+            f"{faulty.indirect_skips} indirect skips)"
+        )
+        penalty = faulty.latency.avg - ideal.latency.avg
+        print(f"  fault penalty: {penalty * 1000:+.0f} ms\n")
+
+    mahi = run("mahi-mahi-5", crashed=3)
+    cm = run("cordial-miners", crashed=3)
+    advantage = (1 - mahi.latency.avg / cm.latency.avg) * 100
+    print(f"Mahi-Mahi's direct skip rule gives it {advantage:.0f}% lower latency "
+          "than Cordial Miners under faults")
+    print("(paper: ~50% — 0.95s vs 1.7s, Fig. 4)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy setup shim: environments without the `wheel` package cannot do
+PEP 517 editable installs; `pip install -e . --no-build-isolation` uses
+this file instead.  All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,47 @@
+"""repro — a reproduction of *Mahi-Mahi: Low-Latency Asynchronous BFT
+DAG-Based Consensus* (ICDCS 2025).
+
+Public API overview:
+
+* :class:`~repro.config.ProtocolConfig` — wave length / leaders per round;
+* :class:`~repro.committee.Committee` — the validator set;
+* :class:`~repro.core.MahiMahiCore` — a validator state machine;
+* :mod:`repro.baselines` — Tusk and Cordial Miners on the same substrates;
+* :mod:`repro.sim` — deterministic WAN simulator and experiment harness;
+* :mod:`repro.runtime` — asyncio networked runtime with WAL and sync;
+* :mod:`repro.analysis` — closed-form commit-probability and latency models.
+
+Quickstart::
+
+    from repro.sim import Experiment, ExperimentConfig
+    result = Experiment(ExperimentConfig(protocol="mahi-mahi-4", num_validators=10)).run()
+    print(result.summary())
+"""
+
+from .block import Block, BlockRef, make_genesis
+from .committee import Authority, Committee
+from .config import MAHI_MAHI_4, MAHI_MAHI_5, ProtocolConfig
+from .core import Committer, Decision, LeaderSlot, MahiMahiCore, SlotStatus
+from .errors import ReproError
+from .transaction import Transaction
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Authority",
+    "Block",
+    "BlockRef",
+    "Committee",
+    "Committer",
+    "Decision",
+    "LeaderSlot",
+    "MahiMahiCore",
+    "MAHI_MAHI_4",
+    "MAHI_MAHI_5",
+    "ProtocolConfig",
+    "ReproError",
+    "SlotStatus",
+    "Transaction",
+    "make_genesis",
+    "__version__",
+]

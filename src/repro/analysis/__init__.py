@@ -1,0 +1,31 @@
+"""Analytical models from the paper's Appendices C and D.
+
+* :mod:`repro.analysis.commit_probability` — closed-form direct-commit
+  probabilities (Lemmas 13 and 16) and the random-network vote bound
+  (Lemma 17), with Monte-Carlo checks;
+* :mod:`repro.analysis.latency_model` — expected commit latency in
+  message delays for Mahi-Mahi, Cordial Miners and Tusk, used to sanity-
+  check the simulator's output.
+"""
+
+from .commit_probability import (
+    direct_commit_probability_w4,
+    direct_commit_probability_w5,
+    monte_carlo_direct_commit_w5,
+    unreachable_pair_bound,
+)
+from .latency_model import expected_commit_delays, LatencyModelResult
+from .dag_stats import CommonCoreReport, DagShape, common_core_report, round_reachability
+
+__all__ = [
+    "direct_commit_probability_w5",
+    "direct_commit_probability_w4",
+    "monte_carlo_direct_commit_w5",
+    "unreachable_pair_bound",
+    "expected_commit_delays",
+    "LatencyModelResult",
+    "CommonCoreReport",
+    "DagShape",
+    "common_core_report",
+    "round_reachability",
+]

@@ -1,0 +1,92 @@
+"""Commit-probability formulas (Appendix C).
+
+Lemma 13 (w = 5): in any round, at least ``2f + 1`` of the ``3f + 1``
+proposals can be directly committed (they all gain ``2f + 1``
+certificates).  With ``l`` leader slots drawn uniformly by the coin, the
+probability that *no* slot lands on a committable proposal is
+hypergeometric: ``C(f, l) / C(3f + 1, l)``; for ``l > f`` it is zero.
+
+Lemma 16 (w = 4, asynchronous adversary): only one proposal (the common
+core block) is guaranteed committable, so a slot hits it with
+probability ``l / (3f + 1)``.
+
+Lemma 17 (w = 4, random network): the probability that some round-``r``
+block is unreachable from some round-``r+2`` block is at most
+``(3f + 1)^2 (1 - p)^(2f + 1)`` with ``p = (2f + 1) / (3f + 1)`` —
+vanishing exponentially, so with high probability *every* leader slot
+direct-commits.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+
+def _committee_or_raise(f: int) -> int:
+    if f < 1:
+        raise ValueError("need f >= 1")
+    return 3 * f + 1
+
+
+def direct_commit_probability_w5(f: int, leaders_per_round: int) -> float:
+    """Lemma 13: probability that at least one slot of a round commits
+    directly, for wave length 5 under a full asynchronous adversary."""
+    n = _committee_or_raise(f)
+    l = leaders_per_round
+    if not 1 <= l <= n:
+        raise ValueError(f"leaders_per_round must be in [1, {n}]")
+    if l > f:
+        return 1.0
+    return 1.0 - math.comb(f, l) / math.comb(n, l)
+
+
+def direct_commit_probability_w4(f: int, leaders_per_round: int) -> float:
+    """Lemma 16: probability that at least one slot of a round commits
+    directly, for wave length 4 under a full asynchronous adversary."""
+    n = _committee_or_raise(f)
+    l = leaders_per_round
+    if not 1 <= l <= n:
+        raise ValueError(f"leaders_per_round must be in [1, {n}]")
+    if l == n:
+        return 1.0
+    return l / n
+
+
+def unreachable_pair_bound(f: int) -> float:
+    """Lemma 17: Markov bound on the probability that any round-``r``
+    block is unreachable from any round-``r+2`` block in the random
+    network model."""
+    n = _committee_or_raise(f)
+    p = (2 * f + 1) / n
+    return (n**2) * (1.0 - p) ** (2 * f + 1)
+
+
+def expected_rounds_to_direct_commit(per_round_probability: float) -> float:
+    """Expected number of rounds until some slot commits directly, for a
+    per-round success probability (geometric distribution mean)."""
+    if not 0.0 < per_round_probability <= 1.0:
+        raise ValueError("probability must be in (0, 1]")
+    return 1.0 / per_round_probability
+
+
+def monte_carlo_direct_commit_w5(
+    f: int, leaders_per_round: int, *, trials: int = 20_000, seed: int = 0
+) -> float:
+    """Monte-Carlo check of Lemma 13's hypergeometric model.
+
+    Simulates the coin drawing ``l`` distinct slots among ``3f + 1``
+    proposals of which ``2f + 1`` are committable, and reports the
+    fraction of trials where at least one committable proposal was hit.
+    """
+    n = _committee_or_raise(f)
+    l = leaders_per_round
+    committable = 2 * f + 1
+    rng = random.Random(repr(("mc-commit", seed, f, l)))
+    hits = 0
+    population = list(range(n))
+    for _ in range(trials):
+        drawn = rng.sample(population, l)
+        if any(slot < committable for slot in drawn):
+            hits += 1
+    return hits / trials

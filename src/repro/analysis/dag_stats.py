@@ -1,0 +1,127 @@
+"""Structural DAG statistics backing the liveness lemmas.
+
+Appendix C's liveness argument rests on structural facts about any
+quorum-referencing DAG:
+
+* **Lemma 10 (common core)**: in every round ``r`` there is a block that
+  every valid block of round ``r + 2`` reaches;
+* **Lemma 11**: hence at least ``2f + 1`` round-``r`` blocks are voted
+  for by *every* block of round ``r + 3``;
+* **Lemma 17**: in the random network model, with high probability every
+  round-``r + 2`` block reaches every round-``r`` block.
+
+This module measures those quantities on concrete DAGs (from tests,
+simulations or a live node's store), so the lemmas can be checked
+empirically rather than trusted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..block import Block
+from ..dag.store import DagStore
+from ..dag.traversal import DagTraversal
+
+
+@dataclass(frozen=True)
+class RoundReachability:
+    """Reachability of round ``r`` blocks from round ``r + depth`` blocks."""
+
+    round: int
+    depth: int
+    #: Per round-``r`` block: how many round-``r+depth`` blocks reach it.
+    reachers: dict[bytes, int]
+    #: Number of round-``r+depth`` blocks examined.
+    sources: int
+
+    @property
+    def common_core(self) -> list[bytes]:
+        """Digests of round-``r`` blocks reached by *every* source."""
+        return [d for d, count in self.reachers.items() if count == self.sources]
+
+    @property
+    def fully_connected(self) -> bool:
+        """Whether every source reaches every round-``r`` block (Lemma 17)."""
+        return all(count == self.sources for count in self.reachers.values())
+
+
+def round_reachability(store: DagStore, round_number: int, depth: int = 2) -> RoundReachability:
+    """Compute which round-``r`` blocks each round-``r+depth`` block reaches."""
+    traversal = DagTraversal(store, quorum_threshold=1)
+    targets = store.round_blocks(round_number)
+    sources = store.round_blocks(round_number + depth)
+    reachers = {
+        target.digest: sum(1 for source in sources if traversal.is_link(target, source))
+        for target in targets
+    }
+    return RoundReachability(
+        round=round_number, depth=depth, reachers=reachers, sources=len(sources)
+    )
+
+
+@dataclass(frozen=True)
+class CommonCoreReport:
+    """Common-core presence over a span of rounds."""
+
+    first_round: int
+    last_round: int
+    cores_found: int
+    rounds_checked: int
+    min_core_size: int
+
+    @property
+    def lemma10_holds(self) -> bool:
+        """Every checked round had at least one common-core block."""
+        return self.cores_found == self.rounds_checked
+
+
+def common_core_report(store: DagStore, first_round: int, last_round: int) -> CommonCoreReport:
+    """Check Lemma 10 on every round in ``[first_round, last_round]``
+    (both the round and round+2 must be populated)."""
+    cores_found = 0
+    rounds_checked = 0
+    min_core = float("inf")
+    for round_number in range(first_round, last_round + 1):
+        if not store.round_blocks(round_number) or not store.round_blocks(round_number + 2):
+            continue
+        rounds_checked += 1
+        reachability = round_reachability(store, round_number, depth=2)
+        core = reachability.common_core
+        if core:
+            cores_found += 1
+            min_core = min(min_core, len(core))
+    return CommonCoreReport(
+        first_round=first_round,
+        last_round=last_round,
+        cores_found=cores_found,
+        rounds_checked=rounds_checked,
+        min_core_size=0 if min_core == float("inf") else int(min_core),
+    )
+
+
+@dataclass(frozen=True)
+class DagShape:
+    """Aggregate shape statistics of a DAG."""
+
+    rounds: int
+    blocks: int
+    avg_parents: float
+    max_parents: int
+    equivocating_slots: int
+
+    @classmethod
+    def of(cls, store: DagStore) -> "DagShape":
+        blocks = [b for b in store if b.round > 0]
+        if not blocks:
+            return cls(rounds=0, blocks=0, avg_parents=0.0, max_parents=0, equivocating_slots=0)
+        slots: dict[tuple[int, int], int] = {}
+        for block in blocks:
+            slots[block.slot] = slots.get(block.slot, 0) + 1
+        return cls(
+            rounds=store.highest_round,
+            blocks=len(blocks),
+            avg_parents=sum(len(b.parents) for b in blocks) / len(blocks),
+            max_parents=max(len(b.parents) for b in blocks),
+            equivocating_slots=sum(1 for count in slots.values() if count > 1),
+        )

@@ -1,0 +1,16 @@
+"""Baseline protocols evaluated against Mahi-Mahi (Section 5).
+
+* :mod:`repro.baselines.cordial_miners` — Cordial Miners [28]: the same
+  uncertified DAG, but non-overlapping 5-round waves with a single
+  leader and no direct skip rule.  The paper notes Cordial Miners had no
+  public implementation; like the paper, this repo provides one.
+* :mod:`repro.baselines.tusk` — Tusk [18]: a certified DAG (three
+  message delays per round, enforced by the simulator's explicit
+  header/ack/certificate exchange), 2-round waves, and the ``f + 1``
+  support rule.
+"""
+
+from .cordial_miners import make_cordial_miners_committer
+from .tusk import TuskCommitter, make_tusk_committer
+
+__all__ = ["make_cordial_miners_committer", "TuskCommitter", "make_tusk_committer"]

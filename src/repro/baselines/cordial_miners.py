@@ -1,0 +1,54 @@
+"""Cordial Miners [28] commit rule on the shared uncertified DAG.
+
+Cordial Miners is the protocol closest to Mahi-Mahi (Section 6): both
+forgo certification and interpret votes/certificates implicitly in the
+DAG.  The differences, reflected here exactly:
+
+* **non-overlapping waves**: one wave every ``wave_length`` rounds
+  instead of one per round, so at most one leader block commits per
+  wave;
+* **single leader slot** per wave;
+* **no direct skip rule**: a faulty leader's slot stays undecided until
+  a later committed leader anchors it, which is what costs Cordial
+  Miners roughly two extra rounds under crash faults (Section 5.3).
+
+Everything else (the DAG, votes, certificates, the anchor rule and
+linearization) is shared with Mahi-Mahi, mirroring how the paper built
+both systems on the same components (Section 4).
+"""
+
+from __future__ import annotations
+
+from ..committee import Committee
+from ..config import ProtocolConfig
+from ..core.committer import Committer, FIRST_LEADER_ROUND
+from ..crypto.coin import CommonCoin
+from ..dag.store import DagStore
+
+
+def make_cordial_miners_committer(
+    store: DagStore,
+    committee: Committee,
+    coin: CommonCoin,
+    wave_length: int = 5,
+) -> Committer:
+    """Build a Cordial-Miners committer over ``store``.
+
+    Args:
+        store: The validator's DAG (shared with its protocol core).
+        committee: Validator set.
+        coin: Common coin.
+        wave_length: Rounds per wave; the paper describes the 5-round
+            variant ("Cordial Miners can commit at most one leader block
+            every five rounds").
+    """
+    config = ProtocolConfig(wave_length=wave_length, leaders_per_round=1)
+    return Committer(
+        store,
+        committee,
+        coin,
+        config,
+        wave_stride=wave_length,
+        direct_skip_enabled=False,
+        first_leader_round=FIRST_LEADER_ROUND,
+    )

@@ -1,0 +1,190 @@
+"""Tusk [18]: certified-DAG asynchronous consensus.
+
+Tusk certifies every DAG vertex with an explicit consistent-broadcast
+round (block → acks → certificate, three message delays — enforced in
+the simulator by :class:`~repro.sim.node.SimValidator`'s certified
+mode), so equivocation never reaches the DAG.  Its commit rule uses
+2-round waves:
+
+* the leader of wave ``w`` lives in the wave's first round ``r``;
+* the common coin electing that leader opens with the blocks of round
+  ``r + 2`` (selected "after the fact", like Mahi-Mahi);
+* the leader commits *directly* when at least ``f + 1`` round-``r+1``
+  blocks reference it;
+* otherwise the decision defers to the next committed leader: an
+  earlier leader commits iff it lies in that leader's causal history
+  (the DAG-Rider-style recursion).
+
+End-to-end this costs at least nine message delays per commit (three
+certified rounds at three delays each), the number the paper quotes for
+Tusk (Sections 1 and 2.2).
+"""
+
+from __future__ import annotations
+
+from ..block import Block
+from ..committee import Committee
+from ..config import ProtocolConfig
+from ..core.committer import CommitObservation, CommitterStats, FIRST_LEADER_ROUND
+from ..core.decider import LeaderElector, UNKNOWN_AUTHORITY
+from ..core.slots import Decision, LeaderSlot, SlotStatus
+from ..crypto.coin import CommonCoin
+from ..crypto.hashing import Digest
+from ..dag.store import DagStore
+from ..dag.traversal import DagTraversal
+
+#: Rounds per Tusk wave (leader round + support round).
+TUSK_WAVE = 2
+#: Rounds after the leader at which its electing coin opens.
+TUSK_COIN_DELAY = 2
+
+
+class TuskCommitter:
+    """Tusk's commit rule; same interface as :class:`~repro.core.Committer`."""
+
+    def __init__(
+        self,
+        store: DagStore,
+        committee: Committee,
+        coin: CommonCoin,
+        *,
+        first_leader_round: int = FIRST_LEADER_ROUND,
+    ) -> None:
+        self._store = store
+        self._committee = committee
+        self._first_leader_round = first_leader_round
+        self.traversal = DagTraversal(store, committee.quorum_threshold)
+        self._elector = LeaderElector(store, committee, coin)
+        self._decided: dict[int, SlotStatus] = {}
+        self._cursor_round = first_leader_round
+        self._output: set[Digest] = set()
+        self.stats = CommitterStats()
+        self.committed_sequence_length = 0
+
+    # ------------------------------------------------------------------
+    # Wave geometry
+    # ------------------------------------------------------------------
+    def is_leader_round(self, round_number: int) -> bool:
+        """Leader rounds are the first round of each 2-round wave."""
+        if round_number < self._first_leader_round:
+            return False
+        return (round_number - self._first_leader_round) % TUSK_WAVE == 0
+
+    def coin_round(self, leader_round: int) -> int:
+        """The round whose blocks open the wave's coin."""
+        return leader_round + TUSK_COIN_DELAY
+
+    # ------------------------------------------------------------------
+    # Decision rules
+    # ------------------------------------------------------------------
+    def _direct_decide(self, leader_round: int) -> SlotStatus:
+        authority = self._elector.leader(self.coin_round(leader_round), 0)
+        slot = LeaderSlot(round=leader_round, offset=0, authority=authority)
+        if authority == UNKNOWN_AUTHORITY:
+            return SlotStatus(slot=slot, decision=Decision.UNDECIDED)
+        candidates = self._store.slot_blocks(leader_round, authority)
+        for candidate in sorted(candidates, key=lambda b: b.digest):
+            if self._support(candidate) >= self._committee.validity_threshold:
+                return SlotStatus(
+                    slot=slot, decision=Decision.COMMIT, block=candidate, direct=True
+                )
+        return SlotStatus(slot=slot, decision=Decision.UNDECIDED)
+
+    def _support(self, leader: Block) -> int:
+        """Distinct round-``r+1`` authors whose block references ``leader``
+        directly (certified DAG: references are unequivocal votes)."""
+        supporters: set[int] = set()
+        for block in self._store.round_blocks(leader.round + 1):
+            if block.author in supporters:
+                continue
+            if any(ref.digest == leader.digest for ref in block.parents):
+                supporters.add(block.author)
+        return len(supporters)
+
+    def _indirect_decide(
+        self, leader_round: int, higher: list[SlotStatus]
+    ) -> SlotStatus:
+        authority = self._elector.leader(self.coin_round(leader_round), 0)
+        slot = LeaderSlot(round=leader_round, offset=0, authority=authority)
+        if authority == UNKNOWN_AUTHORITY:
+            return SlotStatus(slot=slot, decision=Decision.UNDECIDED)
+        anchor = next(
+            (
+                status
+                for status in higher
+                if status.slot.round > leader_round and status.decision is not Decision.SKIP
+            ),
+            None,
+        )
+        if anchor is None or anchor.decision is Decision.UNDECIDED:
+            return SlotStatus(slot=slot, decision=Decision.UNDECIDED)
+        assert anchor.block is not None
+        for candidate in sorted(
+            self._store.slot_blocks(leader_round, authority), key=lambda b: b.digest
+        ):
+            if self.traversal.is_link(candidate, anchor.block):
+                return SlotStatus(
+                    slot=slot, decision=Decision.COMMIT, block=candidate, direct=False
+                )
+        return SlotStatus(slot=slot, decision=Decision.SKIP, direct=False)
+
+    # ------------------------------------------------------------------
+    # TryDecide / ExtendCommitSequence
+    # ------------------------------------------------------------------
+    def try_decide(self, from_round: int, to_round: int) -> list[SlotStatus]:
+        """Classify leader slots in ``[from_round, to_round]``, ascending."""
+        statuses: list[SlotStatus] = []
+        for round_number in range(to_round, from_round - 1, -1):
+            if not self.is_leader_round(round_number):
+                continue
+            cached = self._decided.get(round_number)
+            if cached is not None:
+                statuses.insert(0, cached)
+                continue
+            status = self._direct_decide(round_number)
+            if not status.is_decided:
+                status = self._indirect_decide(round_number, statuses)
+            if status.is_decided:
+                self._decided[round_number] = status
+            statuses.insert(0, status)
+        return statuses
+
+    def extend_commit_sequence(self) -> list[CommitObservation]:
+        """Finalize decided slots in order; stop at the first undecided."""
+        highest = self._store.highest_round
+        if highest < self._cursor_round:
+            return []
+        statuses = self.try_decide(self._cursor_round, highest)
+        observations: list[CommitObservation] = []
+        for status in statuses:
+            if status.slot.round != self._cursor_round:
+                continue
+            if not status.is_decided:
+                break
+            linearized: tuple[Block, ...] = ()
+            if status.decision is Decision.COMMIT:
+                assert status.block is not None
+                linearized = tuple(
+                    self.traversal.linearize(
+                        [status.block], self._output, floor_round=self._store.lowest_round
+                    )
+                )
+                self.committed_sequence_length += len(linearized)
+            tx_count = sum(len(b.transactions) for b in linearized)
+            self.stats.record(status, len(linearized), tx_count)
+            observations.append(CommitObservation(status=status, linearized=linearized))
+            self._decided.pop(self._cursor_round, None)
+            self._cursor_round += TUSK_WAVE
+        return observations
+
+    @property
+    def last_finalized_round(self) -> int:
+        """Highest fully finalized leader round."""
+        return self._cursor_round - TUSK_WAVE
+
+
+def make_tusk_committer(
+    store: DagStore, committee: Committee, coin: CommonCoin
+) -> TuskCommitter:
+    """Build a Tusk committer over ``store`` (factory used by the sim)."""
+    return TuskCommitter(store, committee, coin)

@@ -1,0 +1,202 @@
+"""Blocks: the single message type of the protocol (Section 2.3).
+
+A block carries (1) its author and signature, (2) a round number, (3)
+transactions, (4) hash references to at least ``2f + 1`` distinct blocks
+from the previous round (plus optionally older blocks), and (5) a share
+of the global perfect coin.
+
+Parent references carry ``(author, round, digest)`` rather than a bare
+digest: the extra fields are redundant (they are bound by the digest)
+but let traversal code walk the DAG without store lookups for pruning
+decisions, exactly like the reference implementation's ``BlockRef``.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from functools import cached_property
+
+from .crypto.coin import CoinShare
+from .crypto.hashing import Digest, hash_parts
+from .errors import ReproError
+from .transaction import Transaction, decode_transactions, encode_transactions
+
+#: Round number of genesis blocks.
+GENESIS_ROUND = 0
+
+_REF_HEADER = struct.Struct("<IQ")  # author, round  (+ 32-byte digest)
+_BLOCK_HEADER = struct.Struct("<IQI")  # author, round, parent count
+
+
+@dataclass(frozen=True, order=True)
+class BlockRef:
+    """A reference to a block: ``(author, round, digest)``.
+
+    Ordering is lexicographic on (author, round, digest); the protocol
+    never relies on this ordering for correctness, only for
+    deterministic tie-breaking.
+    """
+
+    author: int
+    round: int
+    digest: Digest
+
+    def encode(self) -> bytes:
+        return _REF_HEADER.pack(self.author, self.round) + self.digest
+
+    @classmethod
+    def decode(cls, data: bytes, offset: int = 0) -> tuple["BlockRef", int]:
+        end = offset + _REF_HEADER.size
+        author, round_number = _REF_HEADER.unpack_from(data, offset)
+        digest = bytes(data[end : end + 32])
+        if len(digest) != 32:
+            raise ReproError("truncated block reference")
+        return cls(author=author, round=round_number, digest=digest), end + 32
+
+    def __repr__(self) -> str:  # compact form for logs: B(v3, r7)
+        return f"B(v{self.author},r{self.round},{self.digest[:4].hex()})"
+
+
+@dataclass(frozen=True)
+class Block:
+    """An immutable, signed DAG vertex.
+
+    Instances are created through :func:`make_block` (which computes the
+    digest and signature) or :meth:`decode`.
+    """
+
+    author: int
+    round: int
+    parents: tuple[BlockRef, ...]
+    transactions: tuple[Transaction, ...] = ()
+    coin_share: CoinShare | None = None
+    signature: bytes = b""
+    #: Extra payload distinguishing deliberately equivocating blocks in
+    #: tests and fault injection (honest validators always leave it empty).
+    salt: bytes = b""
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    @cached_property
+    def digest(self) -> Digest:
+        """Blake2b digest of the signed contents (excludes the signature)."""
+        return hash_parts(self._signable_parts(), person=b"block")
+
+    @cached_property
+    def reference(self) -> BlockRef:
+        """This block's own :class:`BlockRef`."""
+        return BlockRef(author=self.author, round=self.round, digest=self.digest)
+
+    def _signable_parts(self) -> list[bytes]:
+        parts = [
+            _BLOCK_HEADER.pack(self.author, self.round, len(self.parents)),
+            *(parent.encode() for parent in self.parents),
+            encode_transactions(self.transactions),
+            self.coin_share.encode() if self.coin_share is not None else b"",
+            self.salt,
+        ]
+        return parts
+
+    def signable_bytes(self) -> bytes:
+        """Canonical bytes covered by the author's signature."""
+        return b"".join(self._signable_parts())
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    @property
+    def slot(self) -> tuple[int, int]:
+        """The ``(round, author)`` slot this block occupies."""
+        return (self.round, self.author)
+
+    def parents_at_round(self, round_number: int) -> list[BlockRef]:
+        """Parent references whose round equals ``round_number``."""
+        return [p for p in self.parents if p.round == round_number]
+
+    @property
+    def size(self) -> int:
+        """Approximate serialized size in bytes (used by the bandwidth model)."""
+        return len(self.encode())
+
+    # ------------------------------------------------------------------
+    # Serialization (wire format and WAL records)
+    # ------------------------------------------------------------------
+    def encode(self) -> bytes:
+        body = self.signable_bytes()
+        share = self.coin_share.encode() if self.coin_share is not None else b""
+        # Layout: header | parents | txs | share? | salt | signature — with
+        # explicit lengths so decode is unambiguous.
+        return b"".join(
+            [
+                _BLOCK_HEADER.pack(self.author, self.round, len(self.parents)),
+                b"".join(parent.encode() for parent in self.parents),
+                encode_transactions(self.transactions),
+                struct.pack("<I", len(share)),
+                share,
+                struct.pack("<I", len(self.salt)),
+                self.salt,
+                struct.pack("<I", len(self.signature)),
+                self.signature,
+            ]
+        )
+
+    @classmethod
+    def decode(cls, data: bytes, offset: int = 0) -> tuple["Block", int]:
+        author, round_number, parent_count = _BLOCK_HEADER.unpack_from(data, offset)
+        offset += _BLOCK_HEADER.size
+        parents = []
+        for _ in range(parent_count):
+            ref, offset = BlockRef.decode(data, offset)
+            parents.append(ref)
+        transactions, offset = decode_transactions(data, offset)
+
+        def read_chunk(off: int) -> tuple[bytes, int]:
+            if off + 4 > len(data):
+                raise ReproError("truncated block")
+            (length,) = struct.unpack_from("<I", data, off)
+            off += 4
+            if off + length > len(data):
+                raise ReproError("truncated block")
+            return bytes(data[off : off + length]), off + length
+
+        share_bytes, offset = read_chunk(offset)
+        salt, offset = read_chunk(offset)
+        signature, offset = read_chunk(offset)
+        coin_share = _decode_coin_share(share_bytes) if share_bytes else None
+        block = cls(
+            author=author,
+            round=round_number,
+            parents=tuple(parents),
+            transactions=transactions,
+            coin_share=coin_share,
+            signature=signature,
+            salt=salt,
+        )
+        return block, offset
+
+    def __repr__(self) -> str:
+        return (
+            f"Block(v{self.author}, r{self.round}, parents={len(self.parents)}, "
+            f"txs={len(self.transactions)}, {self.digest[:4].hex()})"
+        )
+
+
+def _decode_coin_share(data: bytes) -> CoinShare:
+    author = int.from_bytes(data[0:4], "little")
+    round_number = int.from_bytes(data[4:12], "little")
+    length = int.from_bytes(data[12:16], "little")
+    value = data[16 : 16 + length]
+    if len(value) != length:
+        raise ReproError("truncated coin share")
+    return CoinShare(author=author, round=round_number, value=value)
+
+
+def make_genesis(committee_size: int) -> list[Block]:
+    """Create the round-0 genesis blocks, one per validator.
+
+    Genesis blocks have no parents, no transactions and no coin share;
+    they bootstrap the ``2f + 1`` parent requirement of round 1.
+    """
+    return [Block(author=i, round=GENESIS_ROUND, parents=()) for i in range(committee_size)]

@@ -1,0 +1,138 @@
+"""Committee membership and Byzantine quorum arithmetic.
+
+The paper assumes ``n = 3f + 1`` validators of equal weight, of which at
+most ``f`` may be Byzantine (Section 2.1).  This module centralizes the
+threshold arithmetic (``2f + 1`` quorums, ``f + 1`` validity sets) so no
+other module hard-codes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from .errors import ConfigError
+
+#: Type alias: validators are identified by their index in the committee.
+ValidatorId = int
+
+
+@dataclass(frozen=True)
+class Authority:
+    """A single committee member.
+
+    Attributes:
+        index: Position in the committee (0-based); doubles as the wire
+            identity of the validator.
+        name: Human-readable label used in logs and experiment output.
+        public_key: Opaque verification key bytes registered for this
+            authority (scheme-dependent; see :mod:`repro.crypto.signing`).
+    """
+
+    index: ValidatorId
+    name: str
+    public_key: bytes = b""
+
+
+@dataclass(frozen=True)
+class Committee:
+    """An ordered, static set of validators with equal voting power.
+
+    The committee exposes the two thresholds used by every decision rule:
+
+    * :attr:`quorum_threshold` — ``2f + 1``, the size of a Byzantine
+      quorum (block validity, votes, certificates, coin reconstruction);
+    * :attr:`validity_threshold` — ``f + 1``, the minimum set guaranteed
+      to contain one honest validator.
+    """
+
+    authorities: tuple[Authority, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.authorities) < 4:
+            raise ConfigError(
+                f"a BFT committee needs n >= 4 validators, got {len(self.authorities)}"
+            )
+        for expected, authority in enumerate(self.authorities):
+            if authority.index != expected:
+                raise ConfigError(
+                    f"authority at position {expected} has index {authority.index}"
+                )
+
+    # ------------------------------------------------------------------
+    # Size and thresholds
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Total number of validators ``n``."""
+        return len(self.authorities)
+
+    @property
+    def faults_tolerated(self) -> int:
+        """Maximum number of Byzantine validators ``f = (n - 1) // 3``."""
+        return (self.size - 1) // 3
+
+    @property
+    def quorum_threshold(self) -> int:
+        """Byzantine quorum size ``n - f``.
+
+        Equals the paper's ``2f + 1`` when ``n = 3f + 1`` exactly; for
+        other committee sizes (e.g. the paper's 50-node deployment,
+        where ``n = 3f + 2``) ``n - f`` is required so two quorums still
+        intersect in at least ``f + 1`` validators.
+        """
+        return self.size - self.faults_tolerated
+
+    @property
+    def validity_threshold(self) -> int:
+        """Size guaranteeing one honest member, ``f + 1``."""
+        return self.faults_tolerated + 1
+
+    # ------------------------------------------------------------------
+    # Lookup helpers
+    # ------------------------------------------------------------------
+    def authority(self, index: ValidatorId) -> Authority:
+        """Return the authority with the given index.
+
+        Raises:
+            ConfigError: If ``index`` is out of range.
+        """
+        if not 0 <= index < self.size:
+            raise ConfigError(f"validator index {index} out of range [0, {self.size})")
+        return self.authorities[index]
+
+    def is_member(self, index: ValidatorId) -> bool:
+        """Whether ``index`` identifies a committee member."""
+        return 0 <= index < self.size
+
+    def __iter__(self) -> Iterator[Authority]:
+        return iter(self.authorities)
+
+    def __len__(self) -> int:
+        return self.size
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def of_size(cls, n: int, public_keys: Sequence[bytes] | None = None) -> "Committee":
+        """Build a committee of ``n`` equally-weighted validators.
+
+        Args:
+            n: Committee size (>= 4).
+            public_keys: Optional per-validator verification keys; must
+                have length ``n`` when provided.
+        """
+        if public_keys is not None and len(public_keys) != n:
+            raise ConfigError(
+                f"expected {n} public keys, got {len(public_keys)}"
+            )
+        authorities = tuple(
+            Authority(
+                index=i,
+                name=f"validator-{i}",
+                public_key=public_keys[i] if public_keys is not None else b"",
+            )
+            for i in range(n)
+        )
+        return cls(authorities=authorities)

@@ -1,0 +1,31 @@
+"""Mahi-Mahi core: leader slots, decision rules, committer, protocol.
+
+This package implements the paper's primary contribution:
+
+* :mod:`repro.core.slots` — leader slots and their three states
+  (commit / skip / undecided, Section 3.1);
+* :mod:`repro.core.decider` — the per-wave decider instance
+  (Algorithm 2): leader election from the common coin, the direct
+  decision rule, and the indirect (anchor) decision rule;
+* :mod:`repro.core.committer` — ``TryDecide`` /
+  ``ExtendCommitSequence`` (Algorithm 1) plus linearization;
+* :mod:`repro.core.protocol` — :class:`MahiMahiCore`, the transport-
+  agnostic validator state machine shared by the simulator and the
+  asyncio runtime.
+"""
+
+from .slots import Decision, LeaderSlot, SlotStatus
+from .decider import Decider
+from .committer import Committer, CommitObservation
+from .protocol import AddBlockResult, MahiMahiCore
+
+__all__ = [
+    "Decision",
+    "LeaderSlot",
+    "SlotStatus",
+    "Decider",
+    "Committer",
+    "CommitObservation",
+    "AddBlockResult",
+    "MahiMahiCore",
+]

@@ -1,0 +1,242 @@
+"""``TryDecide`` / ``ExtendCommitSequence`` — Algorithm 1 of the paper.
+
+The committer sweeps leader slots from the highest round down to the
+first unfinalized one, classifying each with the direct rule and falling
+back to the indirect rule (which consults the statuses of the later
+slots computed earlier in the same sweep).  It then walks the resulting
+slot sequence in ascending order, finalizing every decided prefix slot:
+committed leader blocks are linearized into the global commit sequence
+(DagRider-style, Section 3.2 step 5) and skipped slots are passed over.
+The walk stops at the first undecided slot.
+
+Decided slot classifications are final (Lemmas 4-6), so they are cached
+and never recomputed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..block import Block
+from ..committee import Committee
+from ..config import ProtocolConfig
+from ..crypto.coin import CommonCoin
+from ..crypto.hashing import Digest
+from ..dag.store import DagStore
+from ..dag.traversal import DagTraversal
+from .decider import Decider, LeaderElector
+from .slots import Decision, LeaderSlot, SlotStatus
+
+#: The first round that hosts leader slots (genesis round 0 never does).
+FIRST_LEADER_ROUND = 1
+
+
+@dataclass(frozen=True)
+class CommitObservation:
+    """One finalized leader slot and the blocks it newly linearized."""
+
+    status: SlotStatus
+    linearized: tuple[Block, ...]
+
+
+@dataclass
+class CommitterStats:
+    """Running counters exposed for the evaluation (Section 5 discusses
+    the direct/indirect commit mix and the skip behaviour)."""
+
+    direct_commits: int = 0
+    indirect_commits: int = 0
+    direct_skips: int = 0
+    indirect_skips: int = 0
+    blocks_committed: int = 0
+    transactions_committed: int = 0
+
+    def record(self, status: SlotStatus, linearized_count: int, tx_count: int) -> None:
+        if status.decision is Decision.COMMIT:
+            if status.direct:
+                self.direct_commits += 1
+            else:
+                self.indirect_commits += 1
+        elif status.decision is Decision.SKIP:
+            if status.direct:
+                self.direct_skips += 1
+            else:
+                self.indirect_skips += 1
+        self.blocks_committed += linearized_count
+        self.transactions_committed += tx_count
+
+
+class Committer:
+    """Drives the decision rules over the whole DAG (Algorithm 1)."""
+
+    def __init__(
+        self,
+        store: DagStore,
+        committee: Committee,
+        coin: CommonCoin,
+        config: ProtocolConfig,
+        *,
+        wave_stride: int = 1,
+        direct_skip_enabled: bool = True,
+        first_leader_round: int = FIRST_LEADER_ROUND,
+    ) -> None:
+        """Create a committer.
+
+        Args:
+            store: The local DAG (shared with the protocol core).
+            committee: Validator set.
+            coin: Common coin used for leader election.
+            config: Wave length and leaders-per-round.
+            wave_stride: Distance between consecutive propose rounds.
+                Mahi-Mahi starts a wave every round (stride 1,
+                Section 2.3); Cordial Miners uses non-overlapping waves
+                (stride = wave length).
+            direct_skip_enabled: Forwarded to the deciders.
+            first_leader_round: The first propose round.
+        """
+        self._store = store
+        self._committee = committee
+        self._config = config
+        self._wave_stride = wave_stride
+        self._first_leader_round = first_leader_round
+        self.traversal = DagTraversal(store, committee.quorum_threshold)
+        self._elector = LeaderElector(store, committee, coin)
+        self._deciders = [
+            Decider(
+                store,
+                self.traversal,
+                committee,
+                self._elector,
+                config.wave_length,
+                leader_offset,
+                direct_skip_enabled=direct_skip_enabled,
+            )
+            for leader_offset in range(config.leaders_per_round)
+        ]
+        # Final (decided) slot classifications; decided statuses never
+        # change (Lemmas 4-6), so this is a pure cache.
+        self._decided: dict[tuple[int, int], SlotStatus] = {}
+        # Next slot to finalize in the global sequence.
+        self._cursor_round = first_leader_round
+        self._cursor_offset = 0
+        # Digests already emitted into the commit sequence.
+        self._output: set[Digest] = set()
+        self.stats = CommitterStats()
+        self.committed_sequence_length = 0
+
+    # ------------------------------------------------------------------
+    # Slot geometry
+    # ------------------------------------------------------------------
+    def is_leader_round(self, round_number: int) -> bool:
+        """Whether ``round_number`` hosts leader slots."""
+        if round_number < self._first_leader_round:
+            return False
+        return (round_number - self._first_leader_round) % self._wave_stride == 0
+
+    def leader_rounds(self, up_to: int) -> list[int]:
+        """All leader rounds in ``[first_leader_round, up_to]``."""
+        return list(range(self._first_leader_round, up_to + 1, self._wave_stride))
+
+    @property
+    def leaders_per_round(self) -> int:
+        return self._config.leaders_per_round
+
+    # ------------------------------------------------------------------
+    # TryDecide (Algorithm 1 line 11)
+    # ------------------------------------------------------------------
+    def try_decide(self, from_round: int, to_round: int) -> list[SlotStatus]:
+        """Classify every leader slot in ``[from_round, to_round]``.
+
+        Slots are processed from the highest down (so the indirect rule
+        can consult later slots) and returned in ascending order.
+        """
+        statuses: deque[SlotStatus] = deque()
+        for round_number in range(to_round, from_round - 1, -1):
+            if not self.is_leader_round(round_number):
+                continue
+            for offset in reversed(range(self._config.leaders_per_round)):
+                status = self._classify_slot(round_number, offset, statuses)
+                statuses.appendleft(status)
+        return list(statuses)
+
+    def _classify_slot(
+        self, round_number: int, offset: int, higher: "deque[SlotStatus]"
+    ) -> SlotStatus:
+        key = (round_number, offset)
+        cached = self._decided.get(key)
+        if cached is not None:
+            return cached
+        decider = self._deciders[offset]
+        status = decider.try_direct_decide(round_number)
+        if not status.is_decided:
+            status = decider.try_indirect_decide(round_number, higher)
+        if status.is_decided:
+            self._decided[key] = status
+        return status
+
+    # ------------------------------------------------------------------
+    # ExtendCommitSequence (Algorithm 1 line 3)
+    # ------------------------------------------------------------------
+    def extend_commit_sequence(self) -> list[CommitObservation]:
+        """Finalize every decided slot after the cursor, in order.
+
+        Idempotent: calling repeatedly without new blocks returns an
+        empty extension.  Returns one observation per finalized slot
+        (committed slots carry their newly linearized blocks).
+        """
+        highest = self._store.highest_round
+        if highest < self._cursor_round:
+            return []
+        statuses = self.try_decide(self._cursor_round, highest)
+        observations: list[CommitObservation] = []
+        for status in statuses:
+            expected = (self._cursor_round, self._cursor_offset)
+            if (status.slot.round, status.slot.offset) != expected:
+                continue  # slots before the cursor were finalized earlier
+            if not status.is_decided:
+                break  # Algorithm 1 line 7: stop at the first undecided
+            linearized: tuple[Block, ...] = ()
+            if status.decision is Decision.COMMIT:
+                assert status.block is not None
+                linearized = tuple(
+                    self.traversal.linearize(
+                        [status.block], self._output, floor_round=self._store.lowest_round
+                    )
+                )
+                self.committed_sequence_length += len(linearized)
+            tx_count = sum(len(b.transactions) for b in linearized)
+            self.stats.record(status, len(linearized), tx_count)
+            observations.append(CommitObservation(status=status, linearized=linearized))
+            self._advance_cursor()
+        return observations
+
+    def _advance_cursor(self) -> None:
+        self._decided.pop((self._cursor_round, self._cursor_offset), None)
+        self._cursor_offset += 1
+        if self._cursor_offset >= self._config.leaders_per_round:
+            self._cursor_offset = 0
+            self._cursor_round += self._wave_stride
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def next_slot(self) -> LeaderSlot:
+        """The next slot the sequence extension will consider."""
+        return LeaderSlot(round=self._cursor_round, offset=self._cursor_offset, authority=-1)
+
+    @property
+    def last_finalized_round(self) -> int:
+        """Highest round fully finalized (all its slots decided)."""
+        if self._cursor_offset == 0:
+            return self._cursor_round - self._wave_stride
+        return self._cursor_round - 1
+
+    def slot_statuses(self, up_to: int | None = None) -> list[SlotStatus]:
+        """Classify and return all slots from the cursor up to ``up_to``
+        (defaults to the highest DAG round) without finalizing anything."""
+        highest = self._store.highest_round if up_to is None else up_to
+        if highest < self._cursor_round:
+            return []
+        return self.try_decide(self._cursor_round, highest)

@@ -1,0 +1,291 @@
+"""The transport-agnostic Mahi-Mahi validator core.
+
+:class:`MahiMahiCore` owns a validator's DAG, mempool, proposer and
+committer, and exposes three entry points:
+
+* :meth:`MahiMahiCore.add_transaction` — client payloads;
+* :meth:`MahiMahiCore.add_block` — blocks from peers (buffered until
+  their causal history is complete, per Section 2.3);
+* :meth:`MahiMahiCore.maybe_propose` — emits this validator's next
+  block once ``2f + 1`` blocks of the previous round arrived.
+
+Every state change calls ``ExtendCommitSequence`` (Appendix A: "called
+every time the validator receives a new block") and newly committed
+blocks are surfaced to the host (simulator node or asyncio runtime).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..block import Block, BlockRef, make_genesis
+from ..committee import Committee
+from ..config import ProtocolConfig
+from ..crypto.coin import CommonCoin
+from ..crypto.hashing import Digest
+from ..dag.store import DagStore
+from ..dag.validation import BlockVerifier
+from ..errors import BlockValidationError, DuplicateBlockError
+from ..transaction import Transaction
+from .committer import Committer, CommitObservation
+
+
+@dataclass(frozen=True)
+class AddBlockResult:
+    """Outcome of ingesting one block.
+
+    Attributes:
+        accepted: Blocks that entered the DAG (the given block plus any
+            previously buffered blocks it unblocked).
+        missing: Parent references we do not have; the host should fetch
+            them (the runtime's synchronizer does, the simulator's
+            in-order delivery makes this rare).
+        rejected: Whether the block failed validation outright.
+    """
+
+    accepted: tuple[Block, ...] = ()
+    missing: tuple[BlockRef, ...] = ()
+    rejected: bool = False
+
+
+class MahiMahiCore:
+    """One validator's protocol state machine."""
+
+    def __init__(
+        self,
+        authority: int,
+        committee: Committee,
+        config: ProtocolConfig,
+        coin: CommonCoin,
+        *,
+        verifier: BlockVerifier | None = None,
+        sign: "callable | None" = None,
+        committer_factory: "callable | None" = None,
+    ) -> None:
+        """Create a validator core.
+
+        Args:
+            authority: This validator's committee index.
+            committee: The validator set.
+            config: Protocol parameters.
+            coin: This validator's common-coin instance (must hold the
+                secret share for ``authority`` if shares are real).
+            verifier: Optional block verifier; when omitted only
+                store-level causal completeness is enforced (the
+                simulator's default — Byzantine behaviour is modeled).
+            sign: Optional ``bytes -> bytes`` signing callback applied to
+                each proposed block's signable bytes.
+            committer_factory: ``DagStore -> committer`` override; the
+                baselines (Tusk, Cordial Miners) install their own
+                commit rules over the same DAG this way.
+        """
+        self.authority = authority
+        self.committee = committee
+        self.config = config
+        self.coin = coin
+        self.store = DagStore()
+        self._verifier = verifier
+        self._sign = sign
+        if committer_factory is not None:
+            self.committer = committer_factory(self.store)
+        else:
+            self.committer = Committer(self.store, committee, coin, config)
+
+        genesis = make_genesis(committee.size)
+        self.store.add_genesis(genesis)
+        self._own_last_ref: BlockRef = genesis[authority].reference
+
+        self.mempool: deque[Transaction] = deque()
+        self.round = 0  # round of our latest proposal
+        # Blocks waiting for missing ancestors: digest -> block, plus a
+        # reverse index from missing digest to the blocks waiting on it.
+        self._pending: dict[Digest, Block] = {}
+        self._waiting_on: dict[Digest, list[Digest]] = {}
+        # DAG tips: blocks not yet referenced by any accepted block; the
+        # next proposal references all of them (bounded by config).
+        self._tips: dict[Digest, BlockRef] = {b.digest: b.reference for b in genesis}
+        self.committed: list[CommitObservation] = []
+        self.total_proposed = 0
+
+    # ------------------------------------------------------------------
+    # Transactions
+    # ------------------------------------------------------------------
+    def add_transaction(self, tx: Transaction) -> None:
+        """Queue a client transaction for inclusion in the next proposal."""
+        self.mempool.append(tx)
+
+    # ------------------------------------------------------------------
+    # Block ingestion
+    # ------------------------------------------------------------------
+    def add_block(self, block: Block) -> AddBlockResult:
+        """Ingest a block received from a peer (or replayed from the WAL)."""
+        if block.digest in self.store or block.digest in self._pending:
+            return AddBlockResult()
+        if self._verifier is not None:
+            try:
+                self._verifier.verify(block)
+            except BlockValidationError:
+                return AddBlockResult(rejected=True)
+
+        missing = [ref for ref in self.store.missing_parents(block) if ref.digest not in self._pending]
+        pending_parents = [
+            ref for ref in block.parents
+            if ref.digest in self._pending
+        ]
+        if missing or pending_parents:
+            self._pending[block.digest] = block
+            for ref in block.parents:
+                if ref.digest not in self.store:
+                    self._waiting_on.setdefault(ref.digest, []).append(block.digest)
+            return AddBlockResult(missing=tuple(missing))
+
+        accepted = self._insert(block)
+        return AddBlockResult(accepted=tuple(accepted))
+
+    def _insert(self, block: Block) -> list[Block]:
+        """Insert a causally-complete block and flush unblocked pending
+        blocks, breadth-first."""
+        accepted: list[Block] = []
+        queue = deque([block])
+        while queue:
+            current = queue.popleft()
+            try:
+                self.store.add(current)
+            except DuplicateBlockError:
+                continue
+            accepted.append(current)
+            self._track_tips(current)
+            for waiter_digest in self._waiting_on.pop(current.digest, []):
+                waiter = self._pending.get(waiter_digest)
+                if waiter is None:
+                    continue
+                if not self.store.missing_parents(waiter):
+                    del self._pending[waiter_digest]
+                    queue.append(waiter)
+        return accepted
+
+    def _track_tips(self, block: Block) -> None:
+        for ref in block.parents:
+            self._tips.pop(ref.digest, None)
+        self._tips[block.digest] = block.reference
+
+    # ------------------------------------------------------------------
+    # Proposing
+    # ------------------------------------------------------------------
+    def quorum_round(self) -> int:
+        """Highest round ``r`` such that round ``r`` has blocks from at
+        least ``2f + 1`` distinct authors (the next proposal goes to
+        ``r + 1``)."""
+        r = self.store.highest_round
+        quorum = self.committee.quorum_threshold
+        while r > 0 and self.store.num_authors_at_round(r) < quorum:
+            r -= 1
+        return r
+
+    def ready_to_propose(self) -> bool:
+        """Whether a new proposal round is available."""
+        return self.quorum_round() + 1 > self.round
+
+    def maybe_propose(self, now: float = 0.0) -> Block | None:
+        """Propose a block for the next round if its quorum is complete.
+
+        The proposal references this validator's own previous block
+        first (Section 2.3: "starting with their most recent block"),
+        then every current DAG tip — which guarantees at least ``2f + 1``
+        distinct previous-round parents and sweeps up late blocks from
+        older rounds so their transactions still commit.
+        """
+        next_round = self.quorum_round() + 1
+        if next_round <= self.round:
+            return None
+        parents = self._select_parents(next_round)
+        transactions = self._drain_mempool()
+        share = self.coin.share(self.authority, next_round)
+        block = Block(
+            author=self.authority,
+            round=next_round,
+            parents=parents,
+            transactions=transactions,
+            coin_share=share,
+        )
+        if self._sign is not None:
+            block = Block(
+                author=block.author,
+                round=block.round,
+                parents=block.parents,
+                transactions=block.transactions,
+                coin_share=block.coin_share,
+                signature=self._sign(block.signable_bytes()),
+            )
+        self.round = next_round
+        self.total_proposed += 1
+        self._insert(block)
+        self._own_last_ref = block.reference
+        return block
+
+    def _select_parents(self, next_round: int) -> tuple[BlockRef, ...]:
+        """Pick parent references for a round-``next_round`` proposal.
+
+        Always includes the first-seen block of every author at round
+        ``next_round - 1`` (which is a ``2f + 1`` quorum by the propose
+        condition, and first-seen only so we never endorse equivocating
+        siblings), plus every older DAG tip so late blocks still get
+        swept into a causal history.  Our own previous block leads the
+        list (Section 2.3).
+        """
+        previous = next_round - 1
+        own = self._own_last_ref
+        parents: list[BlockRef] = [own]
+        seen: set[Digest] = {own.digest}
+        for author in sorted(self.store.authors_at_round(previous)):
+            ref = self.store.slot_blocks(previous, author)[0].reference
+            if ref.digest not in seen:
+                seen.add(ref.digest)
+                parents.append(ref)
+        older_tips = sorted(
+            ref
+            for ref in self._tips.values()
+            # Tips below the GC horizon are dropped: referencing a pruned
+            # block would leave peers unable to complete causal histories.
+            if self.store.lowest_round <= ref.round < previous and ref.digest not in seen
+        )
+        parents.extend(older_tips)
+        if self.config.max_block_parents:
+            # Never drop previous-round parents (validity needs 2f+1).
+            required = [p for p in parents if p.round >= previous or p.digest == own.digest]
+            optional = [p for p in parents if p not in required]
+            budget = max(0, self.config.max_block_parents - len(required))
+            parents = required + optional[:budget]
+        return tuple(parents)
+
+    def _drain_mempool(self) -> tuple[Transaction, ...]:
+        limit = self.config.max_block_transactions
+        batch = []
+        while self.mempool and len(batch) < limit:
+            batch.append(self.mempool.popleft())
+        return tuple(batch)
+
+    # ------------------------------------------------------------------
+    # Committing
+    # ------------------------------------------------------------------
+    def try_commit(self) -> list[CommitObservation]:
+        """Extend the commit sequence; returns the new observations."""
+        observations = self.committer.extend_commit_sequence()
+        if observations:
+            self.committed.extend(observations)
+            self._maybe_garbage_collect()
+        return observations
+
+    def committed_blocks(self) -> list[Block]:
+        """The full committed block sequence so far (test helper)."""
+        return [b for obs in self.committed for b in obs.linearized]
+
+    def _maybe_garbage_collect(self) -> None:
+        depth = self.config.garbage_collection_depth
+        if not depth:
+            return
+        horizon = self.committer.last_finalized_round - depth
+        if horizon > self.store.lowest_round:
+            self.store.prune_below(horizon)
+            self.committer.traversal.forget_below(horizon)

@@ -1,0 +1,77 @@
+"""Leader slots and slot states (Section 3.1).
+
+A *leader slot* is a ``(round, leader offset)`` pair resolved by the
+common coin to a validator.  It may be empty (the validator never
+produced a block, or it has not arrived), hold one block, or hold
+several equivocating blocks.  Each slot is classified ``commit``,
+``skip`` or ``undecided``; the protocol's goal is to move every slot out
+of ``undecided``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..block import Block
+
+
+class Decision(enum.Enum):
+    """The three states a leader slot can assume (Section 3.1)."""
+
+    COMMIT = "commit"
+    SKIP = "skip"
+    UNDECIDED = "undecided"
+
+
+@dataclass(frozen=True, order=True)
+class LeaderSlot:
+    """A leader slot: round, offset within the round, and the elected
+    validator.
+
+    Slots order by ``(round, offset)`` — the paper's convention that the
+    coin imposes an order among a round's slots (Section 3.2, step 1).
+    """
+
+    round: int
+    offset: int
+    authority: int
+
+    def __repr__(self) -> str:
+        return f"Slot(r{self.round}, l{self.offset}, v{self.authority})"
+
+
+@dataclass(frozen=True)
+class SlotStatus:
+    """A slot together with its classification.
+
+    ``block`` is set exactly when ``decision`` is :attr:`Decision.COMMIT`
+    and names the unique committed block of the slot (Lemma 2 guarantees
+    uniqueness).
+    """
+
+    slot: LeaderSlot
+    decision: Decision
+    block: Block | None = None
+    #: True when the decision came from the direct rule (observability:
+    #: Section 5 reports direct commits dominate in the common case).
+    direct: bool = False
+
+    def __post_init__(self) -> None:
+        if self.decision is Decision.COMMIT and self.block is None:
+            raise ValueError("COMMIT status requires the committed block")
+        if self.decision is not Decision.COMMIT and self.block is not None:
+            raise ValueError(f"{self.decision} status must not carry a block")
+
+    @property
+    def is_decided(self) -> bool:
+        """Whether the slot left the ``undecided`` state."""
+        return self.decision is not Decision.UNDECIDED
+
+    def __repr__(self) -> str:
+        tag = "direct" if self.direct else "indirect"
+        if self.decision is Decision.COMMIT:
+            return f"SlotStatus({self.slot!r}, COMMIT {self.block!r}, {tag})"
+        if self.decision is Decision.SKIP:
+            return f"SlotStatus({self.slot!r}, SKIP, {tag})"
+        return f"SlotStatus({self.slot!r}, UNDECIDED)"

@@ -1,0 +1,34 @@
+"""Cryptographic substrates for the Mahi-Mahi reproduction.
+
+The paper's implementation uses blake2 hashing, ed25519-consensus
+signatures, and an adaptively-secure threshold-signature common coin
+(Section 2.1, Section 4).  This package provides:
+
+* :mod:`repro.crypto.hashing` — blake2b digests;
+* :mod:`repro.crypto.signing` — the signature-scheme API, a fast keyed-MAC
+  scheme for simulations, and real Schnorr signatures
+  (:mod:`repro.crypto.schnorr`);
+* :mod:`repro.crypto.threshold` — Shamir secret sharing with Feldman
+  commitments, the basis of the verifiable threshold common coin;
+* :mod:`repro.crypto.coin` — the common-coin API used by the protocol.
+"""
+
+from .hashing import Digest, hash_bytes, hash_parts
+from .signing import KeyPair, NullSignatureScheme, SignatureScheme, generate_keys
+from .schnorr import SchnorrSignatureScheme
+from .coin import CoinShare, CommonCoin, FastCoin, ThresholdCoin
+
+__all__ = [
+    "Digest",
+    "hash_bytes",
+    "hash_parts",
+    "KeyPair",
+    "SignatureScheme",
+    "NullSignatureScheme",
+    "SchnorrSignatureScheme",
+    "generate_keys",
+    "CoinShare",
+    "CommonCoin",
+    "FastCoin",
+    "ThresholdCoin",
+]

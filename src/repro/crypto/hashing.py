@@ -1,0 +1,50 @@
+"""Cryptographic hashing.
+
+The paper's implementation hashes with blake2 (Section 4); Python's
+standard library ships blake2b, so digests here are true blake2b-256.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable
+
+#: Digest length in bytes (blake2b-256).
+DIGEST_SIZE = 32
+
+#: Type alias for digests; raw bytes keep hashing and comparison cheap.
+Digest = bytes
+
+
+def hash_bytes(data: bytes, *, person: bytes = b"") -> Digest:
+    """Return the blake2b-256 digest of ``data``.
+
+    Args:
+        data: Bytes to hash.
+        person: Optional personalization tag (max 16 bytes) providing
+            domain separation between e.g. block digests and coin seeds.
+    """
+    return hashlib.blake2b(data, digest_size=DIGEST_SIZE, person=person[:16]).digest()
+
+
+def hash_parts(parts: Iterable[bytes], *, person: bytes = b"") -> Digest:
+    """Hash a sequence of byte strings with unambiguous length framing.
+
+    Each part is prefixed with its 8-byte little-endian length so that
+    ``hash_parts([b"ab", b"c"]) != hash_parts([b"a", b"bc"])``.
+    """
+    hasher = hashlib.blake2b(digest_size=DIGEST_SIZE, person=person[:16])
+    for part in parts:
+        hasher.update(len(part).to_bytes(8, "little"))
+        hasher.update(part)
+    return hasher.digest()
+
+
+def hash_to_int(data: bytes, modulus: int, *, person: bytes = b"") -> int:
+    """Hash ``data`` to an integer in ``[0, modulus)``.
+
+    Uses a 64-byte blake2b digest so the bias for moduli far below
+    2**512 is negligible.
+    """
+    digest = hashlib.blake2b(data, digest_size=64, person=person[:16]).digest()
+    return int.from_bytes(digest, "big") % modulus

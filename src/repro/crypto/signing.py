@@ -1,0 +1,95 @@
+"""Signature-scheme API and the fast simulation scheme.
+
+The protocol code signs and verifies through the abstract
+:class:`SignatureScheme` so deployments can choose between:
+
+* :class:`NullSignatureScheme` — a keyed-blake2b MAC whose "public key"
+  is the MAC key itself.  It is *not* a real signature (anyone holding
+  the registry could forge), but it is deterministic, collision-safe in
+  the simulation's honest-but-modeled-Byzantine threat model, and about
+  three orders of magnitude faster than public-key crypto.  Large
+  simulations (50-node load sweeps) default to it.
+* :class:`~repro.crypto.schnorr.SchnorrSignatureScheme` — real Schnorr
+  signatures over a 2048-bit MODP group, standing in for the paper's
+  ed25519-consensus.
+
+Both schemes share the same key-generation and verification interface.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from ..errors import InvalidSignature
+
+_MAC_SIZE = 32
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """A private signing key together with its public verification key."""
+
+    private_key: bytes
+    public_key: bytes
+
+
+class SignatureScheme(ABC):
+    """Abstract signing/verification interface used by the protocol."""
+
+    #: Human-readable scheme name (used in logs and experiment metadata).
+    name: str = "abstract"
+
+    @abstractmethod
+    def generate(self, seed: bytes) -> KeyPair:
+        """Deterministically derive a key pair from ``seed``."""
+
+    @abstractmethod
+    def sign(self, private_key: bytes, message: bytes) -> bytes:
+        """Sign ``message`` and return the signature bytes."""
+
+    @abstractmethod
+    def verify(self, public_key: bytes, message: bytes, signature: bytes) -> bool:
+        """Return whether ``signature`` is valid for ``message``."""
+
+    def check(self, public_key: bytes, message: bytes, signature: bytes) -> None:
+        """Verify and raise :class:`InvalidSignature` on failure."""
+        if not self.verify(public_key, message, signature):
+            raise InvalidSignature(f"{self.name}: signature verification failed")
+
+
+class NullSignatureScheme(SignatureScheme):
+    """Keyed-MAC scheme for simulations.
+
+    The public key equals the MAC key, so verification recomputes the
+    MAC.  This preserves the protocol-visible property that only the
+    holder of the key produces valid signatures *within the simulation*,
+    at negligible CPU cost.
+    """
+
+    name = "null-mac"
+
+    def generate(self, seed: bytes) -> KeyPair:
+        key = hashlib.blake2b(seed, digest_size=_MAC_SIZE, person=b"null-keygen").digest()
+        return KeyPair(private_key=key, public_key=key)
+
+    def sign(self, private_key: bytes, message: bytes) -> bytes:
+        return hmac.new(private_key, message, hashlib.blake2b).digest()[:_MAC_SIZE]
+
+    def verify(self, public_key: bytes, message: bytes, signature: bytes) -> bool:
+        expected = hmac.new(public_key, message, hashlib.blake2b).digest()[:_MAC_SIZE]
+        return hmac.compare_digest(expected, signature)
+
+
+def generate_keys(scheme: SignatureScheme, n: int, seed: bytes = b"repro") -> list[KeyPair]:
+    """Generate ``n`` deterministic key pairs for a committee.
+
+    Args:
+        scheme: The signature scheme to use.
+        n: Number of key pairs.
+        seed: Domain-separating seed; runs with the same seed reproduce
+            the same keys (the simulator relies on this).
+    """
+    return [scheme.generate(seed + i.to_bytes(4, "little")) for i in range(n)]

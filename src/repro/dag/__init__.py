@@ -1,0 +1,14 @@
+"""The uncertified DAG substrate (Section 2.3).
+
+:mod:`repro.dag.store` holds blocks with equivocation-aware indexing —
+``DAG[r, v]`` may return several blocks when validator ``v`` equivocated
+in round ``r``.  :mod:`repro.dag.traversal` implements the Algorithm 3
+helper functions (``IsVote``, ``IsCert``, ``IsLink``, linearization) and
+:mod:`repro.dag.validation` the block-validity rules.
+"""
+
+from .store import DagStore
+from .traversal import DagTraversal
+from .validation import BlockVerifier
+
+__all__ = ["DagStore", "DagTraversal", "BlockVerifier"]

@@ -1,0 +1,234 @@
+"""DAG traversal helpers — Algorithm 3 of the paper.
+
+* :meth:`DagTraversal.voted_block` — ``VotedBlock(b, id, r)``: the first
+  block of slot ``(id, r)`` encountered in a depth-first search from
+  ``b`` that follows parent references in their listed order.  A vote
+  block supports *at most one* equivocating proposal (Observation 1)
+  precisely because this traversal is deterministic.
+* :meth:`DagTraversal.is_vote` — ``IsVote(b_vote, b_leader)``.
+* :meth:`DagTraversal.is_cert` — ``IsCert(b_cert, b_leader)``: at least
+  ``2f + 1`` of the certifier's parents (by distinct author) are votes.
+* :meth:`DagTraversal.is_link` — ``IsLink(b_old, b_new)``: reachability.
+* :meth:`DagTraversal.linearize` — ``LinearizeSubDags``.
+
+``VotedBlock`` results are memoized per target slot: for a fixed
+``(id, r)`` the result is a pure function of the starting block, so each
+block in the w-round window is resolved once per wave instead of once
+per DFS path.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from ..block import Block, BlockRef
+from ..crypto.hashing import Digest
+from .store import DagStore
+
+
+class DagTraversal:
+    """Memoizing traversal utilities over a :class:`DagStore`."""
+
+    def __init__(self, store: DagStore, quorum_threshold: int) -> None:
+        """Create a traversal helper.
+
+        Args:
+            store: The DAG to traverse.
+            quorum_threshold: ``2f + 1`` for the deployment's committee.
+        """
+        self._store = store
+        self._quorum = quorum_threshold
+        # (leader author, leader round) -> {start digest -> voted block or None}
+        self._vote_cache: dict[tuple[int, int], dict[Digest, Block | None]] = {}
+        # (certifier digest, leader digest) -> bool.  Valid forever: a
+        # block's parents are immutable and the DAG is append-only.
+        self._cert_cache: dict[tuple[Digest, Digest], bool] = {}
+
+    # ------------------------------------------------------------------
+    # VotedBlock / IsVote
+    # ------------------------------------------------------------------
+    def voted_block(self, start: Block, author: int, round_number: int) -> Block | None:
+        """First block of slot ``(author, round_number)`` in DFS preorder
+        from ``start`` (Algorithm 3, ``VotedBlock``), or ``None``.
+
+        The search never descends below the target round: a subtree
+        rooted at a block with round <= ``round_number`` cannot contain
+        the target.
+        """
+        cache = self._vote_cache.setdefault((author, round_number), {})
+        return self._voted_block_memo(start, author, round_number, cache)
+
+    def _voted_block_memo(
+        self,
+        block: Block,
+        author: int,
+        round_number: int,
+        cache: dict[Digest, Block | None],
+    ) -> Block | None:
+        if round_number >= block.round:
+            return None
+        hit = cache.get(block.digest, _MISS)
+        if hit is not _MISS:
+            return hit
+        result: Block | None = None
+        for parent_ref in block.parents:
+            if parent_ref.author == author and parent_ref.round == round_number:
+                result = self._store.get_ref(parent_ref)
+                break
+            if parent_ref.round <= round_number:
+                continue
+            found = self._voted_block_memo(
+                self._store.get_ref(parent_ref), author, round_number, cache
+            )
+            if found is not None:
+                result = found
+                break
+        cache[block.digest] = result
+        return result
+
+    def is_vote(self, vote: Block, leader: Block) -> bool:
+        """``IsVote(b_vote, b_leader)`` — Algorithm 3 line 1."""
+        found = self.voted_block(vote, leader.author, leader.round)
+        return found is not None and found.digest == leader.digest
+
+    # ------------------------------------------------------------------
+    # IsCert
+    # ------------------------------------------------------------------
+    def is_cert(self, certifier: Block, leader: Block) -> bool:
+        """``IsCert(b_cert, b_leader)`` — the certifier's parents include
+        votes for the leader from at least ``2f + 1`` distinct authors.
+        """
+        key = (certifier.digest, leader.digest)
+        cached = self._cert_cache.get(key)
+        if cached is not None:
+            return cached
+        voting_authors: set[int] = set()
+        result = False
+        for parent_ref in certifier.parents:
+            if parent_ref.round <= leader.round:
+                continue
+            parent = self._store.get_ref(parent_ref)
+            if self.is_vote(parent, leader):
+                voting_authors.add(parent.author)
+                if len(voting_authors) >= self._quorum:
+                    result = True
+                    break
+        self._cert_cache[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # IsLink (reachability)
+    # ------------------------------------------------------------------
+    def is_link(self, old: Block, new: Block) -> bool:
+        """``IsLink(b_old, b_new)`` — whether ``old`` is in ``new``'s
+        causal history (a block links to itself).
+        """
+        if old.digest == new.digest:
+            return True
+        if old.round >= new.round:
+            return False
+        target = old.digest
+        stack = [new]
+        seen: set[Digest] = {new.digest}
+        while stack:
+            block = stack.pop()
+            for parent_ref in block.parents:
+                if parent_ref.digest == target:
+                    return True
+                if parent_ref.round <= old.round or parent_ref.digest in seen:
+                    continue
+                seen.add(parent_ref.digest)
+                stack.append(self._store.get_ref(parent_ref))
+        return False
+
+    # ------------------------------------------------------------------
+    # Causal history & linearization
+    # ------------------------------------------------------------------
+    def causal_history(self, block: Block, *, floor_round: int = 0) -> list[Block]:
+        """All blocks reachable from ``block`` (inclusive) with round
+        >= ``floor_round``, in no particular order."""
+        out: list[Block] = []
+        stack = [block]
+        seen: set[Digest] = {block.digest}
+        while stack:
+            current = stack.pop()
+            out.append(current)
+            for parent_ref in current.parents:
+                if parent_ref.round < floor_round or parent_ref.digest in seen:
+                    continue
+                seen.add(parent_ref.digest)
+                stack.append(self._store.get_ref(parent_ref))
+        return out
+
+    def linearize(
+        self,
+        leaders: Iterable[Block],
+        already_output: set[Digest],
+        *,
+        floor_round: int = 0,
+    ) -> list[Block]:
+        """``LinearizeSubDags(L)`` — Algorithm 3 line 20.
+
+        For each committed leader in order, output every block of its
+        causal history not yet output, in the deterministic order
+        ``(round, author, digest)``; the leader itself closes its
+        sub-DAG.  ``already_output`` is updated in place so successive
+        calls extend a single global sequence.
+        """
+        sequence: list[Block] = []
+        for leader in leaders:
+            # Traversal prunes at already-output blocks: linearization
+            # always emits a block's full causal history with it, so an
+            # output block's ancestors are all output too.  This keeps
+            # each extension proportional to the *new* sub-DAG.
+            if leader.digest in already_output:
+                continue
+            fresh: list[Block] = []
+            stack = [leader]
+            seen: set[Digest] = {leader.digest}
+            while stack:
+                block = stack.pop()
+                fresh.append(block)
+                for parent_ref in block.parents:
+                    if (
+                        parent_ref.round < floor_round
+                        or parent_ref.digest in seen
+                        or parent_ref.digest in already_output
+                    ):
+                        continue
+                    seen.add(parent_ref.digest)
+                    stack.append(self._store.get_ref(parent_ref))
+            fresh.sort(key=lambda b: (b.round, b.author, b.digest))
+            for block in fresh:
+                already_output.add(block.digest)
+            sequence.extend(fresh)
+        return sequence
+
+    # ------------------------------------------------------------------
+    # Cache management
+    # ------------------------------------------------------------------
+    def forget_below(self, round_number: int) -> None:
+        """Drop memo entries for target slots below ``round_number``
+        (called alongside DAG garbage collection)."""
+        stale = [key for key in self._vote_cache if key[1] < round_number]
+        for key in stale:
+            del self._vote_cache[key]
+        # The cert cache is keyed by digest only; drop it wholesale (it
+        # repopulates within the active window in one decision sweep).
+        self._cert_cache.clear()
+
+    def cache_stats(self) -> dict[str, int]:
+        """Size of the vote memo (observability for benchmarks)."""
+        return {
+            "vote_targets": len(self._vote_cache),
+            "vote_entries": sum(len(v) for v in self._vote_cache.values()),
+        }
+
+
+class _Miss:
+    """Sentinel distinguishing 'not cached' from a cached ``None``."""
+
+    __slots__ = ()
+
+
+_MISS = _Miss()

@@ -1,0 +1,42 @@
+"""Asyncio networked runtime.
+
+The paper's validator (Section 4) is a networked, multi-core Rust
+process using tokio, raw TCP, and a write-ahead log for crash recovery.
+This package is its Python/asyncio counterpart:
+
+* :mod:`repro.runtime.messages` — length-prefixed wire format;
+* :mod:`repro.runtime.transport` — TCP and in-memory transports;
+* :mod:`repro.runtime.wal` — write-ahead log + recovery;
+* :mod:`repro.runtime.synchronizer` — missing-ancestor fetching;
+* :mod:`repro.runtime.node` — the validator process;
+* :mod:`repro.runtime.cluster` — local cluster orchestration.
+
+It runs real multi-validator clusters in one process (memory transport)
+or across processes/machines (TCP transport); the simulator remains the
+tool for latency benchmarks, since an asyncio prototype's timing is not
+representative of the paper's Rust implementation.
+"""
+
+from .messages import BlockMessage, FetchRequest, FetchResponse, decode_message, encode_message
+from .transport import MemoryHub, MemoryTransport, TcpTransport, Transport
+from .wal import WalRecord, WriteAheadLog
+from .synchronizer import Synchronizer
+from .node import ValidatorNode
+from .cluster import LocalCluster
+
+__all__ = [
+    "BlockMessage",
+    "FetchRequest",
+    "FetchResponse",
+    "encode_message",
+    "decode_message",
+    "Transport",
+    "MemoryHub",
+    "MemoryTransport",
+    "TcpTransport",
+    "WalRecord",
+    "WriteAheadLog",
+    "Synchronizer",
+    "ValidatorNode",
+    "LocalCluster",
+]

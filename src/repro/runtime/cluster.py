@@ -1,0 +1,148 @@
+"""Local cluster orchestration for the runtime.
+
+Builds a full deployment — committee, keys, coin, transports, nodes —
+in one call, over either the in-memory hub or real TCP sockets on
+localhost.  Used by the examples and the runtime integration tests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import tempfile
+from pathlib import Path
+
+from ..committee import Committee
+from ..config import ProtocolConfig
+from ..crypto.coin import CommonCoin, FastCoin, ThresholdCoin
+from ..crypto.signing import NullSignatureScheme, SignatureScheme, generate_keys
+from ..dag.validation import BlockVerifier
+from ..transaction import Transaction
+from .node import ValidatorNode
+from .transport import MemoryHub, MemoryTransport, TcpTransport, Transport
+
+
+class LocalCluster:
+    """A committee of validators running in this process."""
+
+    def __init__(
+        self,
+        n: int = 4,
+        *,
+        config: ProtocolConfig | None = None,
+        transport: str = "memory",
+        base_port: int = 29100,
+        signature_scheme: SignatureScheme | None = None,
+        threshold_coin: bool = False,
+        wal_dir: str | Path | None = None,
+        min_block_interval: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        """Args:
+        n: Committee size.
+        config: Protocol parameters (defaults to Mahi-Mahi-5, 2 leaders).
+        transport: ``"memory"`` or ``"tcp"`` (localhost sockets).
+        base_port: First TCP port (validator ``i`` uses ``base_port+i``).
+        signature_scheme: Enables real signing + verification; defaults
+            to :class:`NullSignatureScheme` (MAC-based, fast).
+        threshold_coin: Use the verifiable threshold coin instead of the
+            hash-based one (slower, real crypto).
+        wal_dir: Directory for per-validator write-ahead logs (no
+            persistence when omitted).
+        min_block_interval: Proposal pacing in seconds.
+        seed: Key/coin derivation seed.
+        """
+        self.config = config or ProtocolConfig(wave_length=5, leaders_per_round=2)
+        scheme = signature_scheme or NullSignatureScheme()
+        keys = generate_keys(scheme, n, seed=b"cluster-%d" % seed)
+        self.committee = Committee.of_size(n, public_keys=[k.public_key for k in keys])
+        quorum = self.committee.quorum_threshold
+        if threshold_coin:
+            self._coins: list[CommonCoin] = ThresholdCoin.deal(n, quorum, seed=seed)
+        else:
+            shared = FastCoin(seed=b"cluster-coin-%d" % seed, n=n, threshold=quorum)
+            self._coins = [shared] * n
+        self._hub = MemoryHub() if transport == "memory" else None
+        self._wal_dir = Path(wal_dir) if wal_dir is not None else None
+        self.nodes: list[ValidatorNode] = []
+        for i in range(n):
+            node_transport: Transport
+            if self._hub is not None:
+                node_transport = MemoryTransport(i, self._hub)
+            else:
+                addresses = {v: ("127.0.0.1", base_port + v) for v in range(n)}
+                node_transport = TcpTransport(i, addresses)
+            verifier = BlockVerifier(self.committee, scheme, self._coins[i])
+            private = keys[i].private_key
+            self.nodes.append(
+                ValidatorNode(
+                    i,
+                    self.committee,
+                    self.config,
+                    self._coins[i],
+                    node_transport,
+                    wal_path=(
+                        self._wal_dir / f"validator-{i}.wal"
+                        if self._wal_dir is not None
+                        else None
+                    ),
+                    verifier=verifier,
+                    sign=lambda data, _key=private, _scheme=scheme: _scheme.sign(_key, data),
+                    min_block_interval=min_block_interval,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self, validators: list[int] | None = None) -> None:
+        """Start all (or the given) validators."""
+        targets = self.nodes if validators is None else [self.nodes[i] for i in validators]
+        await asyncio.gather(*(node.start() for node in targets))
+
+    async def stop(self) -> None:
+        await asyncio.gather(*(node.stop() for node in self.nodes))
+
+    async def __aenter__(self) -> "LocalCluster":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc: object) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def submit(self, tx: Transaction, validator: int = 0) -> None:
+        """Submit a transaction to one validator's mempool."""
+        self.nodes[validator].submit_transaction(tx)
+
+    async def wait_for_commits(
+        self, count: int, *, validator: int = 0, timeout: float = 30.0
+    ) -> list:
+        """Wait until ``validator`` has committed at least ``count``
+        blocks; returns its committed block sequence."""
+        node = self.nodes[validator]
+
+        async def _wait() -> None:
+            while len(node.committed_blocks) < count:
+                await asyncio.sleep(0.01)
+
+        await asyncio.wait_for(_wait(), timeout)
+        return list(node.committed_blocks)
+
+    async def wait_for_transaction(
+        self, tx_id: int, *, validator: int = 0, timeout: float = 30.0
+    ) -> float:
+        """Wait until ``tx_id`` commits at ``validator``; returns the
+        asyncio-clock time of the enclosing commit."""
+        node = self.nodes[validator]
+
+        async def _wait() -> float:
+            while True:
+                for block in node.committed_blocks:
+                    for tx in block.transactions:
+                        if tx.tx_id == tx_id:
+                            return asyncio.get_running_loop().time()
+                await asyncio.sleep(0.01)
+
+        return await asyncio.wait_for(_wait(), timeout)

@@ -1,0 +1,102 @@
+"""Wire messages and framing for the runtime.
+
+The protocol needs only one message type — the block (Section 2.3) —
+plus the synchronizer's fetch request/response pair (Lemma 8's "request
+missing ancestors" path).  Frames are ``<u32 length> <u8 kind> <body>``.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from ..block import Block, BlockRef
+from ..errors import TransportError
+
+_KIND_BLOCK = 1
+_KIND_FETCH_REQUEST = 2
+_KIND_FETCH_RESPONSE = 3
+
+#: Maximum accepted frame size (64 MiB) — guards against corrupt length
+#: prefixes taking the process down.
+MAX_FRAME = 64 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class BlockMessage:
+    """A block broadcast or relayed to a peer."""
+
+    block: Block
+
+
+@dataclass(frozen=True)
+class FetchRequest:
+    """Ask a peer for blocks we are missing."""
+
+    refs: tuple[BlockRef, ...]
+
+
+@dataclass(frozen=True)
+class FetchResponse:
+    """Blocks served in response to a :class:`FetchRequest`."""
+
+    blocks: tuple[Block, ...]
+
+
+Message = BlockMessage | FetchRequest | FetchResponse
+
+
+def encode_message(message: Message) -> bytes:
+    """Serialize a message body (kind byte + payload)."""
+    if isinstance(message, BlockMessage):
+        return bytes([_KIND_BLOCK]) + message.block.encode()
+    if isinstance(message, FetchRequest):
+        body = struct.pack("<I", len(message.refs)) + b"".join(
+            ref.encode() for ref in message.refs
+        )
+        return bytes([_KIND_FETCH_REQUEST]) + body
+    if isinstance(message, FetchResponse):
+        parts = [struct.pack("<I", len(message.blocks))]
+        for block in message.blocks:
+            encoded = block.encode()
+            parts.append(struct.pack("<I", len(encoded)))
+            parts.append(encoded)
+        return bytes([_KIND_FETCH_RESPONSE]) + b"".join(parts)
+    raise TransportError(f"cannot encode message of type {type(message).__name__}")
+
+
+def decode_message(data: bytes) -> Message:
+    """Deserialize a message body produced by :func:`encode_message`."""
+    if not data:
+        raise TransportError("empty message")
+    kind, body = data[0], data[1:]
+    if kind == _KIND_BLOCK:
+        block, _ = Block.decode(body)
+        return BlockMessage(block=block)
+    if kind == _KIND_FETCH_REQUEST:
+        (count,) = struct.unpack_from("<I", body, 0)
+        offset = 4
+        refs = []
+        for _ in range(count):
+            ref, offset = BlockRef.decode(body, offset)
+            refs.append(ref)
+        return FetchRequest(refs=tuple(refs))
+    if kind == _KIND_FETCH_RESPONSE:
+        (count,) = struct.unpack_from("<I", body, 0)
+        offset = 4
+        blocks = []
+        for _ in range(count):
+            (length,) = struct.unpack_from("<I", body, offset)
+            offset += 4
+            block, _ = Block.decode(body[offset : offset + length])
+            blocks.append(block)
+            offset += length
+        return FetchResponse(blocks=tuple(blocks))
+    raise TransportError(f"unknown message kind {kind}")
+
+
+def frame(body: bytes) -> bytes:
+    """Length-prefix a message body for the stream transport."""
+    if len(body) > MAX_FRAME:
+        raise TransportError(f"frame too large ({len(body)} bytes)")
+    return struct.pack("<I", len(body)) + body

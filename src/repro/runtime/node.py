@@ -1,0 +1,201 @@
+"""The networked validator process.
+
+Owns a :class:`~repro.core.MahiMahiCore`, a transport, a write-ahead
+log, and a synchronizer; runs a proposal loop and a synchronizer loop as
+asyncio tasks; surfaces committed blocks on an async queue.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from pathlib import Path
+from typing import Callable
+
+from ..block import Block
+from ..committee import Committee
+from ..config import ProtocolConfig
+from ..core.committer import CommitObservation
+from ..core.protocol import MahiMahiCore
+from ..crypto.coin import CommonCoin
+from ..dag.validation import BlockVerifier
+from ..transaction import Transaction
+from .messages import BlockMessage, FetchRequest, FetchResponse, Message
+from .synchronizer import Synchronizer
+from .transport import Transport
+from .wal import WriteAheadLog
+
+#: How often the proposal loop re-checks readiness (seconds).
+_PROPOSE_POLL = 0.005
+#: How often the synchronizer retries fetches (seconds).
+_SYNC_POLL = 0.05
+
+
+class ValidatorNode:
+    """One validator of a running cluster."""
+
+    def __init__(
+        self,
+        authority: int,
+        committee: Committee,
+        config: ProtocolConfig,
+        coin: CommonCoin,
+        transport: Transport,
+        *,
+        wal_path: str | Path | None = None,
+        verifier: BlockVerifier | None = None,
+        sign: Callable[[bytes], bytes] | None = None,
+        committer_factory: Callable | None = None,
+        min_block_interval: float = 0.0,
+    ) -> None:
+        """Args mirror :class:`~repro.core.MahiMahiCore`, plus:
+
+        transport: Started/stopped together with the node.
+        wal_path: When set, blocks are persisted and recovery replays
+            the log into the DAG before the node joins the network.
+        min_block_interval: Proposal pacing (0 = propose at quorum edge).
+        """
+        self.authority = authority
+        self.committee = committee
+        self.core = MahiMahiCore(
+            authority,
+            committee,
+            config,
+            coin,
+            verifier=verifier,
+            sign=sign,
+            committer_factory=committer_factory,
+        )
+        self.transport = transport
+        self._wal = WriteAheadLog(wal_path) if wal_path is not None else None
+        self._wal_path = wal_path
+        self.synchronizer = Synchronizer(transport, committee.size)
+        self._interval = min_block_interval
+        self._last_proposal = float("-inf")
+        self._tasks: list[asyncio.Task] = []
+        self._running = False
+        #: Committed observations, for consumers (SMR execution layers).
+        self.commits: asyncio.Queue[CommitObservation] = asyncio.Queue()
+        self.committed_blocks: list[Block] = []
+        transport.on_message(self._on_message)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Recover from the WAL, start the transport and loops."""
+        self._recover()
+        await self.transport.start()
+        self._running = True
+        self._tasks = [
+            asyncio.create_task(self._proposal_loop()),
+            asyncio.create_task(self._sync_loop()),
+        ]
+
+    async def stop(self) -> None:
+        self._running = False
+        for task in self._tasks:
+            task.cancel()
+        await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._tasks.clear()
+        await self.transport.stop()
+        if self._wal is not None:
+            self._wal.close()
+
+    def _recover(self) -> None:
+        """Replay the WAL into the core (idempotent on a fresh log).
+
+        Blocks replay in append order, which is causally consistent
+        because the node only ever logged blocks it had accepted.  Own
+        blocks restore the round counter so a recovered validator never
+        re-proposes (and hence never equivocates) a logged round.
+        """
+        if self._wal_path is None:
+            return
+        from .wal import RECORD_OWN_BLOCK, RECORD_PEER_BLOCK
+
+        for record in WriteAheadLog.read_records(self._wal_path):
+            if record.record_type not in (RECORD_OWN_BLOCK, RECORD_PEER_BLOCK):
+                continue
+            block, _ = Block.decode(record.payload)
+            self.core.add_block(block)
+            if record.record_type == RECORD_OWN_BLOCK:
+                self.core.round = max(self.core.round, block.round)
+                self.core._own_last_ref = block.reference
+        self.core.try_commit()
+
+    # ------------------------------------------------------------------
+    # Client API
+    # ------------------------------------------------------------------
+    def submit_transaction(self, tx: Transaction) -> None:
+        """Queue a client transaction."""
+        self.core.add_transaction(tx)
+
+    # ------------------------------------------------------------------
+    # Loops
+    # ------------------------------------------------------------------
+    async def _proposal_loop(self) -> None:
+        while self._running:
+            loop_time = asyncio.get_running_loop().time()
+            if (
+                self.core.ready_to_propose()
+                and loop_time - self._last_proposal >= self._interval
+            ):
+                block = self.core.maybe_propose(loop_time)
+                if block is not None:
+                    self._last_proposal = loop_time
+                    if self._wal is not None:
+                        self._wal.append_own_block(block)
+                    await self.transport.broadcast(
+                        BlockMessage(block=block), self._peers()
+                    )
+                    self._drain_commits()
+                    continue
+            await asyncio.sleep(_PROPOSE_POLL)
+
+    async def _sync_loop(self) -> None:
+        while self._running:
+            await self.synchronizer.tick()
+            await asyncio.sleep(_SYNC_POLL)
+
+    def _peers(self) -> list[int]:
+        return [v for v in range(self.committee.size) if v != self.authority]
+
+    # ------------------------------------------------------------------
+    # Message handling
+    # ------------------------------------------------------------------
+    async def _on_message(self, sender: int, message: Message) -> None:
+        if isinstance(message, BlockMessage):
+            self._ingest(message.block, sender)
+        elif isinstance(message, FetchRequest):
+            await self._serve_fetch(message, sender)
+        elif isinstance(message, FetchResponse):
+            for block in message.blocks:
+                self._ingest(block, sender)
+
+    def _ingest(self, block: Block, sender: int) -> None:
+        result = self.core.add_block(block)
+        if result.missing:
+            self.synchronizer.note_missing(result.missing, sender)
+        for accepted in result.accepted:
+            self.synchronizer.note_arrived(accepted.digest)
+            if self._wal is not None and accepted.author != self.authority:
+                self._wal.append_peer_block(accepted)
+        if result.accepted:
+            self._drain_commits()
+
+    async def _serve_fetch(self, request: FetchRequest, sender: int) -> None:
+        available = [
+            self.core.store.get(ref.digest)
+            for ref in request.refs
+            if ref.digest in self.core.store
+        ]
+        if available:
+            await self.transport.send(sender, FetchResponse(blocks=tuple(available)))
+
+    def _drain_commits(self) -> None:
+        observations = self.core.try_commit()
+        for observation in observations:
+            self.commits.put_nowait(observation)
+            self.committed_blocks.extend(observation.linearized)
+        if observations and self._wal is not None:
+            self._wal.append_commit_mark(self.core.committer.last_finalized_round)

@@ -1,0 +1,82 @@
+"""The synchronizer: fetches missing causal history.
+
+Lemma 8's liveness argument relies on a "synchronizer sub-component":
+when a validator receives a block whose ancestors it lacks, it requests
+them from the sender (who, having relayed the block, must hold its full
+causal history) and retries against other peers on timeout.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+
+from ..block import BlockRef
+from ..crypto.hashing import Digest
+from .messages import FetchRequest
+from .transport import Transport
+
+#: Seconds before a fetch is retried against another peer.
+RETRY_AFTER = 1.0
+#: Maximum references batched into one request.
+BATCH = 64
+
+
+@dataclass
+class _Pending:
+    ref: BlockRef
+    first_peer: int
+    last_request: float = 0.0
+    attempts: int = 0
+
+
+class Synchronizer:
+    """Tracks missing block references and drives fetch requests."""
+
+    def __init__(self, transport: Transport, committee_size: int) -> None:
+        self._transport = transport
+        self._n = committee_size
+        self._pending: dict[Digest, _Pending] = {}
+        self.requests_sent = 0
+
+    @property
+    def missing(self) -> int:
+        """Number of references still being fetched."""
+        return len(self._pending)
+
+    def note_missing(self, refs: tuple[BlockRef, ...], sender: int) -> None:
+        """Register missing ancestors reported while ingesting a block."""
+        for ref in refs:
+            if ref.digest not in self._pending:
+                self._pending[ref.digest] = _Pending(ref=ref, first_peer=sender)
+
+    def note_arrived(self, digest: Digest) -> None:
+        """A previously missing block arrived (any path)."""
+        self._pending.pop(digest, None)
+
+    async def tick(self, now: float | None = None) -> None:
+        """Issue or retry fetch requests (call periodically)."""
+        now = time.monotonic() if now is None else now
+        by_peer: dict[int, list[BlockRef]] = {}
+        for pending in self._pending.values():
+            if now - pending.last_request < RETRY_AFTER:
+                continue
+            pending.last_request = now
+            peer = self._pick_peer(pending)
+            pending.attempts += 1
+            by_peer.setdefault(peer, []).append(pending.ref)
+        for peer, refs in by_peer.items():
+            for start in range(0, len(refs), BATCH):
+                chunk = tuple(refs[start : start + BATCH])
+                self.requests_sent += 1
+                await self._transport.send(peer, FetchRequest(refs=chunk))
+
+    def _pick_peer(self, pending: _Pending) -> int:
+        """First ask the sender, then the block's author, then rotate."""
+        if pending.attempts == 0:
+            return pending.first_peer
+        if pending.attempts == 1 and pending.ref.author != self._transport.authority:
+            return pending.ref.author
+        candidates = [v for v in range(self._n) if v != self._transport.authority]
+        return candidates[pending.attempts % len(candidates)]

@@ -1,0 +1,204 @@
+"""Runtime transports: asyncio TCP and an in-memory hub.
+
+The TCP transport mirrors the paper's implementation choice of raw TCP
+sockets (Section 4): every validator listens on one port, dials every
+peer lazily, reconnects with backoff, and exchanges length-prefixed
+frames.  The memory transport wires validators together through asyncio
+queues for fast, deterministic in-process clusters (tests, examples).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+from abc import ABC, abstractmethod
+from typing import Awaitable, Callable
+
+from ..errors import TransportError
+from .messages import MAX_FRAME, Message, decode_message, encode_message, frame
+
+#: ``(sender, message)`` delivery callback.
+MessageHandler = Callable[[int, Message], Awaitable[None]]
+
+
+class Transport(ABC):
+    """Point-to-point + broadcast messaging between validators."""
+
+    def __init__(self, authority: int) -> None:
+        self.authority = authority
+        self._handler: MessageHandler | None = None
+
+    def on_message(self, handler: MessageHandler) -> None:
+        """Register the delivery callback (one per transport)."""
+        self._handler = handler
+
+    async def _dispatch(self, sender: int, message: Message) -> None:
+        if self._handler is not None:
+            await self._handler(sender, message)
+
+    @abstractmethod
+    async def start(self) -> None:
+        """Bind listeners / join the hub."""
+
+    @abstractmethod
+    async def stop(self) -> None:
+        """Tear down connections and background tasks."""
+
+    @abstractmethod
+    async def send(self, dst: int, message: Message) -> None:
+        """Best-effort delivery to one peer (drops if unreachable)."""
+
+    async def broadcast(self, message: Message, peers: list[int]) -> None:
+        """Best-effort delivery to every peer in ``peers``."""
+        for dst in peers:
+            await self.send(dst, message)
+
+
+# ----------------------------------------------------------------------
+# In-memory transport
+# ----------------------------------------------------------------------
+class MemoryHub:
+    """Shared mailbox router for in-process clusters."""
+
+    def __init__(self) -> None:
+        self._queues: dict[int, asyncio.Queue[tuple[int, bytes]]] = {}
+
+    def register(self, authority: int) -> "asyncio.Queue[tuple[int, bytes]]":
+        queue: asyncio.Queue[tuple[int, bytes]] = asyncio.Queue()
+        self._queues[authority] = queue
+        return queue
+
+    def deliver(self, src: int, dst: int, body: bytes) -> None:
+        queue = self._queues.get(dst)
+        if queue is not None:
+            queue.put_nowait((src, body))
+
+
+class MemoryTransport(Transport):
+    """Queue-based transport; messages still pass through the codec so
+    serialization bugs surface in in-process tests too."""
+
+    def __init__(self, authority: int, hub: MemoryHub) -> None:
+        super().__init__(authority)
+        self._hub = hub
+        self._queue = hub.register(authority)
+        self._pump_task: asyncio.Task | None = None
+
+    async def start(self) -> None:
+        self._pump_task = asyncio.create_task(self._pump())
+
+    async def stop(self) -> None:
+        if self._pump_task is not None:
+            self._pump_task.cancel()
+            try:
+                await self._pump_task
+            except asyncio.CancelledError:
+                pass
+            self._pump_task = None
+
+    async def send(self, dst: int, message: Message) -> None:
+        self._hub.deliver(self.authority, dst, encode_message(message))
+
+    async def _pump(self) -> None:
+        while True:
+            src, body = await self._queue.get()
+            await self._dispatch(src, decode_message(body))
+
+
+# ----------------------------------------------------------------------
+# TCP transport
+# ----------------------------------------------------------------------
+class TcpTransport(Transport):
+    """Length-prefixed frames over asyncio TCP streams.
+
+    Outgoing connections are dialed lazily and re-dialed with a small
+    backoff on failure; sends while a peer is unreachable are dropped
+    (the protocol tolerates message loss to faulty peers, and the
+    synchronizer repairs gaps once the peer returns).
+    """
+
+    def __init__(self, authority: int, addresses: dict[int, tuple[str, int]]) -> None:
+        """Args:
+        authority: Our validator index.
+        addresses: ``validator -> (host, port)`` for the whole committee.
+        """
+        super().__init__(authority)
+        self._addresses = addresses
+        self._server: asyncio.AbstractServer | None = None
+        self._writers: dict[int, asyncio.StreamWriter] = {}
+        self._locks: dict[int, asyncio.Lock] = {}
+        self._reader_tasks: set[asyncio.Task] = set()
+        self._closed = False
+
+    async def start(self) -> None:
+        host, port = self._addresses[self.authority]
+        self._server = await asyncio.start_server(self._accept, host, port)
+
+    async def stop(self) -> None:
+        self._closed = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for writer in self._writers.values():
+            writer.close()
+        for task in list(self._reader_tasks):
+            task.cancel()
+        await asyncio.gather(*self._reader_tasks, return_exceptions=True)
+        self._reader_tasks.clear()
+
+    # -- receiving ------------------------------------------------------
+    async def _accept(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._reader_tasks.add(task)
+        try:
+            # Peer introduces itself with a 4-byte authority id.
+            raw = await reader.readexactly(4)
+            (peer,) = struct.unpack("<I", raw)
+            await self._read_frames(peer, reader)
+        except (asyncio.IncompleteReadError, ConnectionError):
+            pass
+        except asyncio.CancelledError:
+            # Shutdown path: stop() cancels reader tasks; asyncio's
+            # stream protocol re-raises into a loop callback otherwise.
+            if not self._closed:
+                raise
+        finally:
+            writer.close()
+            if task is not None:
+                self._reader_tasks.discard(task)
+
+    async def _read_frames(self, peer: int, reader: asyncio.StreamReader) -> None:
+        while not self._closed:
+            header = await reader.readexactly(4)
+            (length,) = struct.unpack("<I", header)
+            if length > MAX_FRAME:
+                raise TransportError(f"oversized frame from {peer}: {length}")
+            body = await reader.readexactly(length)
+            await self._dispatch(peer, decode_message(body))
+
+    # -- sending --------------------------------------------------------
+    async def send(self, dst: int, message: Message) -> None:
+        lock = self._locks.setdefault(dst, asyncio.Lock())
+        async with lock:
+            writer = await self._writer_for(dst)
+            if writer is None:
+                return
+            try:
+                writer.write(frame(encode_message(message)))
+                await writer.drain()
+            except (ConnectionError, RuntimeError):
+                self._writers.pop(dst, None)
+
+    async def _writer_for(self, dst: int) -> asyncio.StreamWriter | None:
+        writer = self._writers.get(dst)
+        if writer is not None and not writer.is_closing():
+            return writer
+        host, port = self._addresses[dst]
+        try:
+            _, writer = await asyncio.open_connection(host, port)
+        except (ConnectionError, OSError):
+            return None
+        writer.write(struct.pack("<I", self.authority))
+        self._writers[dst] = writer
+        return writer

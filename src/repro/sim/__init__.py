@@ -1,0 +1,38 @@
+"""Deterministic discrete-event WAN simulation.
+
+This package replaces the paper's AWS testbed (Section 5.1): validators
+exchange blocks over a simulated network with the geo-latency profile of
+the paper's five regions, open-loop clients inject load, and the
+experiment harness sweeps load to produce the throughput/latency curves
+of Figures 3-5 and 7.
+
+Everything is seeded and event-ordered, so experiments replay
+bit-identically.
+"""
+
+from .events import EventLoop
+from .latency import GeoLatencyModel, LatencyModel, UniformLatencyModel, PAPER_REGIONS
+from .network import NetworkConfig, SimNetwork
+from .node import NodeBehavior, SimValidator
+from .client import OpenLoopClient
+from .metrics import ExperimentMetrics, LatencySummary
+from .runner import Experiment, ExperimentConfig, ExperimentResult, PROTOCOLS
+
+__all__ = [
+    "EventLoop",
+    "LatencyModel",
+    "GeoLatencyModel",
+    "UniformLatencyModel",
+    "PAPER_REGIONS",
+    "NetworkConfig",
+    "SimNetwork",
+    "NodeBehavior",
+    "SimValidator",
+    "OpenLoopClient",
+    "ExperimentMetrics",
+    "LatencySummary",
+    "Experiment",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "PROTOCOLS",
+]

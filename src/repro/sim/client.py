@@ -1,0 +1,84 @@
+"""Open-loop benchmark clients (Section 5.1).
+
+Clients submit transactions at a fixed rate, independent of commit
+progress ("open loop"), to the validator they are attached to — the
+paper instantiates clients *within* each validator.  To keep large-load
+simulations tractable, one simulated transaction may represent a batch
+of ``weight`` real transactions; blocks account for the full
+``weight * tx_size`` bytes and metrics weight latencies accordingly.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Callable
+
+from ..transaction import Transaction
+from .events import EventLoop
+
+#: Shared transaction-id counter across all clients of an experiment.
+_TX_IDS = itertools.count(1)
+
+
+def reset_tx_ids() -> None:
+    """Restart the global tx-id counter (test isolation)."""
+    global _TX_IDS
+    _TX_IDS = itertools.count(1)
+
+
+class OpenLoopClient:
+    """Submits transactions to one validator at a fixed average rate."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        submit: Callable[[Transaction], None],
+        rate: float,
+        *,
+        weight: float = 1.0,
+        stop_at: float = float("inf"),
+        on_submission: Callable[[int, float, float], None] | None = None,
+        seed: int = 0,
+    ) -> None:
+        """Args:
+        loop: The experiment's event loop.
+        submit: Callback delivering the transaction to the validator's
+            mempool.
+        rate: Simulated transactions per second (each representing
+            ``weight`` real transactions).
+        weight: Real transactions represented by one simulated one.
+        stop_at: Stop submitting at this virtual time.
+        on_submission: Metrics hook ``(tx_id, time, weight)``.
+        seed: Per-client jitter seed.
+        """
+        self._loop = loop
+        self._submit = submit
+        self._interval = 1.0 / rate if rate > 0 else float("inf")
+        self._weight = weight
+        self._stop_at = stop_at
+        self._on_submission = on_submission
+        self._rng = random.Random(repr(("client", seed)))
+        self.submitted = 0
+
+    def start(self) -> None:
+        """Begin submitting (first transaction after one interval)."""
+        if self._interval == float("inf"):
+            return
+        self._loop.schedule(self._next_gap(), self._tick)
+
+    def _next_gap(self) -> float:
+        # Poisson arrivals: exponential inter-arrival times.
+        return self._rng.expovariate(1.0 / self._interval)
+
+    def _tick(self) -> None:
+        now = self._loop.now
+        if now >= self._stop_at:
+            return
+        tx_id = next(_TX_IDS)
+        tx = Transaction(tx_id=tx_id, submitted_at=now)
+        self._submit(tx)
+        self.submitted += 1
+        if self._on_submission is not None:
+            self._on_submission(tx_id, now, self._weight)
+        self._loop.schedule(self._next_gap(), self._tick)

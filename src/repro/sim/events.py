@@ -1,0 +1,77 @@
+"""A minimal deterministic discrete-event loop.
+
+Events fire in (time, insertion-sequence) order, so simultaneous events
+run in the order they were scheduled — no heap-order nondeterminism
+leaks into experiments.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+from ..errors import SimulationError
+
+
+class EventLoop:
+    """Priority-queue event loop with virtual time."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._sequence = 0
+        self._heap: list[tuple[float, int, Callable[..., None], tuple[Any, ...]]] = []
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far (observability)."""
+        return self._events_processed
+
+    def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> None:
+        """Run ``callback(*args)`` after ``delay`` seconds of virtual time."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(self._heap, (self._now + delay, self._sequence, callback, args))
+        self._sequence += 1
+
+    def schedule_at(self, when: float, callback: Callable[..., None], *args: Any) -> None:
+        """Run ``callback(*args)`` at absolute virtual time ``when``."""
+        self.schedule(max(0.0, when - self._now), callback, *args)
+
+    def run_until(self, deadline: float, *, max_events: int | None = None) -> None:
+        """Process events until virtual time exceeds ``deadline``.
+
+        Args:
+            deadline: Stop once the next event is later than this.
+            max_events: Optional hard cap guarding against runaway loops.
+        """
+        budget = max_events if max_events is not None else float("inf")
+        while self._heap and self._heap[0][0] <= deadline:
+            if self._events_processed >= budget:
+                raise SimulationError(
+                    f"event budget exhausted ({max_events} events before t={deadline})"
+                )
+            when, _, callback, args = heapq.heappop(self._heap)
+            self._now = when
+            self._events_processed += 1
+            callback(*args)
+        self._now = max(self._now, deadline)
+
+    def run_to_completion(self, *, max_events: int = 10_000_000) -> None:
+        """Drain every scheduled event (tests and shutdown flushes)."""
+        while self._heap:
+            if self._events_processed >= max_events:
+                raise SimulationError(f"event budget exhausted ({max_events} events)")
+            when, _, callback, args = heapq.heappop(self._heap)
+            self._now = when
+            self._events_processed += 1
+            callback(*args)
+
+    def pending(self) -> int:
+        """Number of events still queued."""
+        return len(self._heap)

@@ -1,0 +1,50 @@
+"""Fault injection: crash faults and Byzantine equivocators.
+
+The paper evaluates crash faults (Section 5.3, the common failure mode
+in production) and proves safety under full Byzantine behaviour; the
+simulator injects both so tests can check the decision rules against
+live adversaries, not only hand-built DAGs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..block import Block
+
+
+@dataclass
+class NodeBehavior:
+    """Per-validator fault configuration.
+
+    Attributes:
+        crashed: Never participates (down from the start).
+        crash_at: Participates until this virtual time, then goes silent
+            (blocks in flight still arrive at peers).
+        equivocate: Produces two conflicting blocks per round and sends
+            each to half of the peers (Byzantine).
+    """
+
+    crashed: bool = False
+    crash_at: float | None = None
+    equivocate: bool = False
+
+    def is_down(self, now: float) -> bool:
+        """Whether the validator is silent at time ``now``."""
+        if self.crashed:
+            return True
+        return self.crash_at is not None and now >= self.crash_at
+
+
+def make_equivocating_sibling(block: Block, tag: bytes = b"equivocation") -> Block:
+    """A conflicting block for the same slot: same parents and coin
+    share, different salt, hence a different digest and signature-to-be.
+    """
+    return Block(
+        author=block.author,
+        round=block.round,
+        parents=block.parents,
+        transactions=block.transactions,
+        coin_share=block.coin_share,
+        salt=tag,
+    )

@@ -1,0 +1,84 @@
+"""WAN latency models.
+
+:data:`PAPER_REGIONS` reproduces the paper's deployment (Section 5.1):
+m5d.8xlarge instances in Ohio, Oregon, Cape Town, Hong Kong and Milan,
+with validators spread across regions as equally as possible.  One-way
+delays are typical public inter-region measurements for those AWS pairs.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from abc import ABC, abstractmethod
+
+#: The five regions of the paper's evaluation, in assignment order.
+PAPER_REGIONS = ("us-east-2", "us-west-2", "af-south-1", "ap-east-1", "eu-south-1")
+
+#: Typical one-way delays (seconds) between the paper's regions.
+_ONE_WAY: dict[frozenset[str], float] = {
+    frozenset({"us-east-2", "us-west-2"}): 0.025,
+    frozenset({"us-east-2", "af-south-1"}): 0.120,
+    frozenset({"us-east-2", "ap-east-1"}): 0.095,
+    frozenset({"us-east-2", "eu-south-1"}): 0.050,
+    frozenset({"us-west-2", "af-south-1"}): 0.145,
+    frozenset({"us-west-2", "ap-east-1"}): 0.072,
+    frozenset({"us-west-2", "eu-south-1"}): 0.072,
+    frozenset({"af-south-1", "ap-east-1"}): 0.150,
+    frozenset({"af-south-1", "eu-south-1"}): 0.075,
+    frozenset({"ap-east-1", "eu-south-1"}): 0.092,
+}
+
+#: One-way delay between two machines in the same region.
+_INTRA_REGION = 0.0005
+
+
+class LatencyModel(ABC):
+    """Maps a (source, destination) validator pair to a one-way delay."""
+
+    @abstractmethod
+    def base_delay(self, src: int, dst: int) -> float:
+        """Deterministic component of the one-way delay, in seconds."""
+
+    def sample(self, src: int, dst: int, rng: random.Random) -> float:
+        """One-way delay with jitter.  Default: multiplicative lognormal
+        jitter with sigma 0.05 (a few percent, as on real WAN paths)."""
+        base = self.base_delay(src, dst)
+        jitter = math.exp(rng.gauss(0.0, 0.05))
+        return base * jitter
+
+
+class GeoLatencyModel(LatencyModel):
+    """Round-robin assignment of validators to the paper's five regions."""
+
+    def __init__(self, num_validators: int, regions: tuple[str, ...] = PAPER_REGIONS) -> None:
+        self._regions = regions
+        self._assignment = [regions[i % len(regions)] for i in range(num_validators)]
+
+    def region_of(self, validator: int) -> str:
+        """The region hosting ``validator``."""
+        return self._assignment[validator]
+
+    def base_delay(self, src: int, dst: int) -> float:
+        region_src, region_dst = self._assignment[src], self._assignment[dst]
+        if region_src == region_dst:
+            return _INTRA_REGION
+        return _ONE_WAY[frozenset({region_src, region_dst})]
+
+
+class UniformLatencyModel(LatencyModel):
+    """Constant one-way delay between every pair (unit tests, theory
+    checks where 'message delay' should be a single number)."""
+
+    def __init__(self, delay: float = 0.05, jitter_sigma: float = 0.0) -> None:
+        self._delay = delay
+        self._sigma = jitter_sigma
+
+    def base_delay(self, src: int, dst: int) -> float:
+        return self._delay if src != dst else _INTRA_REGION
+
+    def sample(self, src: int, dst: int, rng: random.Random) -> float:
+        base = self.base_delay(src, dst)
+        if self._sigma <= 0.0:
+            return base
+        return base * math.exp(rng.gauss(0.0, self._sigma))

@@ -1,0 +1,113 @@
+"""Experiment metrics: per-transaction latency and committed throughput.
+
+Latency is measured exactly as in the paper (Section 5.1): "the time
+elapsed from the moment a client submits a transaction to when it is
+committed by the validators".  Each simulated transaction may represent
+a *batch* of real transactions (``weight``), which lets a 100k tx/s run
+stay tractable while keeping byte-accurate blocks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Weighted latency statistics over the measurement window."""
+
+    count: float
+    avg: float
+    p50: float
+    p90: float
+    p99: float
+    max: float
+
+    @classmethod
+    def empty(cls) -> "LatencySummary":
+        return cls(count=0.0, avg=math.nan, p50=math.nan, p90=math.nan, p99=math.nan, max=math.nan)
+
+
+class ExperimentMetrics:
+    """Collects submissions and commits at an observer validator."""
+
+    def __init__(self, warmup: float = 0.0) -> None:
+        """Args:
+        warmup: Transactions submitted before this time are excluded
+            from latency statistics and throughput (ramp-up noise).
+        """
+        self._warmup = warmup
+        self._submissions: dict[int, tuple[float, float]] = {}  # tx_id -> (time, weight)
+        self._latencies: list[tuple[float, float]] = []  # (latency, weight)
+        self._first_commit_time: float | None = None
+        self._last_commit_time: float | None = None
+        self.committed_weight = 0.0
+        self.committed_unique = 0
+        self.duplicate_commits = 0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_submission(self, tx_id: int, time: float, weight: float = 1.0) -> None:
+        """A client handed ``tx_id`` to some validator at ``time``."""
+        self._submissions[tx_id] = (time, weight)
+
+    def record_commit(self, tx_id: int, time: float) -> None:
+        """``tx_id`` first appeared in the observer's commit sequence."""
+        submission = self._submissions.pop(tx_id, None)
+        if submission is None:
+            self.duplicate_commits += 1
+            return
+        submitted_at, weight = submission
+        if submitted_at < self._warmup:
+            return
+        self.committed_unique += 1
+        self.committed_weight += weight
+        self._latencies.append((time - submitted_at, weight))
+        if self._first_commit_time is None:
+            self._first_commit_time = time
+        self._last_commit_time = time
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Transactions submitted but never committed (backlog)."""
+        return len(self._submissions)
+
+    def latency_summary(self) -> LatencySummary:
+        """Weighted average and percentiles of commit latency."""
+        if not self._latencies:
+            return LatencySummary.empty()
+        ordered = sorted(self._latencies)
+        total_weight = sum(w for _, w in ordered)
+        avg = sum(latency * w for latency, w in ordered) / total_weight
+        return LatencySummary(
+            count=total_weight,
+            avg=avg,
+            p50=self._weighted_percentile(ordered, total_weight, 0.50),
+            p90=self._weighted_percentile(ordered, total_weight, 0.90),
+            p99=self._weighted_percentile(ordered, total_weight, 0.99),
+            max=ordered[-1][0],
+        )
+
+    @staticmethod
+    def _weighted_percentile(
+        ordered: list[tuple[float, float]], total_weight: float, q: float
+    ) -> float:
+        threshold = q * total_weight
+        cumulative = 0.0
+        for latency, weight in ordered:
+            cumulative += weight
+            if cumulative >= threshold:
+                return latency
+        return ordered[-1][0]
+
+    def throughput(self, duration: float) -> float:
+        """Committed (weighted) transactions per second over the
+        measurement window of length ``duration``."""
+        if duration <= 0:
+            return 0.0
+        return self.committed_weight / duration

@@ -1,0 +1,190 @@
+"""The simulated message-passing network.
+
+Models the three costs that dominate WAN consensus latency and
+throughput (Section 5):
+
+* **propagation** — per-pair one-way delay from the latency model;
+* **serialization** — each validator has finite egress bandwidth; a
+  broadcast of a large block occupies the sender's uplink once per
+  peer, which is what eventually saturates throughput;
+* **scheduling** — a pluggable :class:`MessageScheduler` decides extra
+  per-message delay, modeling the paper's two network models: the
+  *random network model* (random schedule — plain jitter) and the
+  *asynchronous adversary* (targeted, bounded-but-arbitrary delays).
+
+Per-link delivery is FIFO, as on a TCP connection (Section 4 uses raw
+TCP sockets).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Protocol
+
+from .events import EventLoop
+from .latency import LatencyModel
+
+
+@dataclass(frozen=True)
+class Message:
+    """One network message.
+
+    Attributes:
+        src: Sending validator.
+        dst: Receiving validator.
+        kind: Application-level type tag (``block``, ``ack``, ``cert``,
+            ``fetch_req``, ``fetch_resp``).
+        payload: Opaque content handed to the receiver.
+        size: Wire size in bytes (drives the bandwidth model).
+    """
+
+    src: int
+    dst: int
+    kind: str
+    payload: Any
+    size: int
+
+
+class MessageScheduler(Protocol):
+    """Decides extra delay injected on top of propagation + serialization."""
+
+    def extra_delay(self, message: Message, now: float, rng: random.Random) -> float:
+        """Additional one-way delay in seconds (0 for a benign network)."""
+        ...
+
+
+class RandomScheduler:
+    """The random network model (Section 2.3): no adversarial control;
+    ordering randomness comes solely from the latency model's jitter."""
+
+    def extra_delay(self, message: Message, now: float, rng: random.Random) -> float:
+        return 0.0
+
+
+class AsyncAdversaryScheduler:
+    """A continuously active asynchronous adversary.
+
+    Delays messages *from* a rotating window of validators, emulating an
+    adversary that tries to keep would-be leaders out of other
+    validators' views.  Because leaders are elected after the fact, the
+    adversary cannot target actual leaders — the best it can do is delay
+    a subset blindly, which is exactly the threat model the commit-
+    probability analysis assumes (Appendix C).
+    """
+
+    def __init__(
+        self,
+        committee_size: int,
+        targets_per_window: int,
+        delay: float,
+        window: float = 1.0,
+    ) -> None:
+        """Args:
+        committee_size: Number of validators.
+        targets_per_window: How many validators the adversary delays
+            at any one time (at most ``f`` is meaningful).
+        delay: Extra one-way delay applied to targeted senders.
+        window: Seconds between re-drawing the target set.
+        """
+        self._n = committee_size
+        self._k = targets_per_window
+        self._delay = delay
+        self._window = window
+
+    def _targets(self, now: float) -> set[int]:
+        epoch = int(now / self._window)
+        rng = random.Random(repr(("adversary", epoch)))
+        return set(rng.sample(range(self._n), self._k))
+
+    def extra_delay(self, message: Message, now: float, rng: random.Random) -> float:
+        if message.src in self._targets(now):
+            return self._delay
+        return 0.0
+
+
+@dataclass
+class NetworkConfig:
+    """Static network parameters.
+
+    ``bandwidth`` defaults to the paper's 10 Gbps instances
+    (Section 5.1), expressed in bytes per second.
+    """
+
+    bandwidth: float = 10e9 / 8
+    #: Fixed per-message overhead in bytes (framing, TCP/IP headers).
+    message_overhead: int = 128
+
+
+class SimNetwork:
+    """Connects :class:`~repro.sim.node.SimValidator` instances."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        latency: LatencyModel,
+        num_validators: int,
+        *,
+        config: NetworkConfig | None = None,
+        scheduler: MessageScheduler | None = None,
+        seed: int = 0,
+    ) -> None:
+        self._loop = loop
+        self._latency = latency
+        self._n = num_validators
+        self._config = config or NetworkConfig()
+        self._scheduler = scheduler or RandomScheduler()
+        self._rng = random.Random(repr(("network", seed)))
+        self._handlers: dict[int, Callable[[Message], None]] = {}
+        # Sender uplink: time at which each validator's egress is free.
+        self._egress_free = [0.0] * num_validators
+        # Per-link FIFO: last scheduled delivery time.
+        self._last_delivery: dict[tuple[int, int], float] = {}
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    def register(self, validator: int, handler: Callable[[Message], None]) -> None:
+        """Attach the delivery callback for ``validator``."""
+        self._handlers[validator] = handler
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(self, src: int, dst: int, kind: str, payload: Any, size: int) -> None:
+        """Send one message; delivery is scheduled on the event loop."""
+        if src == dst:
+            raise ValueError("validators do not message themselves")
+        message = Message(src=src, dst=dst, kind=kind, payload=payload, size=size)
+        wire_size = size + self._config.message_overhead
+        now = self._loop.now
+        # Serialization on the sender's uplink.
+        start = max(now, self._egress_free[src])
+        egress_done = start + wire_size / self._config.bandwidth
+        self._egress_free[src] = egress_done
+        # Propagation + scheduler-injected delay.
+        delay = self._latency.sample(src, dst, self._rng)
+        delay += self._scheduler.extra_delay(message, now, self._rng)
+        arrival = egress_done + delay
+        # FIFO per link (TCP semantics).
+        link = (src, dst)
+        arrival = max(arrival, self._last_delivery.get(link, 0.0) + 1e-9)
+        self._last_delivery[link] = arrival
+        self.messages_sent += 1
+        self.bytes_sent += wire_size
+        self._loop.schedule_at(arrival, self._deliver, message)
+
+    def broadcast(self, src: int, kind: str, payload: Any, size: int) -> None:
+        """Send to every other validator.
+
+        Peer order is shuffled per broadcast so uplink serialization
+        does not systematically favour low-indexed validators.
+        """
+        peers = [v for v in range(self._n) if v != src]
+        self._rng.shuffle(peers)
+        for dst in peers:
+            self.send(src, dst, kind, payload, size)
+
+    def _deliver(self, message: Message) -> None:
+        handler = self._handlers.get(message.dst)
+        if handler is not None:
+            handler(message)

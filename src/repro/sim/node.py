@@ -1,0 +1,327 @@
+"""A simulated validator.
+
+Wraps a protocol core (:class:`~repro.core.MahiMahiCore`, possibly with
+a baseline committer) and drives it from network events.  Two transport
+modes reproduce the two DAG families of the evaluation:
+
+* **uncertified** (Mahi-Mahi, Cordial Miners): a proposal is one
+  broadcast; receivers ingest it directly — one message delay per round
+  (Section 2.2);
+* **certified** (Tusk): a proposal is a header broadcast, acknowledged
+  by peers, and only the resulting certificate (header + ``2f + 1``
+  acks) enters the DAG — three message delays per round.
+
+Missing ancestors are fetched from the block's sender, mirroring the
+synchronizer sub-component the liveness proofs rely on (Lemma 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..block import Block, BlockRef
+from ..core.protocol import MahiMahiCore
+from ..crypto.hashing import Digest
+from ..transaction import Transaction
+from .events import EventLoop
+from .faults import NodeBehavior, make_equivocating_sibling
+from .network import Message, SimNetwork
+
+
+@dataclass(frozen=True)
+class CpuConfig:
+    """Per-validator compute model.
+
+    Two single-threaded stages bound throughput, mirroring where real
+    validators spend CPU (Section 5.2 discusses both):
+
+    * **ingress**: client transactions are signature-checked before
+      entering the mempool (~one ed25519 verification each), which caps
+      per-validator intake and produces the throughput knee of Figure 3;
+    * **consensus**: every received block costs a base amount plus a
+      per-transaction amount (hashing, deduplication, storage).
+      Certified DAGs (Tusk) multiply this cost — validators verify the
+      ``2f + 1``-signature certificate of every vertex, the overhead
+      Section 2.2 calls out.
+    """
+
+    tx_ingress_cost: float = 80e-6
+    block_base_cost: float = 0.3e-3
+    tx_consensus_cost: float = 2.5e-6
+    certified_multiplier: float = 2.0
+    #: Fraction of the full block cost paid when a certified-DAG header
+    #: arrives (buffer + ack only; verification happens on the cert).
+    header_cost_factor: float = 0.2
+
+#: Serialized bytes per parent reference (author + round + digest).
+_REF_WIRE_SIZE = 44
+#: Fixed block header bytes (author, round, signature, coin share).
+_BLOCK_HEADER_SIZE = 150
+#: Bytes per signature in a Tusk certificate.
+_SIGNATURE_SIZE = 64
+#: How long to wait before re-requesting a missing ancestor.
+_FETCH_RETRY = 1.0
+
+
+class SimValidator:
+    """One validator process inside the simulation."""
+
+    def __init__(
+        self,
+        core: MahiMahiCore,
+        network: SimNetwork,
+        loop: EventLoop,
+        *,
+        certified: bool = False,
+        behavior: NodeBehavior | None = None,
+        tx_wire_size: float = 512.0,
+        min_block_interval: float = 0.0,
+        tx_weight: float = 1.0,
+        cpu: CpuConfig | None = None,
+        on_commit: Callable[[Transaction, float], None] | None = None,
+    ) -> None:
+        """Args:
+        core: The protocol state machine (already holding genesis).
+        network: The simulated network (this node registers itself).
+        loop: The experiment's event loop.
+        certified: Tusk-style header/ack/certificate rounds.
+        behavior: Fault injection; defaults to honest and alive.
+        tx_wire_size: Real bytes represented by one simulated
+            transaction (batch weight x transaction size).
+        min_block_interval: Minimum spacing between own proposals,
+            modeling the batching/processing cadence of a real validator
+            (the Rust implementation paces rounds the same way).  Bare
+            quorum-edge proposing would systematically exclude blocks
+            from far regions from the next round's parents.
+        tx_weight: Real transactions represented by one simulated one
+            (scales per-transaction CPU costs).
+        cpu: Compute model; ``None`` disables CPU accounting entirely
+            (unit tests want pure message-delay arithmetic).
+        on_commit: Called for every transaction in every newly committed
+            block, with the commit time.
+        """
+        self.core = core
+        self.authority = core.authority
+        self._network = network
+        self._loop = loop
+        self._certified = certified
+        self.behavior = behavior or NodeBehavior()
+        self._tx_wire_size = tx_wire_size
+        self._on_commit = on_commit
+        # Tusk state: headers awaiting certification, collected acks.
+        self._headers: dict[Digest, Block] = {}
+        self._acks: dict[Digest, set[int]] = {}
+        self._cert_sent: set[Digest] = set()
+        # Synchronizer state: digest -> virtual time of last request.
+        self._fetching: dict[Digest, float] = {}
+        self._interval = min_block_interval
+        self._last_proposal = float("-inf")
+        self._propose_timer_armed = False
+        self._tx_weight = tx_weight
+        self._cpu = cpu
+        # Times at which each single-threaded CPU stage becomes free.
+        self._ingress_free = 0.0
+        self._consensus_free = 0.0
+        self.commits = 0
+        network.register(self.authority, self.on_message)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Propose the first block (round 1 follows from genesis)."""
+        if not self.behavior.is_down(self._loop.now):
+            self._step()
+
+    def submit(self, tx: Transaction) -> None:
+        """Client entry point; transactions pass the ingress CPU stage
+        (signature verification) before reaching the mempool."""
+        if self.behavior.is_down(self._loop.now):
+            return
+        if self._cpu is None:
+            self.core.add_transaction(tx)
+            return
+        now = self._loop.now
+        cost = self._cpu.tx_ingress_cost * self._tx_weight
+        self._ingress_free = max(now, self._ingress_free) + cost
+        self._loop.schedule_at(self._ingress_free, self.core.add_transaction, tx)
+
+    # ------------------------------------------------------------------
+    # Message handling
+    # ------------------------------------------------------------------
+    def on_message(self, message: Message) -> None:
+        if self.behavior.is_down(self._loop.now):
+            return
+        if self._cpu is not None:
+            delay = self._processing_cost(message)
+            self._consensus_free = max(self._loop.now, self._consensus_free) + delay
+            if self._consensus_free > self._loop.now:
+                self._loop.schedule_at(self._consensus_free, self._handle, message)
+                return
+        self._handle(message)
+
+    def _processing_cost(self, message: Message) -> float:
+        assert self._cpu is not None
+        if message.kind in ("block", "cert"):
+            blocks = [message.payload]
+        elif message.kind == "fetch_resp":
+            blocks = list(message.payload)
+        else:
+            return 20e-6  # acks and fetch requests are cheap
+        multiplier = self._cpu.certified_multiplier if self._certified else 1.0
+        if self._certified and message.kind == "block":
+            # Header of a yet-uncertified block: buffered and acked only.
+            multiplier *= self._cpu.header_cost_factor
+        cost = 0.0
+        for block in blocks:
+            per_tx = self._cpu.tx_consensus_cost * self._tx_weight * multiplier
+            cost += self._cpu.block_base_cost + per_tx * len(block.transactions)
+        return cost
+
+    def _handle(self, message: Message) -> None:
+        if self.behavior.is_down(self._loop.now):
+            return
+        if message.kind == "block":
+            if self._certified:
+                self._on_header(message.payload, message.src)
+            else:
+                self._ingest(message.payload, message.src)
+        elif message.kind == "ack":
+            self._on_ack(message.payload, message.src)
+        elif message.kind == "cert":
+            self._ingest(message.payload, message.src)
+        elif message.kind == "fetch_req":
+            self._on_fetch_request(message.payload, message.src)
+        elif message.kind == "fetch_resp":
+            for block in message.payload:
+                self._ingest(block, message.src)
+
+    # ------------------------------------------------------------------
+    # Certified (Tusk) round structure
+    # ------------------------------------------------------------------
+    def _on_header(self, block: Block, src: int) -> None:
+        self._headers[block.digest] = block
+        self._network.send(self.authority, src, "ack", block.digest, _SIGNATURE_SIZE)
+
+    def _on_ack(self, digest: Digest, src: int) -> None:
+        acks = self._acks.get(digest)
+        if acks is None or digest in self._cert_sent:
+            return
+        acks.add(src)
+        if len(acks) >= self.core.committee.quorum_threshold:
+            self._cert_sent.add(digest)
+            block = self._headers[digest]
+            cert_size = self._block_wire_size(block) + _SIGNATURE_SIZE * len(acks)
+            self._network.broadcast(self.authority, "cert", block, cert_size)
+
+    # ------------------------------------------------------------------
+    # Ingestion, proposing, committing
+    # ------------------------------------------------------------------
+    def _ingest(self, block: Block, sender: int) -> None:
+        result = self.core.add_block(block)
+        if result.missing:
+            self._request_missing(sender, result.missing)
+        if result.accepted:
+            self._step()
+
+    def _request_missing(self, peer: int, refs: tuple[BlockRef, ...]) -> None:
+        now = self._loop.now
+        wanted = [
+            ref
+            for ref in refs
+            if now - self._fetching.get(ref.digest, -_FETCH_RETRY) >= _FETCH_RETRY
+        ]
+        if not wanted:
+            return
+        for ref in wanted:
+            self._fetching[ref.digest] = now
+        self._network.send(
+            self.authority, peer, "fetch_req", tuple(wanted), _REF_WIRE_SIZE * len(wanted)
+        )
+
+    def _on_fetch_request(self, refs: tuple[BlockRef, ...], src: int) -> None:
+        available = [
+            self.core.store.get(ref.digest) for ref in refs if ref.digest in self.core.store
+        ]
+        # Also serve headers not yet certified (Tusk).
+        available.extend(
+            self._headers[ref.digest]
+            for ref in refs
+            if ref.digest not in self.core.store and ref.digest in self._headers
+        )
+        if not available:
+            return
+        size = sum(self._block_wire_size(b) for b in available)
+        self._network.send(self.authority, src, "fetch_resp", tuple(available), size)
+
+    def _step(self) -> None:
+        self._try_propose()
+        self._commit()
+
+    def _try_propose(self) -> None:
+        while not self.behavior.is_down(self._loop.now):
+            if not self.core.ready_to_propose():
+                return
+            now = self._loop.now
+            next_allowed = self._last_proposal + self._interval
+            if now < next_allowed:
+                if not self._propose_timer_armed:
+                    self._propose_timer_armed = True
+                    self._loop.schedule(next_allowed - now, self._on_propose_timer)
+                return
+            block = self.core.maybe_propose(now)
+            if block is None:
+                return
+            self._last_proposal = now
+            self._dispatch_own(block)
+
+    def _on_propose_timer(self) -> None:
+        self._propose_timer_armed = False
+        if self.behavior.is_down(self._loop.now):
+            return
+        self._try_propose()
+        self._commit()
+
+    def _dispatch_own(self, block: Block) -> None:
+        size = self._block_wire_size(block)
+        if self._certified:
+            self._headers[block.digest] = block
+            self._acks[block.digest] = {self.authority}
+            self._network.broadcast(self.authority, "block", block, size)
+        elif self.behavior.equivocate:
+            self._dispatch_equivocation(block, size)
+        else:
+            self._network.broadcast(self.authority, "block", block, size)
+
+    def _dispatch_equivocation(self, block: Block, size: int) -> None:
+        """Send the honest block to half the peers and a conflicting
+        sibling to the other half (our own DAG keeps the original)."""
+        sibling = make_equivocating_sibling(block)
+        peers = [v for v in range(self.core.committee.size) if v != self.authority]
+        half = len(peers) // 2
+        for dst in peers[:half]:
+            self._network.send(self.authority, dst, "block", block, size)
+        for dst in peers[half:]:
+            self._network.send(self.authority, dst, "block", sibling, size)
+
+    def _commit(self) -> None:
+        observations = self.core.try_commit()
+        if self._on_commit is None:
+            return
+        now = self._loop.now
+        for observation in observations:
+            for block in observation.linearized:
+                self.commits += 1
+                for tx in block.transactions:
+                    self._on_commit(tx, now)
+
+    # ------------------------------------------------------------------
+    # Wire sizes
+    # ------------------------------------------------------------------
+    def _block_wire_size(self, block: Block) -> int:
+        return int(
+            _BLOCK_HEADER_SIZE
+            + _REF_WIRE_SIZE * len(block.parents)
+            + self._tx_wire_size * len(block.transactions)
+        )

@@ -1,0 +1,358 @@
+"""The experiment harness: builds a deployment, runs it, checks safety,
+and reports the paper's metrics.
+
+One :class:`Experiment` reproduces one data point of Figures 3-5/7: a
+protocol, a committee size, a load, and a fault pattern.  The benchmark
+modules sweep load over a list of experiments to regenerate each curve.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field, replace
+
+from ..committee import Committee
+from ..config import ProtocolConfig
+from ..core.protocol import MahiMahiCore
+from ..baselines.cordial_miners import make_cordial_miners_committer
+from ..baselines.tusk import make_tusk_committer
+from ..crypto.coin import FastCoin
+from ..errors import ConfigError, SimulationError
+from .client import OpenLoopClient, reset_tx_ids
+from .events import EventLoop
+from .faults import NodeBehavior
+from .latency import GeoLatencyModel, LatencyModel, UniformLatencyModel
+from .metrics import ExperimentMetrics, LatencySummary
+from .network import AsyncAdversaryScheduler, MessageScheduler, NetworkConfig, SimNetwork
+from .node import CpuConfig, SimValidator
+
+#: Protocols the harness knows how to deploy, as named in the paper's
+#: figures.
+PROTOCOLS = ("mahi-mahi-5", "mahi-mahi-4", "cordial-miners", "tusk")
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One experiment = one data point of a figure.
+
+    Attributes:
+        protocol: One of :data:`PROTOCOLS`.
+        num_validators: Committee size (10 and 50 in the paper).
+        load_tps: Offered load in real transactions per second.
+        duration: Virtual seconds to simulate.
+        warmup: Seconds excluded from metrics at the start.
+        tx_size: Real transaction size in bytes (512 in the paper).
+        leaders_per_round: Mahi-Mahi leader slots per round.
+        num_crashed: Validators silent from the start (highest indexes).
+        num_equivocators: Byzantine equivocators (lowest non-observer
+            indexes).
+        uniform_delay: When set, replaces the geo latency model with a
+            constant one-way delay (useful for message-delay arithmetic
+            tests); otherwise the paper's 5-region matrix is used.
+        adversary_targets: Validators simultaneously delayed by the
+            asynchronous adversary (0 = random network model).
+        adversary_delay: Extra one-way delay the adversary injects.
+        block_interval: Minimum spacing between a validator's own
+            proposals (batching/processing cadence of a real validator;
+            see :class:`~repro.sim.node.SimValidator`).
+        model_cpu: Enable the per-validator compute model
+            (:class:`~repro.sim.node.CpuConfig`); disable for pure
+            message-delay arithmetic in tests.
+        wave_length_override: Ablations only — force a wave length for
+            the Mahi-Mahi protocols (e.g. 3, which is safe but not live
+            under asynchrony, Appendix C.3).
+        direct_skip: Ablations only — disable Mahi-Mahi's direct skip
+            rule to quantify its contribution (Section 5.3).
+        max_sim_tx_rate: Cap on *simulated* transaction events per
+            second; higher loads are represented by batching.
+        max_block_transactions: Real transactions a block may carry.
+        gc_depth: Rounds of DAG history kept behind the commit frontier.
+        seed: Master seed; every run with the same config is identical.
+    """
+
+    protocol: str = "mahi-mahi-5"
+    num_validators: int = 10
+    load_tps: float = 10_000.0
+    duration: float = 30.0
+    warmup: float = 10.0
+    tx_size: int = 512
+    leaders_per_round: int = 2
+    num_crashed: int = 0
+    num_equivocators: int = 0
+    uniform_delay: float | None = None
+    adversary_targets: int = 0
+    adversary_delay: float = 0.2
+    block_interval: float = 0.2
+    model_cpu: bool = True
+    wave_length_override: int | None = None
+    direct_skip: bool = True
+    max_sim_tx_rate: float = 2_000.0
+    max_block_transactions: int = 100_000
+    gc_depth: int = 64
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.protocol not in PROTOCOLS:
+            raise ConfigError(f"unknown protocol {self.protocol!r}; pick one of {PROTOCOLS}")
+        if self.num_validators < 4:
+            raise ConfigError("need at least 4 validators")
+        faults_tolerated = (self.num_validators - 1) // 3
+        if self.num_crashed + self.num_equivocators > faults_tolerated:
+            raise ConfigError(
+                f"{self.num_crashed} crashed + {self.num_equivocators} equivocators "
+                f"exceeds f={faults_tolerated}"
+            )
+
+    @property
+    def batch_weight(self) -> float:
+        """Real transactions represented by one simulated transaction."""
+        if self.load_tps <= self.max_sim_tx_rate:
+            return 1.0
+        return self.load_tps / self.max_sim_tx_rate
+
+    @property
+    def sim_tx_rate(self) -> float:
+        """Total simulated transaction events per second."""
+        return min(self.load_tps, self.max_sim_tx_rate)
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Measured outcome of one experiment."""
+
+    config: ExperimentConfig
+    latency: LatencySummary
+    throughput_tps: float
+    rounds_reached: int
+    blocks_committed: int
+    direct_commits: int
+    indirect_commits: int
+    direct_skips: int
+    indirect_skips: int
+    messages_sent: int
+    bytes_sent: int
+    pending_transactions: int
+
+    def summary(self) -> str:
+        """One human-readable line, in the paper's units."""
+        latency = self.latency.avg
+        latency_str = f"{latency:.3f}s" if not math.isnan(latency) else "n/a"
+        return (
+            f"{self.config.protocol:>15} n={self.config.num_validators:<3} "
+            f"load={self.config.load_tps / 1000:.0f}k tx/s -> "
+            f"throughput={self.throughput_tps / 1000:.1f}k tx/s, "
+            f"avg latency={latency_str} "
+            f"(p50={self.latency.p50:.3f}s p99={self.latency.p99:.3f}s)"
+        )
+
+
+class Experiment:
+    """Builds and runs one simulated deployment."""
+
+    def __init__(self, config: ExperimentConfig) -> None:
+        self.config = config
+        self._loop = EventLoop()
+        self._metrics = ExperimentMetrics(warmup=config.warmup)
+        self._committee = Committee.of_size(config.num_validators)
+        self._coin = FastCoin(
+            seed=("coin", config.seed).__repr__().encode(),
+            n=config.num_validators,
+            threshold=self._committee.quorum_threshold,
+        )
+        self._latency_model = self._make_latency_model()
+        self._network = SimNetwork(
+            self._loop,
+            self._latency_model,
+            config.num_validators,
+            config=NetworkConfig(),
+            scheduler=self._make_scheduler(),
+            seed=config.seed,
+        )
+        self.nodes = [self._make_node(i) for i in range(config.num_validators)]
+        self._clients = self._make_clients()
+
+    # ------------------------------------------------------------------
+    # Deployment construction
+    # ------------------------------------------------------------------
+    def _make_latency_model(self) -> LatencyModel:
+        if self.config.uniform_delay is not None:
+            return UniformLatencyModel(self.config.uniform_delay)
+        return GeoLatencyModel(self.config.num_validators)
+
+    def _make_scheduler(self) -> MessageScheduler | None:
+        if self.config.adversary_targets > 0:
+            return AsyncAdversaryScheduler(
+                committee_size=self.config.num_validators,
+                targets_per_window=self.config.adversary_targets,
+                delay=self.config.adversary_delay,
+            )
+        return None
+
+    def _protocol_config(self) -> ProtocolConfig:
+        cfg = self.config
+        sim_block_cap = max(1, int(cfg.max_block_transactions / cfg.batch_weight))
+        if cfg.protocol in ("mahi-mahi-5", "mahi-mahi-4"):
+            default_wave = 5 if cfg.protocol == "mahi-mahi-5" else 4
+            return ProtocolConfig(
+                wave_length=cfg.wave_length_override or default_wave,
+                leaders_per_round=cfg.leaders_per_round,
+                max_block_transactions=sim_block_cap,
+                garbage_collection_depth=cfg.gc_depth,
+            )
+        if cfg.protocol == "cordial-miners":
+            return ProtocolConfig(
+                wave_length=5,
+                leaders_per_round=1,
+                max_block_transactions=sim_block_cap,
+                garbage_collection_depth=cfg.gc_depth,
+            )
+        # Tusk: the committer owns its 2-round wave geometry; wave_length
+        # here only has to satisfy the config invariant.
+        return ProtocolConfig(
+            wave_length=3,
+            leaders_per_round=1,
+            max_block_transactions=sim_block_cap,
+            garbage_collection_depth=cfg.gc_depth,
+        )
+
+    def _make_core(self, authority: int) -> MahiMahiCore:
+        from ..core.committer import Committer
+
+        protocol_config = self._protocol_config()
+        factory = None
+        if self.config.protocol.startswith("mahi-mahi") and not self.config.direct_skip:
+            factory = lambda store: Committer(  # noqa: E731
+                store,
+                self._committee,
+                self._coin,
+                protocol_config,
+                direct_skip_enabled=False,
+            )
+        elif self.config.protocol == "cordial-miners":
+            factory = lambda store: make_cordial_miners_committer(  # noqa: E731
+                store, self._committee, self._coin
+            )
+        elif self.config.protocol == "tusk":
+            factory = lambda store: make_tusk_committer(  # noqa: E731
+                store, self._committee, self._coin
+            )
+        return MahiMahiCore(
+            authority,
+            self._committee,
+            protocol_config,
+            self._coin,
+            committer_factory=factory,
+        )
+
+    def _behavior(self, authority: int) -> NodeBehavior:
+        cfg = self.config
+        # Crashed validators take the highest indexes; equivocators the
+        # next ones down, keeping validator 0 honest as the observer.
+        first_crashed = cfg.num_validators - cfg.num_crashed
+        first_equivocator = first_crashed - cfg.num_equivocators
+        if authority >= first_crashed:
+            return NodeBehavior(crashed=True)
+        if authority >= first_equivocator:
+            return NodeBehavior(equivocate=True)
+        return NodeBehavior()
+
+    def _make_node(self, authority: int) -> SimValidator:
+        on_commit = None
+        if authority == 0:
+            on_commit = lambda tx, now: self._metrics.record_commit(tx.tx_id, now)  # noqa: E731
+        return SimValidator(
+            self._make_core(authority),
+            self._network,
+            self._loop,
+            certified=self.config.protocol == "tusk",
+            behavior=self._behavior(authority),
+            tx_wire_size=self.config.batch_weight * self.config.tx_size,
+            min_block_interval=self.config.block_interval,
+            tx_weight=self.config.batch_weight,
+            cpu=CpuConfig() if self.config.model_cpu else None,
+            on_commit=on_commit,
+        )
+
+    def _make_clients(self) -> list[OpenLoopClient]:
+        cfg = self.config
+        live = [node for node in self.nodes if not node.behavior.crashed]
+        rate_per_validator = cfg.sim_tx_rate / len(live)
+        clients = []
+        for node in live:
+            clients.append(
+                OpenLoopClient(
+                    self._loop,
+                    node.submit,
+                    rate_per_validator,
+                    weight=cfg.batch_weight,
+                    stop_at=cfg.duration,
+                    on_submission=self._metrics.record_submission,
+                    seed=cfg.seed * 1000 + node.authority,
+                )
+            )
+        return clients
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, *, check_safety: bool = True) -> ExperimentResult:
+        """Run to the configured duration and summarize.
+
+        Args:
+            check_safety: Assert commit-sequence prefix consistency
+                across all live validators before reporting (Theorem 1).
+        """
+        reset_tx_ids()
+        for node in self.nodes:
+            if not node.behavior.crashed:
+                node.start()
+        for client in self._clients:
+            client.start()
+        self._loop.run_until(self.config.duration, max_events=200_000_000)
+        if check_safety:
+            self.assert_safety()
+        return self._result()
+
+    def assert_safety(self) -> None:
+        """Check that live validators' commit sequences are prefix-
+        consistent (the Total Order property, Theorem 1)."""
+        sequences = []
+        for node in self.nodes:
+            if node.behavior.crashed or node.behavior.equivocate:
+                continue
+            sequences.append([b.digest for b in node.core.committed_blocks()])
+        reference = max(sequences, key=len)
+        for sequence in sequences:
+            if sequence != reference[: len(sequence)]:
+                raise SimulationError("commit sequences diverged across validators")
+
+    def _result(self) -> ExperimentResult:
+        observer = self.nodes[0]
+        stats = observer.core.committer.stats
+        measured = max(1e-9, self.config.duration - self.config.warmup)
+        return ExperimentResult(
+            config=self.config,
+            latency=self._metrics.latency_summary(),
+            throughput_tps=self._metrics.throughput(measured),
+            rounds_reached=observer.core.store.highest_round,
+            blocks_committed=stats.blocks_committed,
+            direct_commits=stats.direct_commits,
+            indirect_commits=stats.indirect_commits,
+            direct_skips=stats.direct_skips,
+            indirect_skips=stats.indirect_skips,
+            messages_sent=self._network.messages_sent,
+            bytes_sent=self._network.bytes_sent,
+            pending_transactions=self._metrics.pending,
+        )
+
+
+def run_load_sweep(
+    base: ExperimentConfig, loads: list[float], *, check_safety: bool = True
+) -> list[ExperimentResult]:
+    """Run ``base`` at each offered load (one figure curve)."""
+    results = []
+    for load in loads:
+        config = replace(base, load_tps=load)
+        results.append(Experiment(config).run(check_safety=check_safety))
+    return results

@@ -1,0 +1,33 @@
+"""State machine replication on top of Byzantine Atomic Broadcast.
+
+The paper positions Mahi-Mahi as solving BAB, "enabling validators to
+reach consensus on a sequence of messages necessary for State Machine
+Replication" (Section 2.1).  This package closes that loop:
+
+* :mod:`repro.smr.commands` — a command codec carried inside
+  transaction payloads;
+* :mod:`repro.smr.state_machine` — the deterministic state-machine API
+  and a key-value store implementation;
+* :mod:`repro.smr.executor` — applies committed observations in commit
+  order and exposes verifiable state roots.
+
+Because every honest validator delivers the same transaction sequence
+(Total Order, Theorem 1), every replica's state root matches after
+applying the same prefix — which the tests assert under randomized
+schedules and faults.
+"""
+
+from .commands import Command, DeleteCommand, GetResult, PutCommand, TransferCommand
+from .state_machine import KeyValueStore, StateMachine
+from .executor import ReplicatedStateMachine
+
+__all__ = [
+    "Command",
+    "PutCommand",
+    "DeleteCommand",
+    "TransferCommand",
+    "GetResult",
+    "StateMachine",
+    "KeyValueStore",
+    "ReplicatedStateMachine",
+]

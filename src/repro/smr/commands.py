@@ -1,0 +1,106 @@
+"""Commands carried in transaction payloads.
+
+Three commands exercise the interesting SMR behaviours: blind writes
+(``PUT``), deletes (``DELETE``), and read-modify-write transfers
+(``TRANSFER``) whose outcome depends on the *order* of prior commands —
+exactly what consensus must make identical everywhere.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from ..errors import ReproError
+
+_KIND_PUT = 1
+_KIND_DELETE = 2
+_KIND_TRANSFER = 3
+
+
+def _pack_bytes(value: bytes) -> bytes:
+    return struct.pack("<I", len(value)) + value
+
+
+def _unpack_bytes(data: bytes, offset: int) -> tuple[bytes, int]:
+    (length,) = struct.unpack_from("<I", data, offset)
+    offset += 4
+    if offset + length > len(data):
+        raise ReproError("truncated command field")
+    return data[offset : offset + length], offset + length
+
+
+@dataclass(frozen=True)
+class PutCommand:
+    """Set ``key`` to ``value``."""
+
+    key: bytes
+    value: bytes
+
+    def encode(self) -> bytes:
+        return bytes([_KIND_PUT]) + _pack_bytes(self.key) + _pack_bytes(self.value)
+
+
+@dataclass(frozen=True)
+class DeleteCommand:
+    """Remove ``key`` (a no-op if absent)."""
+
+    key: bytes
+
+    def encode(self) -> bytes:
+        return bytes([_KIND_DELETE]) + _pack_bytes(self.key)
+
+
+@dataclass(frozen=True)
+class TransferCommand:
+    """Move ``amount`` from account ``source`` to ``dest``.
+
+    Fails (state unchanged) when the source balance is insufficient, so
+    the final balances depend on execution order — a replica applying
+    transfers in a different order would diverge detectably.
+    """
+
+    source: bytes
+    dest: bytes
+    amount: int
+
+    def encode(self) -> bytes:
+        return (
+            bytes([_KIND_TRANSFER])
+            + _pack_bytes(self.source)
+            + _pack_bytes(self.dest)
+            + struct.pack("<q", self.amount)
+        )
+
+
+Command = PutCommand | DeleteCommand | TransferCommand
+
+
+@dataclass(frozen=True)
+class GetResult:
+    """A read served from local replica state (reads bypass consensus)."""
+
+    key: bytes
+    value: bytes | None
+    applied_index: int
+
+
+def decode_command(data: bytes) -> Command:
+    """Decode one command from a transaction payload."""
+    if not data:
+        raise ReproError("empty command payload")
+    kind = data[0]
+    offset = 1
+    if kind == _KIND_PUT:
+        key, offset = _unpack_bytes(data, offset)
+        value, _ = _unpack_bytes(data, offset)
+        return PutCommand(key=key, value=value)
+    if kind == _KIND_DELETE:
+        key, _ = _unpack_bytes(data, offset)
+        return DeleteCommand(key=key)
+    if kind == _KIND_TRANSFER:
+        source, offset = _unpack_bytes(data, offset)
+        dest, offset = _unpack_bytes(data, offset)
+        (amount,) = struct.unpack_from("<q", data, offset)
+        return TransferCommand(source=source, dest=dest, amount=amount)
+    raise ReproError(f"unknown command kind {kind}")

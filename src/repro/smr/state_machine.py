@@ -1,0 +1,125 @@
+"""Deterministic state machines executed over the committed sequence."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from ..crypto.hashing import Digest, hash_parts
+from .commands import Command, DeleteCommand, PutCommand, TransferCommand, decode_command
+
+
+class StateMachine(ABC):
+    """A deterministic state machine.
+
+    Implementations must be pure functions of the applied command
+    sequence: same commands in the same order → same :meth:`state_root`
+    on every replica.
+    """
+
+    @abstractmethod
+    def apply(self, payload: bytes) -> None:
+        """Apply one committed transaction payload."""
+
+    @abstractmethod
+    def state_root(self) -> Digest:
+        """A digest binding the entire current state."""
+
+    @abstractmethod
+    def snapshot(self) -> bytes:
+        """Serialize the full state (checkpointing)."""
+
+    @abstractmethod
+    def restore(self, snapshot: bytes) -> None:
+        """Replace the state with a snapshot's contents."""
+
+
+class KeyValueStore(StateMachine):
+    """A key-value store with balance-transfer semantics.
+
+    ``PUT``/``DELETE`` mutate keys; ``TRANSFER`` treats values as
+    little-endian signed 64-bit balances and moves funds only when the
+    source balance suffices — making final state order-sensitive.
+    """
+
+    def __init__(self) -> None:
+        self._data: dict[bytes, bytes] = {}
+        self.applied = 0
+        self.rejected_transfers = 0
+
+    # ------------------------------------------------------------------
+    # StateMachine interface
+    # ------------------------------------------------------------------
+    def apply(self, payload: bytes) -> None:
+        self.apply_command(decode_command(payload))
+
+    def apply_command(self, command: Command) -> None:
+        """Apply a decoded command (test convenience)."""
+        self.applied += 1
+        if isinstance(command, PutCommand):
+            self._data[command.key] = command.value
+        elif isinstance(command, DeleteCommand):
+            self._data.pop(command.key, None)
+        elif isinstance(command, TransferCommand):
+            self._apply_transfer(command)
+        else:  # pragma: no cover - decode_command is exhaustive
+            raise TypeError(f"unknown command {command!r}")
+
+    def _apply_transfer(self, command: TransferCommand) -> None:
+        balance = self.balance(command.source)
+        if command.amount < 0 or balance < command.amount:
+            self.rejected_transfers += 1
+            return
+        self._set_balance(command.source, balance - command.amount)
+        self._set_balance(command.dest, self.balance(command.dest) + command.amount)
+
+    def state_root(self) -> Digest:
+        parts: list[bytes] = []
+        for key in sorted(self._data):
+            parts.append(key)
+            parts.append(self._data[key])
+        return hash_parts(parts, person=b"kv-root")
+
+    def snapshot(self) -> bytes:
+        parts: list[bytes] = [len(self._data).to_bytes(4, "little")]
+        for key in sorted(self._data):
+            value = self._data[key]
+            parts.append(len(key).to_bytes(4, "little"))
+            parts.append(key)
+            parts.append(len(value).to_bytes(4, "little"))
+            parts.append(value)
+        return b"".join(parts)
+
+    def restore(self, snapshot: bytes) -> None:
+        self._data.clear()
+        count = int.from_bytes(snapshot[0:4], "little")
+        offset = 4
+        for _ in range(count):
+            key_length = int.from_bytes(snapshot[offset : offset + 4], "little")
+            offset += 4
+            key = snapshot[offset : offset + key_length]
+            offset += key_length
+            value_length = int.from_bytes(snapshot[offset : offset + 4], "little")
+            offset += 4
+            value = snapshot[offset : offset + value_length]
+            offset += value_length
+            self._data[key] = value
+
+    # ------------------------------------------------------------------
+    # Reads (local, bypass consensus)
+    # ------------------------------------------------------------------
+    def get(self, key: bytes) -> bytes | None:
+        """Read a key from local state."""
+        return self._data.get(key)
+
+    def balance(self, account: bytes) -> int:
+        """Read an account balance (0 for unknown accounts)."""
+        raw = self._data.get(account)
+        if raw is None or len(raw) != 8:
+            return 0
+        return int.from_bytes(raw, "little", signed=True)
+
+    def _set_balance(self, account: bytes, amount: int) -> None:
+        self._data[account] = amount.to_bytes(8, "little", signed=True)
+
+    def __len__(self) -> int:
+        return len(self._data)

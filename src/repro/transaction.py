@@ -1,0 +1,88 @@
+"""Transactions: the opaque client payloads ordered by consensus.
+
+The paper's benchmarks use arbitrary 512-byte transactions (Section 5.1).
+Here a transaction carries an id (used by the metrics pipeline to match
+submission and commit events), a submission timestamp, and a payload.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from .errors import ReproError
+
+#: Benchmark transaction payload size used throughout Section 5.
+DEFAULT_TX_SIZE = 512
+
+_HEADER = struct.Struct("<QdI")  # tx_id, submitted_at, payload length
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """A client transaction.
+
+    Attributes:
+        tx_id: Globally unique identifier assigned by the submitting client.
+        submitted_at: Client-side submission timestamp (simulation seconds
+            or wall-clock seconds for the runtime).
+        payload: Opaque bytes; contents are never interpreted.
+    """
+
+    tx_id: int
+    submitted_at: float = 0.0
+    payload: bytes = b""
+
+    @property
+    def size(self) -> int:
+        """Serialized size in bytes (header + payload)."""
+        return _HEADER.size + len(self.payload)
+
+    def encode(self) -> bytes:
+        """Serialize to the canonical wire format."""
+        return _HEADER.pack(self.tx_id, self.submitted_at, len(self.payload)) + self.payload
+
+    @classmethod
+    def decode(cls, data: bytes, offset: int = 0) -> tuple["Transaction", int]:
+        """Deserialize one transaction starting at ``offset``.
+
+        Returns:
+            The transaction and the offset just past it.
+
+        Raises:
+            ReproError: If the buffer is truncated.
+        """
+        end = offset + _HEADER.size
+        if end > len(data):
+            raise ReproError("truncated transaction header")
+        tx_id, submitted_at, length = _HEADER.unpack_from(data, offset)
+        payload_end = end + length
+        if payload_end > len(data):
+            raise ReproError("truncated transaction payload")
+        return cls(tx_id=tx_id, submitted_at=submitted_at, payload=data[end:payload_end]), payload_end
+
+    @classmethod
+    def dummy(cls, tx_id: int, submitted_at: float = 0.0, size: int = DEFAULT_TX_SIZE) -> "Transaction":
+        """Create a benchmark transaction of ``size`` bytes total."""
+        body = max(0, size - _HEADER.size)
+        return cls(tx_id=tx_id, submitted_at=submitted_at, payload=b"\x00" * body)
+
+
+def encode_transactions(transactions: tuple[Transaction, ...]) -> bytes:
+    """Serialize a sequence of transactions with a count prefix."""
+    parts = [struct.pack("<I", len(transactions))]
+    parts.extend(tx.encode() for tx in transactions)
+    return b"".join(parts)
+
+
+def decode_transactions(data: bytes, offset: int = 0) -> tuple[tuple[Transaction, ...], int]:
+    """Deserialize a count-prefixed sequence of transactions."""
+    if offset + 4 > len(data):
+        raise ReproError("truncated transaction list")
+    (count,) = struct.unpack_from("<I", data, offset)
+    offset += 4
+    out = []
+    for _ in range(count):
+        tx, offset = Transaction.decode(data, offset)
+        out.append(tx)
+    return tuple(out), offset

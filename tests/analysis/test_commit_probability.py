@@ -1,0 +1,90 @@
+"""Tests for the Appendix C commit-probability formulas."""
+
+import pytest
+
+from repro.analysis.commit_probability import (
+    direct_commit_probability_w4,
+    direct_commit_probability_w5,
+    expected_rounds_to_direct_commit,
+    monte_carlo_direct_commit_w5,
+    unreachable_pair_bound,
+)
+
+
+class TestW5Formula:
+    def test_single_leader_f1(self):
+        """f=1, l=1: miss prob C(1,1)/C(4,1) = 1/4 -> commit 3/4."""
+        assert direct_commit_probability_w5(1, 1) == pytest.approx(0.75)
+
+    def test_more_leaders_than_f_is_certain(self):
+        """Lemma 13: l > f guarantees a committable slot by quorum
+        intersection."""
+        assert direct_commit_probability_w5(1, 2) == 1.0
+        assert direct_commit_probability_w5(3, 4) == 1.0
+
+    def test_probability_increases_with_leaders(self):
+        f = 3
+        probabilities = [direct_commit_probability_w5(f, l) for l in (1, 2, 3)]
+        assert probabilities == sorted(probabilities)
+        assert all(0 < p <= 1 for p in probabilities)
+
+    def test_paper_committee_f3(self):
+        """f=3 (10 nodes): miss = C(3,l)/C(10,l)."""
+        assert direct_commit_probability_w5(3, 1) == pytest.approx(1 - 3 / 10)
+        assert direct_commit_probability_w5(3, 2) == pytest.approx(1 - 3 / 45)
+        assert direct_commit_probability_w5(3, 3) == pytest.approx(1 - 1 / 120)
+
+    def test_matches_monte_carlo(self):
+        for f, l in [(1, 1), (3, 1), (3, 2), (5, 3)]:
+            closed = direct_commit_probability_w5(f, l)
+            sampled = monte_carlo_direct_commit_w5(f, l, trials=40_000)
+            assert sampled == pytest.approx(closed, abs=0.01)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            direct_commit_probability_w5(0, 1)
+        with pytest.raises(ValueError):
+            direct_commit_probability_w5(1, 0)
+        with pytest.raises(ValueError):
+            direct_commit_probability_w5(1, 9)
+
+
+class TestW4Formula:
+    def test_is_l_over_n(self):
+        assert direct_commit_probability_w4(3, 1) == pytest.approx(1 / 10)
+        assert direct_commit_probability_w4(3, 2) == pytest.approx(2 / 10)
+
+    def test_all_slots_certain(self):
+        assert direct_commit_probability_w4(1, 4) == 1.0
+
+    def test_w4_weaker_than_w5_under_adversary(self):
+        """The whole point of the extra Boost round (challenge 2): under
+        a full asynchronous adversary, w=5 commits far more often."""
+        for f in (1, 3, 5):
+            for l in (1, 2, 3):
+                assert direct_commit_probability_w4(f, l) <= direct_commit_probability_w5(f, l)
+
+
+class TestRandomNetworkBound:
+    def test_bound_decreases_exponentially(self):
+        bounds = [unreachable_pair_bound(f) for f in (1, 3, 5, 10, 16)]
+        assert bounds == sorted(bounds, reverse=True)
+        assert unreachable_pair_bound(16) < 1e-3
+
+    def test_bound_formula(self):
+        f = 3
+        n = 10
+        p = 7 / 10
+        assert unreachable_pair_bound(f) == pytest.approx(n * n * (1 - p) ** 7)
+
+
+class TestExpectedRounds:
+    def test_geometric_mean(self):
+        assert expected_rounds_to_direct_commit(0.5) == 2.0
+        assert expected_rounds_to_direct_commit(1.0) == 1.0
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            expected_rounds_to_direct_commit(0.0)
+        with pytest.raises(ValueError):
+            expected_rounds_to_direct_commit(1.5)

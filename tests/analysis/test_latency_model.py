@@ -1,0 +1,51 @@
+"""Tests for the message-delay latency model."""
+
+import pytest
+
+from repro.analysis.latency_model import expected_commit_delays
+from repro.errors import ConfigError
+
+
+class TestLeaderDelays:
+    def test_mahi_mahi_matches_wave_length(self):
+        """Headline claim: commits in w message delays (Sections 1-2)."""
+        assert expected_commit_delays("mahi-mahi", wave_length=5).leader_block_delays == 5
+        assert expected_commit_delays("mahi-mahi", wave_length=4).leader_block_delays == 4
+
+    def test_tusk_needs_nine_delays(self):
+        assert expected_commit_delays("tusk").leader_block_delays == 9
+
+    def test_cordial_miners_five_delays_for_leaders(self):
+        assert expected_commit_delays("cordial-miners", wave_length=5).leader_block_delays == 5
+
+
+class TestAverageDelays:
+    def test_ordering_matches_paper(self):
+        mm4 = expected_commit_delays("mahi-mahi", wave_length=4)
+        mm5 = expected_commit_delays("mahi-mahi", wave_length=5)
+        cm = expected_commit_delays("cordial-miners", wave_length=5)
+        tusk = expected_commit_delays("tusk")
+        assert (
+            mm4.average_block_delays
+            < mm5.average_block_delays
+            < cm.average_block_delays
+            < tusk.average_block_delays
+        )
+
+    def test_cordial_miners_penalty_is_wave_wait(self):
+        cm = expected_commit_delays("cordial-miners", wave_length=5)
+        assert cm.average_block_delays == pytest.approx(5 + 2.0)
+
+    def test_seconds_scaling(self):
+        mm5 = expected_commit_delays("mahi-mahi", wave_length=5)
+        assert mm5.seconds(0.1) == pytest.approx(mm5.average_block_delays * 0.1)
+
+
+class TestErrors:
+    def test_unknown_protocol(self):
+        with pytest.raises(ConfigError):
+            expected_commit_delays("pbft")
+
+    def test_bad_wave_length(self):
+        with pytest.raises(ConfigError):
+            expected_commit_delays("mahi-mahi", wave_length=2)

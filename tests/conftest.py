@@ -1,0 +1,41 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.committee import Committee
+from repro.config import ProtocolConfig
+from repro.crypto.coin import FastCoin
+
+
+@pytest.fixture
+def committee4() -> Committee:
+    """The paper's running example: 4 validators, f = 1."""
+    return Committee.of_size(4)
+
+
+@pytest.fixture
+def committee10() -> Committee:
+    """The small evaluation committee (Section 5), f = 3."""
+    return Committee.of_size(10)
+
+
+def make_fast_coin(committee: Committee, seed: bytes = b"test-coin") -> FastCoin:
+    """A deterministic coin shared by every validator of ``committee``."""
+    return FastCoin(seed=seed, n=committee.size, threshold=committee.quorum_threshold)
+
+
+@pytest.fixture
+def coin4(committee4: Committee) -> FastCoin:
+    return make_fast_coin(committee4)
+
+
+@pytest.fixture
+def config5() -> ProtocolConfig:
+    return ProtocolConfig(wave_length=5, leaders_per_round=2)
+
+
+@pytest.fixture
+def config4() -> ProtocolConfig:
+    return ProtocolConfig(wave_length=4, leaders_per_round=2)

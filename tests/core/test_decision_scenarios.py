@@ -1,0 +1,267 @@
+"""Decision-rule scenarios from Section 3.2 and Appendix B.
+
+Each test hand-builds a DAG reproducing one of the paper's situations:
+direct commit, direct skip of a crashed leader, equivocation where one
+sibling commits and the other is skipped, the undecided case, and both
+indirect outcomes via an anchor.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.committee import Committee
+from repro.config import ProtocolConfig
+from repro.core.committer import Committer
+from repro.core.decider import UNKNOWN_AUTHORITY
+from repro.core.slots import Decision
+
+from ..helpers import DagBuilder, FixedCoin
+
+WAVE = 5  # propose r, boost r+1, r+2, vote r+3, certify r+4
+
+
+def make_setup(leaders_per_round: int = 1):
+    committee = Committee.of_size(4)
+    coin = FixedCoin(n=4, threshold=committee.quorum_threshold)
+    config = ProtocolConfig(wave_length=WAVE, leaders_per_round=leaders_per_round)
+    builder = DagBuilder(committee, coin)
+    committer = Committer(builder.store, committee, coin, config)
+    return committee, coin, builder, committer
+
+
+def slot_status(statuses, round_number, offset=0):
+    for status in statuses:
+        if status.slot.round == round_number and status.slot.offset == offset:
+            return status
+    raise AssertionError(f"no status for slot ({round_number}, {offset})")
+
+
+class TestDirectCommit:
+    def test_lockstep_wave_commits_leader_directly(self):
+        _, coin, builder, committer = make_setup()
+        coin.elect(certify_round=5, validator=0)
+        builder.rounds(1, 5)
+        status = slot_status(committer.try_decide(1, 5), 1)
+        assert status.decision is Decision.COMMIT
+        assert status.direct
+        assert status.block == builder.get(0, 1)
+
+    def test_every_validator_can_be_elected_and_committed(self):
+        for leader in range(4):
+            _, coin, builder, committer = make_setup()
+            coin.elect(certify_round=5, validator=leader)
+            builder.rounds(1, 5)
+            status = slot_status(committer.try_decide(1, 5), 1)
+            assert status.decision is Decision.COMMIT
+            assert status.block.author == leader
+
+    def test_coin_unopened_leaves_slot_undecided(self):
+        """Without 2f+1 certify-round shares the leader is unknown."""
+        _, coin, builder, committer = make_setup()
+        coin.elect(certify_round=5, validator=0)
+        builder.rounds(1, 4)
+        builder.round(5, authors=[0, 1])  # only 2 < 2f+1 shares
+        status = slot_status(committer.try_decide(1, 5), 1)
+        assert status.decision is Decision.UNDECIDED
+        assert status.slot.authority == UNKNOWN_AUTHORITY
+
+
+class TestDirectSkip:
+    def test_crashed_leader_is_skipped_directly(self):
+        """Section 5.3: the direct skip rule bypasses benign crashes."""
+        _, coin, builder, committer = make_setup()
+        coin.elect(certify_round=5, validator=3)
+        builder.rounds(1, 5, authors=[0, 1, 2])  # validator 3 crashed
+        status = slot_status(committer.try_decide(1, 5), 1)
+        assert status.decision is Decision.SKIP
+        assert status.direct
+
+    def test_skip_requires_quorum_of_vote_round_authors(self):
+        _, coin, builder, committer = make_setup()
+        coin.elect(certify_round=5, validator=3)
+        builder.rounds(1, 3, authors=[0, 1, 2])
+        builder.round(4, authors=[0, 1])  # vote round: only 2 authors
+        builder.round(5, authors=[0, 1, 2])
+        status = slot_status(committer.try_decide(1, 5), 1)
+        assert status.decision is Decision.UNDECIDED
+
+    def test_unsupported_live_leader_is_skipped(self):
+        """A leader block that no vote-round block can see is skipped even
+        though the leader did produce a block."""
+        _, coin, builder, committer = make_setup()
+        coin.elect(certify_round=5, validator=3)
+        # Validator 3 proposes in round 1 but nobody references its block.
+        builder.round(1)
+        for author in range(4):
+            builder.block(author, 2, parents=[(0, 1), (1, 1), (2, 1)])
+        builder.rounds(3, 5)
+        status = slot_status(committer.try_decide(1, 5), 1)
+        assert status.decision is Decision.SKIP
+        assert status.direct
+
+
+class TestEquivocation:
+    def build_split_vote(self, builder, voters_for_prime):
+        """Round-1 equivocation by validator 0: block A and block A'.
+
+        Validators in ``voters_for_prime`` reference A' first in their
+        own chain (everyone else references A first) and every block
+        lists its own previous block as first parent, so the vote-round
+        depth-first search of validator ``a`` reaches ``a``'s chosen
+        sibling first (Observation 1: a block votes for at most one
+        equivocation).
+        """
+        builder.block(0, 1, parents=[(0, 0), (1, 0), (2, 0), (3, 0)])            # A
+        builder.block(0, 1, parents=[(0, 0), (1, 0), (2, 0), (3, 0)], tag="x")   # A'
+        for author in (1, 2, 3):
+            builder.block(author, 1)
+        for author in range(4):
+            first = (0, 1, "x") if author in voters_for_prime else (0, 1)
+            builder.block(author, 2, parents=[first, (1, 1), (2, 1), (3, 1)])
+        for round_number in (3, 4):
+            for author in range(4):
+                others = [(a, round_number - 1) for a in range(4) if a != author]
+                builder.block(
+                    author, round_number, parents=[(author, round_number - 1), *others]
+                )
+        builder.round(5)
+
+    def test_one_equivocating_sibling_commits_the_other_skips(self):
+        """Appendix B: L5b is skipped, L5b' certified and committed."""
+        _, coin, builder, committer = make_setup()
+        coin.elect(certify_round=5, validator=0)
+        self.build_split_vote(builder, voters_for_prime={1, 2, 3})
+        status = slot_status(committer.try_decide(1, 5), 1)
+        assert status.decision is Decision.COMMIT
+        assert status.block == builder.get(0, 1, "x")
+
+    def test_split_votes_leave_slot_undecided_directly(self):
+        """2-2 vote split: neither sibling reaches 2f+1 votes nor 2f+1
+        non-votes, so the direct rule cannot classify the slot."""
+        _, coin, builder, committer = make_setup()
+        coin.elect(certify_round=5, validator=0)
+        self.build_split_vote(builder, voters_for_prime={2, 3})
+        status = slot_status(committer.try_decide(1, 5), 1)
+        assert status.decision is Decision.UNDECIDED
+
+    def test_at_most_one_sibling_ever_commits(self):
+        """Lemma 2 consequence: sweep every vote split and check that we
+        never commit both siblings."""
+        for voters in ({1}, {1, 2}, {1, 2, 3}, set(), {3}):
+            _, coin, builder, committer = make_setup()
+            coin.elect(certify_round=5, validator=0)
+            self.build_split_vote(builder, voters_for_prime=voters)
+            status = slot_status(committer.try_decide(1, 5), 1)
+            if status.decision is Decision.COMMIT:
+                assert status.block in (builder.get(0, 1), builder.get(0, 1, "x"))
+
+
+def build_partial_support(builder, voters, certifier_sets):
+    """Rounds 1..5 where exactly ``voters`` produce vote-round blocks
+    whose history contains leader L = (v0, r1), and the round-5 block of
+    author ``i`` references the round-4 blocks of ``certifier_sets[i]``.
+
+    One designated *carrier* (the highest-indexed voter) keeps L in its
+    chain through rounds 2-3; everyone else's chain avoids L, which is
+    possible because three L-free blocks exist at every round.  Voters
+    then reference the carrier's round-3 block; non-voters reference
+    only the three L-free round-3 blocks.
+    """
+    carrier = max(voters)
+    others = [a for a in range(4) if a != carrier]
+    builder.round(1)
+    for round_number in (2, 3):
+        for author in range(4):
+            if author == carrier:
+                parents = [(a, round_number - 1) for a in range(4)]
+            elif round_number == 2:
+                parents = [(a, 1) for a in range(4) if a != 0]  # avoid L
+            else:
+                parents = [(a, 2) for a in others]  # L-free chains only
+            builder.block(author, round_number, parents=parents)
+    for author in range(4):
+        if author in voters:
+            # Includes the carrier's chain, hence L.
+            parents = sorted({(carrier, 3), (others[0], 3), (others[1], 3)})
+        else:
+            parents = [(a, 3) for a in others]
+        builder.block(author, 4, parents=parents)
+    for author in range(4):
+        parents = [(a, 4) for a in certifier_sets[author]]
+        builder.block(author, 5, parents=parents)
+
+
+class TestIndirectRule:
+    def test_indirect_commit_via_anchor(self):
+        """One certificate exists but not 2f+1; the anchor (next wave's
+        committed leader) references it, so the slot commits indirectly."""
+        _, coin, builder, committer = make_setup()
+        coin.elect(certify_round=5, validator=0)   # slot under test, round 1
+        coin.elect(certify_round=10, validator=0)  # anchor slot, round 6
+        # Voters {1,2,3} vote for L; only validator 1's certify block
+        # references all three votes (a certificate); others see only 2.
+        build_partial_support(
+            builder,
+            voters={1, 2, 3},
+            certifier_sets={0: [0, 2, 3], 1: [1, 2, 3], 2: [0, 2, 3], 3: [0, 2, 3]},
+        )
+        builder.rounds(6, 10)
+        statuses = committer.try_decide(1, 10)
+        anchor = slot_status(statuses, 6)
+        assert anchor.decision is Decision.COMMIT and anchor.direct
+        status = slot_status(statuses, 1)
+        assert status.decision is Decision.COMMIT
+        assert not status.direct
+        assert status.block == builder.get(0, 1)
+
+    def test_indirect_skip_when_no_certificate_exists(self):
+        """Two votes only — no certificate can exist, but only 2 non-
+        voters, so the direct rule stays undecided; the anchor then
+        skips the slot."""
+        _, coin, builder, committer = make_setup()
+        coin.elect(certify_round=5, validator=0)
+        coin.elect(certify_round=10, validator=0)
+        build_partial_support(
+            builder,
+            voters={1, 2},
+            certifier_sets={i: [0, 1, 2, 3] for i in range(4)},
+        )
+        builder.rounds(6, 10)
+        statuses = committer.try_decide(1, 10)
+        status = slot_status(statuses, 1)
+        assert status.decision is Decision.SKIP
+        assert not status.direct
+
+    def test_undecided_anchor_keeps_slot_undecided(self):
+        _, coin, builder, committer = make_setup()
+        coin.elect(certify_round=5, validator=0)
+        build_partial_support(
+            builder,
+            voters={1, 2, 3},
+            certifier_sets={0: [0, 2, 3], 1: [1, 2, 3], 2: [0, 2, 3], 3: [0, 2, 3]},
+        )
+        # No rounds past 5: every potential anchor is undecided.
+        statuses = committer.try_decide(1, 5)
+        status = slot_status(statuses, 1)
+        assert status.decision is Decision.UNDECIDED
+
+
+class TestMultipleLeaderSlots:
+    def test_two_slots_per_round_commit_independently(self):
+        committee, coin, builder, committer = make_setup(leaders_per_round=2)
+        coin.values[5] = 1  # slot offsets 0,1 -> validators 1,2
+        builder.rounds(1, 5)
+        statuses = committer.try_decide(1, 5)
+        first = slot_status(statuses, 1, offset=0)
+        second = slot_status(statuses, 1, offset=1)
+        assert first.decision is Decision.COMMIT and first.block.author == 1
+        assert second.decision is Decision.COMMIT and second.block.author == 2
+
+    def test_crashed_second_slot_skips_while_first_commits(self):
+        committee, coin, builder, committer = make_setup(leaders_per_round=2)
+        coin.values[5] = 2  # offsets 0,1 -> validators 2,3; 3 is crashed
+        builder.rounds(1, 5, authors=[0, 1, 2])
+        statuses = committer.try_decide(1, 5)
+        assert slot_status(statuses, 1, offset=0).decision is Decision.COMMIT
+        assert slot_status(statuses, 1, offset=1).decision is Decision.SKIP

@@ -1,0 +1,62 @@
+"""Unit tests for leader slots and slot statuses."""
+
+import pytest
+
+from repro.block import Block
+from repro.core.slots import Decision, LeaderSlot, SlotStatus
+
+
+class TestLeaderSlot:
+    def test_ordering_by_round_then_offset(self):
+        slots = [
+            LeaderSlot(round=2, offset=0, authority=1),
+            LeaderSlot(round=1, offset=1, authority=2),
+            LeaderSlot(round=1, offset=0, authority=3),
+        ]
+        ordered = sorted(slots)
+        assert [(s.round, s.offset) for s in ordered] == [(1, 0), (1, 1), (2, 0)]
+
+    def test_repr_is_compact(self):
+        assert repr(LeaderSlot(round=3, offset=1, authority=2)) == "Slot(r3, l1, v2)"
+
+
+class TestSlotStatus:
+    def slot(self):
+        return LeaderSlot(round=1, offset=0, authority=0)
+
+    def block(self):
+        return Block(author=0, round=1, parents=())
+
+    def test_commit_requires_block(self):
+        with pytest.raises(ValueError):
+            SlotStatus(slot=self.slot(), decision=Decision.COMMIT)
+
+    def test_skip_must_not_carry_block(self):
+        with pytest.raises(ValueError):
+            SlotStatus(slot=self.slot(), decision=Decision.SKIP, block=self.block())
+
+    def test_undecided_must_not_carry_block(self):
+        with pytest.raises(ValueError):
+            SlotStatus(
+                slot=self.slot(), decision=Decision.UNDECIDED, block=self.block()
+            )
+
+    def test_is_decided(self):
+        commit = SlotStatus(
+            slot=self.slot(), decision=Decision.COMMIT, block=self.block()
+        )
+        skip = SlotStatus(slot=self.slot(), decision=Decision.SKIP)
+        undecided = SlotStatus(slot=self.slot(), decision=Decision.UNDECIDED)
+        assert commit.is_decided and skip.is_decided
+        assert not undecided.is_decided
+
+    def test_repr_shows_rule(self):
+        direct = SlotStatus(
+            slot=self.slot(), decision=Decision.COMMIT, block=self.block(), direct=True
+        )
+        assert "direct" in repr(direct)
+        indirect = SlotStatus(slot=self.slot(), decision=Decision.SKIP, direct=False)
+        assert "indirect" in repr(indirect)
+        assert "UNDECIDED" in repr(
+            SlotStatus(slot=self.slot(), decision=Decision.UNDECIDED)
+        )

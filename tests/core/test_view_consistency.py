@@ -1,0 +1,123 @@
+"""Decision consistency across divergent local views (Lemmas 3-6).
+
+The safety proofs reduce to one claim: if any honest validator's view
+classifies a slot ``commit(b)``, no other honest view — however partial
+— classifies it ``skip`` or ``commit(b')``.  These tests generate full
+DAGs under randomized schedules, carve out many *causally-closed partial
+views*, run an independent committer over each, and assert that no slot
+is ever decided inconsistently across views.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.committee import Committee
+from repro.config import ProtocolConfig
+from repro.core.committer import Committer
+from repro.core.slots import Decision
+from repro.crypto.coin import FastCoin
+from repro.dag.store import DagStore
+
+from .test_agreement_random import RandomScheduleCluster
+
+
+def causally_closed_view(full_store: DagStore, tip_fraction: float, rng: random.Random) -> DagStore:
+    """A new store holding the causal closure of a random tip subset."""
+    blocks = sorted(full_store, key=lambda b: (b.round, b.author, b.digest))
+    tips = [b for b in blocks if b.round >= full_store.highest_round - 2]
+    chosen = [b for b in tips if rng.random() < tip_fraction]
+    include = {b.digest for b in blocks if b.round == 0}
+    stack = list(chosen)
+    while stack:
+        block = stack.pop()
+        if block.digest in include:
+            continue
+        include.add(block.digest)
+        for parent in block.parents:
+            if parent.digest not in include:
+                stack.append(full_store.get(parent.digest))
+    view = DagStore()
+    for block in blocks:  # round order keeps parents-before-children
+        if block.digest in include:
+            view.add(block)
+    return view
+
+
+def decide_view(view: DagStore, committee: Committee, coin, config: ProtocolConfig):
+    committer = Committer(view, committee, coin, config)
+    return committer.try_decide(1, view.highest_round)
+
+
+@pytest.mark.parametrize("seed", range(6))
+@pytest.mark.parametrize("wave,leaders", [(5, 2), (4, 2), (5, 1)])
+def test_no_conflicting_decisions_across_views(seed, wave, leaders):
+    cluster = RandomScheduleCluster(n=4, wave=wave, leaders=leaders, seed=seed)
+    cluster.run(25)
+    committee = cluster.committee
+    coin = FastCoin(seed=b"agree", n=4, threshold=committee.quorum_threshold)
+    config = ProtocolConfig(wave_length=wave, leaders_per_round=leaders)
+    full_store = cluster.cores[0].store
+    rng = random.Random(repr(("views", seed)))
+
+    # The full view plus several partial ones.
+    views = [full_store]
+    for _ in range(5):
+        views.append(causally_closed_view(full_store, rng.uniform(0.3, 0.9), rng))
+
+    decisions: dict[tuple[int, int], dict] = {}
+    for view in views:
+        for status in decide_view(view, committee, coin, config):
+            if not status.is_decided:
+                continue
+            key = (status.slot.round, status.slot.offset)
+            record = decisions.setdefault(key, {"commit": set(), "skip": False})
+            if status.decision is Decision.COMMIT:
+                record["commit"].add(status.block.digest)
+            else:
+                record["skip"] = True
+
+    conflicts = []
+    for key, record in decisions.items():
+        if len(record["commit"]) > 1:
+            conflicts.append((key, "two different blocks committed"))
+        if record["commit"] and record["skip"]:
+            conflicts.append((key, "committed in one view, skipped in another"))
+    assert not conflicts, conflicts
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_no_conflicting_decisions_with_equivocator(seed):
+    """Equivocating proposals are the hard case for view consistency:
+    different views may hold different siblings."""
+    cluster = RandomScheduleCluster(n=4, wave=5, leaders=2, seed=seed, equivocators={1})
+    cluster.run(25)
+    committee = cluster.committee
+    coin = FastCoin(seed=b"agree", n=4, threshold=committee.quorum_threshold)
+    config = ProtocolConfig(wave_length=5, leaders_per_round=2)
+    rng = random.Random(repr(("equiv-views", seed)))
+
+    # Use each honest validator's real (divergent) store as a view, plus
+    # carved sub-views of the first one.
+    views = [core.store for core in cluster.honest()]
+    views += [
+        causally_closed_view(views[0], rng.uniform(0.4, 0.9), rng) for _ in range(3)
+    ]
+
+    decisions: dict[tuple[int, int], dict] = {}
+    for view in views:
+        for status in decide_view(view, committee, coin, config):
+            if not status.is_decided:
+                continue
+            key = (status.slot.round, status.slot.offset)
+            record = decisions.setdefault(key, {"commit": set(), "skip": False})
+            if status.decision is Decision.COMMIT:
+                record["commit"].add(status.block.digest)
+            else:
+                record["skip"] = True
+
+    for key, record in decisions.items():
+        assert len(record["commit"]) <= 1, f"slot {key}: two siblings committed"
+        assert not (record["commit"] and record["skip"]), f"slot {key}: commit vs skip"

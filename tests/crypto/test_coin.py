@@ -1,0 +1,114 @@
+"""Tests for the common coin implementations (Section 2.1, footnote 5)."""
+
+import pytest
+
+from repro.crypto.coin import CoinShare, FastCoin, ThresholdCoin
+from repro.errors import InsufficientShares, InvalidShare
+
+
+@pytest.fixture(scope="module")
+def threshold_coins():
+    """Dealing is expensive (2048-bit exponentiation); share it."""
+    return ThresholdCoin.deal(n=4, threshold=3, seed=1)
+
+
+class TestThresholdCoin:
+    def test_reconstruct_from_quorum(self, threshold_coins):
+        shares = [coin.share(i, 7) for i, coin in enumerate(threshold_coins)]
+        value = threshold_coins[0].reconstruct(7, shares[:3])
+        assert value == threshold_coins[3].reconstruct(7, shares[1:])
+
+    def test_any_subset_gives_same_coin(self, threshold_coins):
+        shares = [coin.share(i, 9) for i, coin in enumerate(threshold_coins)]
+        a = threshold_coins[0].reconstruct(9, [shares[0], shares[1], shares[2]])
+        b = threshold_coins[0].reconstruct(9, [shares[1], shares[2], shares[3]])
+        c = threshold_coins[0].reconstruct(9, [shares[0], shares[2], shares[3]])
+        assert a == b == c
+
+    def test_different_rounds_differ(self, threshold_coins):
+        def coin_for(round_number):
+            shares = [c.share(i, round_number) for i, c in enumerate(threshold_coins)]
+            return threshold_coins[0].reconstruct(round_number, shares)
+
+        assert coin_for(1) != coin_for(2)
+
+    def test_share_verification(self, threshold_coins):
+        share = threshold_coins[2].share(2, 5)
+        assert threshold_coins[0].verify_share(share)
+
+    def test_forged_share_rejected(self, threshold_coins):
+        share = threshold_coins[2].share(2, 5)
+        forged = CoinShare(author=share.author, round=share.round, value=b"\x01" * 32)
+        assert not threshold_coins[0].verify_share(forged)
+        good = [threshold_coins[i].share(i, 5) for i in (0, 1)]
+        with pytest.raises(InvalidShare):
+            threshold_coins[0].reconstruct(5, good + [forged])
+
+    def test_share_for_wrong_round_ignored(self, threshold_coins):
+        shares = [threshold_coins[i].share(i, 3) for i in range(3)]
+        wrong = threshold_coins[3].share(3, 4)
+        with pytest.raises(InsufficientShares):
+            threshold_coins[0].reconstruct(4, shares[:2] + [wrong])
+
+    def test_insufficient_shares(self, threshold_coins):
+        shares = [threshold_coins[i].share(i, 3) for i in range(2)]
+        with pytest.raises(InsufficientShares):
+            threshold_coins[0].reconstruct(3, shares)
+
+    def test_cannot_share_for_other_validator(self, threshold_coins):
+        with pytest.raises(InvalidShare):
+            threshold_coins[0].share(1, 3)
+
+    def test_duplicate_authors_do_not_count(self, threshold_coins):
+        share = threshold_coins[0].share(0, 3)
+        with pytest.raises(InsufficientShares):
+            threshold_coins[0].reconstruct(3, [share, share, share])
+
+
+class TestFastCoin:
+    def make(self, n=4, threshold=3):
+        return FastCoin(seed=b"test", n=n, threshold=threshold)
+
+    def test_reconstruct_deterministic(self):
+        coin = self.make()
+        shares = [coin.share(i, 5) for i in range(3)]
+        assert coin.reconstruct(5, shares) == coin.reconstruct(5, shares)
+
+    def test_rounds_differ(self):
+        coin = self.make()
+        values = {
+            coin.reconstruct(r, [coin.share(i, r) for i in range(3)]) for r in range(10)
+        }
+        assert len(values) == 10
+
+    def test_insufficient(self):
+        coin = self.make()
+        with pytest.raises(InsufficientShares):
+            coin.reconstruct(5, [coin.share(0, 5)])
+
+    def test_invalid_shares_not_counted(self):
+        coin = self.make()
+        bogus = CoinShare(author=1, round=5, value=b"\x00" * 32)
+        with pytest.raises(InsufficientShares):
+            coin.reconstruct(5, [coin.share(0, 5), bogus, coin.share(2, 5)])
+
+    def test_share_verification(self):
+        coin = self.make()
+        assert coin.verify_share(coin.share(2, 8))
+        assert not coin.verify_share(CoinShare(author=2, round=8, value=b"nope"))
+
+    def test_leader_election_uniformity(self):
+        """Leaders drawn over many rounds should cover the committee."""
+        coin = self.make(n=10, threshold=7)
+        leaders = {
+            coin.leader(r, [coin.share(i, r) for i in range(7)], committee_size=10)
+            for r in range(200)
+        }
+        assert leaders == set(range(10))
+
+    def test_leader_offset_shifts(self):
+        coin = self.make()
+        shares = [coin.share(i, 3) for i in range(3)]
+        base = coin.leader(3, shares, committee_size=4, offset=0)
+        shifted = coin.leader(3, shares, committee_size=4, offset=1)
+        assert shifted == (base + 1) % 4

@@ -1,0 +1,51 @@
+"""Tests for :mod:`repro.crypto.hashing`."""
+
+from repro.crypto.hashing import DIGEST_SIZE, hash_bytes, hash_parts, hash_to_int
+
+
+class TestHashBytes:
+    def test_digest_size(self):
+        assert len(hash_bytes(b"data")) == DIGEST_SIZE == 32
+
+    def test_deterministic(self):
+        assert hash_bytes(b"data") == hash_bytes(b"data")
+
+    def test_different_inputs_differ(self):
+        assert hash_bytes(b"a") != hash_bytes(b"b")
+
+    def test_personalization_separates_domains(self):
+        assert hash_bytes(b"x", person=b"block") != hash_bytes(b"x", person=b"coin")
+
+    def test_long_personalization_truncated_not_rejected(self):
+        assert len(hash_bytes(b"x", person=b"p" * 40)) == DIGEST_SIZE
+
+
+class TestHashParts:
+    def test_framing_is_unambiguous(self):
+        """Length framing: ["ab","c"] must differ from ["a","bc"]."""
+        assert hash_parts([b"ab", b"c"]) != hash_parts([b"a", b"bc"])
+
+    def test_empty_parts_are_significant(self):
+        assert hash_parts([b""]) != hash_parts([])
+        assert hash_parts([b"", b"x"]) != hash_parts([b"x"])
+
+    def test_matches_for_equal_sequences(self):
+        assert hash_parts([b"a", b"b"]) == hash_parts([b"a", b"b"])
+
+    def test_accepts_generators(self):
+        assert hash_parts(p for p in [b"a", b"b"]) == hash_parts([b"a", b"b"])
+
+
+class TestHashToInt:
+    def test_range(self):
+        for modulus in (7, 100, 2**61 - 1):
+            for i in range(50):
+                value = hash_to_int(i.to_bytes(4, "little"), modulus)
+                assert 0 <= value < modulus
+
+    def test_deterministic(self):
+        assert hash_to_int(b"x", 97) == hash_to_int(b"x", 97)
+
+    def test_spreads_over_small_modulus(self):
+        values = {hash_to_int(bytes([i]), 10) for i in range(100)}
+        assert len(values) == 10  # every residue hit across 100 inputs

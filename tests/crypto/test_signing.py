@@ -1,0 +1,90 @@
+"""Tests for the signature schemes (null MAC and Schnorr)."""
+
+import pytest
+
+from repro.crypto.schnorr import SchnorrSignatureScheme, G, P, Q
+from repro.crypto.signing import NullSignatureScheme, generate_keys
+from repro.errors import InvalidSignature
+
+SCHEMES = [NullSignatureScheme(), SchnorrSignatureScheme()]
+
+
+@pytest.mark.parametrize("scheme", SCHEMES, ids=lambda s: s.name)
+class TestSchemeContract:
+    """Behaviour every scheme must share."""
+
+    def test_sign_verify_roundtrip(self, scheme):
+        keys = scheme.generate(b"seed")
+        signature = scheme.sign(keys.private_key, b"message")
+        assert scheme.verify(keys.public_key, b"message", signature)
+
+    def test_wrong_message_rejected(self, scheme):
+        keys = scheme.generate(b"seed")
+        signature = scheme.sign(keys.private_key, b"message")
+        assert not scheme.verify(keys.public_key, b"other", signature)
+
+    def test_wrong_key_rejected(self, scheme):
+        keys_a = scheme.generate(b"a")
+        keys_b = scheme.generate(b"b")
+        signature = scheme.sign(keys_a.private_key, b"message")
+        assert not scheme.verify(keys_b.public_key, b"message", signature)
+
+    def test_tampered_signature_rejected(self, scheme):
+        keys = scheme.generate(b"seed")
+        signature = bytearray(scheme.sign(keys.private_key, b"message"))
+        signature[0] ^= 0x01
+        assert not scheme.verify(keys.public_key, b"message", bytes(signature))
+
+    def test_deterministic_keygen(self, scheme):
+        assert scheme.generate(b"s") == scheme.generate(b"s")
+        assert scheme.generate(b"s") != scheme.generate(b"t")
+
+    def test_deterministic_signing(self, scheme):
+        keys = scheme.generate(b"seed")
+        assert scheme.sign(keys.private_key, b"m") == scheme.sign(keys.private_key, b"m")
+
+    def test_check_raises_on_bad_signature(self, scheme):
+        keys = scheme.generate(b"seed")
+        with pytest.raises(InvalidSignature):
+            scheme.check(keys.public_key, b"message", b"\x00" * 64)
+
+    def test_empty_message(self, scheme):
+        keys = scheme.generate(b"seed")
+        signature = scheme.sign(keys.private_key, b"")
+        assert scheme.verify(keys.public_key, b"", signature)
+
+
+class TestSchnorrSpecifics:
+    def test_group_parameters(self):
+        """G generates the prime-order-Q subgroup: G^Q = 1 mod P."""
+        assert pow(G, Q, P) == 1
+        assert P % 2 == 1
+
+    def test_signature_malformed_lengths_rejected(self):
+        scheme = SchnorrSignatureScheme()
+        keys = scheme.generate(b"seed")
+        assert not scheme.verify(keys.public_key, b"m", b"short")
+        assert not scheme.verify(keys.public_key, b"m", b"")
+
+    def test_identity_public_key_rejected(self):
+        scheme = SchnorrSignatureScheme()
+        keys = scheme.generate(b"seed")
+        signature = scheme.sign(keys.private_key, b"m")
+        bogus = (1).to_bytes(256, "big")
+        assert not scheme.verify(bogus, b"m", signature)
+
+
+class TestGenerateKeys:
+    def test_generates_distinct_committee_keys(self):
+        keys = generate_keys(NullSignatureScheme(), 10)
+        assert len({k.public_key for k in keys}) == 10
+
+    def test_reproducible_with_seed(self):
+        a = generate_keys(NullSignatureScheme(), 4, seed=b"x")
+        b = generate_keys(NullSignatureScheme(), 4, seed=b"x")
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = generate_keys(NullSignatureScheme(), 4, seed=b"x")
+        b = generate_keys(NullSignatureScheme(), 4, seed=b"y")
+        assert a != b

@@ -1,0 +1,99 @@
+"""Tests for Shamir sharing with Feldman commitments."""
+
+import pytest
+
+from repro.crypto.schnorr import G, P, Q
+from repro.crypto.threshold import (
+    SecretShare,
+    combine_shares,
+    deal,
+    interpolate_at_zero,
+    lagrange_coefficient,
+)
+from repro.errors import CryptoError, InsufficientShares, InvalidShare
+
+
+class TestInterpolation:
+    def test_constant_polynomial(self):
+        assert interpolate_at_zero([(1, 5), (2, 5), (3, 5)]) == 5
+
+    def test_linear_polynomial(self):
+        # f(x) = 3 + 2x -> f(0) = 3
+        points = [(x, (3 + 2 * x) % Q) for x in (1, 4)]
+        assert interpolate_at_zero(points) == 3
+
+    def test_quadratic_polynomial(self):
+        # f(x) = 7 + x + 5x^2
+        poly = lambda x: (7 + x + 5 * x * x) % Q  # noqa: E731
+        points = [(x, poly(x)) for x in (2, 5, 9)]
+        assert interpolate_at_zero(points) == 7
+
+    def test_duplicate_points_rejected(self):
+        with pytest.raises(CryptoError):
+            interpolate_at_zero([(1, 2), (1, 3)])
+
+    def test_lagrange_coefficients_sum_for_constant(self):
+        xs = [1, 2, 3, 4]
+        total = sum(lagrange_coefficient(xs, j) for j in range(len(xs))) % Q
+        assert total == 1
+
+
+class TestDealing:
+    def test_reconstruct_from_any_threshold_subset(self):
+        setup, shares = deal(n=7, threshold=5, seed=3)
+        full = combine_shares(setup, shares)
+        assert combine_shares(setup, shares[:5]) == full
+        assert combine_shares(setup, shares[2:7]) == full
+        assert combine_shares(setup, [shares[0], shares[2], shares[4], shares[5], shares[6]]) == full
+
+    def test_insufficient_shares_rejected(self):
+        setup, shares = deal(n=7, threshold=5)
+        with pytest.raises(InsufficientShares):
+            combine_shares(setup, shares[:4])
+
+    def test_duplicate_shares_do_not_count_twice(self):
+        setup, shares = deal(n=4, threshold=3)
+        with pytest.raises(InsufficientShares):
+            combine_shares(setup, [shares[0], shares[0], shares[0], shares[1]])
+
+    def test_share_verification(self):
+        setup, shares = deal(n=4, threshold=3)
+        for share in shares:
+            assert setup.verify_share(share)
+
+    def test_forged_share_detected(self):
+        setup, shares = deal(n=4, threshold=3)
+        forged = SecretShare(index=0, value=(shares[0].value + 1) % Q)
+        assert not setup.verify_share(forged)
+        with pytest.raises(InvalidShare):
+            combine_shares(setup, [forged, shares[1], shares[2]])
+
+    def test_out_of_range_index_fails_verification(self):
+        setup, shares = deal(n=4, threshold=3)
+        assert not setup.verify_share(SecretShare(index=9, value=shares[0].value))
+
+    def test_commitment_zero_is_secret_commitment(self):
+        setup, shares = deal(n=4, threshold=3, seed=11)
+        secret = combine_shares(setup, shares)
+        assert pow(G, secret, P) == setup.commitments[0]
+
+    def test_deterministic_dealing(self):
+        a = deal(n=4, threshold=3, seed=5)
+        b = deal(n=4, threshold=3, seed=5)
+        assert a[0] == b[0]
+        assert a[1] == b[1]
+
+    def test_different_seeds_give_different_secrets(self):
+        setup_a, shares_a = deal(n=4, threshold=3, seed=1)
+        setup_b, shares_b = deal(n=4, threshold=3, seed=2)
+        assert combine_shares(setup_a, shares_a) != combine_shares(setup_b, shares_b)
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(CryptoError):
+            deal(n=4, threshold=0)
+        with pytest.raises(CryptoError):
+            deal(n=4, threshold=5)
+
+    def test_unverified_combine_skips_checks(self):
+        setup, shares = deal(n=4, threshold=3)
+        assert combine_shares(setup, shares, verify=False) == combine_shares(setup, shares)

@@ -1,0 +1,198 @@
+"""Tests for block validity (Section 2.3's three conditions)."""
+
+import pytest
+
+from repro.block import Block, make_genesis
+from repro.committee import Committee
+from repro.crypto.coin import CoinShare, FastCoin
+from repro.crypto.signing import NullSignatureScheme, generate_keys
+from repro.dag.validation import BlockVerifier
+from repro.errors import BlockValidationError
+
+
+@pytest.fixture
+def env():
+    scheme = NullSignatureScheme()
+    keys = generate_keys(scheme, 4)
+    committee = Committee.of_size(4, public_keys=[k.public_key for k in keys])
+    coin = FastCoin(seed=b"v", n=4, threshold=committee.quorum_threshold)
+    genesis = make_genesis(4)
+    return scheme, keys, committee, coin, genesis
+
+
+def make_block(env, *, author=0, round_number=1, parents=None, share=True, sign=True, salt=b""):
+    scheme, keys, committee, coin, genesis = env
+    parents = tuple(b.reference for b in genesis) if parents is None else parents
+    block = Block(
+        author=author,
+        round=round_number,
+        parents=parents,
+        coin_share=coin.share(author, round_number) if share else None,
+        salt=salt,
+    )
+    if sign:
+        block = Block(
+            author=block.author,
+            round=block.round,
+            parents=block.parents,
+            coin_share=block.coin_share,
+            salt=block.salt,
+            signature=scheme.sign(keys[author].private_key, block.signable_bytes()),
+        )
+    return block
+
+
+class TestStructure:
+    def test_valid_block_passes(self, env):
+        _, _, committee, coin, _ = env
+        verifier = BlockVerifier(committee, NullSignatureScheme(), coin)
+        verifier.verify(make_block(env))
+
+    def test_unknown_author_rejected(self, env):
+        _, _, committee, _, _ = env
+        verifier = BlockVerifier(committee)
+        block = make_block(env, author=0)
+        bogus = Block(author=9, round=1, parents=block.parents)
+        with pytest.raises(BlockValidationError, match="not in committee"):
+            verifier.verify(bogus)
+
+    def test_genesis_with_parents_rejected(self, env):
+        _, _, committee, _, genesis = env
+        verifier = BlockVerifier(committee)
+        bogus = Block(author=0, round=0, parents=(genesis[1].reference,))
+        with pytest.raises(BlockValidationError, match="genesis"):
+            verifier.verify(bogus)
+
+    def test_insufficient_previous_round_parents_rejected(self, env):
+        _, _, committee, _, genesis = env
+        verifier = BlockVerifier(committee)
+        block = make_block(env, parents=tuple(b.reference for b in genesis[:2]), sign=False)
+        with pytest.raises(BlockValidationError, match="needs 3"):
+            verifier.verify_structure(block)
+
+    def test_parent_from_same_round_rejected(self, env):
+        _, _, committee, _, genesis = env
+        verifier = BlockVerifier(committee)
+        sibling = make_block(env, author=1, sign=False)
+        parents = tuple(b.reference for b in genesis) + (sibling.reference,)
+        block = make_block(env, parents=parents, sign=False)
+        with pytest.raises(BlockValidationError, match="earlier round"):
+            verifier.verify_structure(block)
+
+    def test_duplicate_parent_rejected(self, env):
+        _, _, committee, _, genesis = env
+        verifier = BlockVerifier(committee)
+        parents = tuple(b.reference for b in genesis) + (genesis[0].reference,)
+        block = make_block(env, parents=parents, sign=False)
+        with pytest.raises(BlockValidationError, match="duplicate"):
+            verifier.verify_structure(block)
+
+    def test_equivocating_parents_are_distinct_hence_valid(self, env):
+        """Section 2.3: hashes must point to *distinct* blocks; two
+        equivocating blocks of one slot have distinct digests."""
+        _, _, committee, _, genesis = env
+        verifier = BlockVerifier(committee)
+        sibling_a = make_block(env, author=1, round_number=1, salt=b"a", sign=False)
+        sibling_b = make_block(env, author=1, round_number=1, salt=b"b", sign=False)
+        parents = (
+            sibling_a.reference,
+            sibling_b.reference,
+            make_block(env, author=2, sign=False).reference,
+            make_block(env, author=3, sign=False).reference,
+        )
+        block = Block(author=0, round=2, parents=parents)
+        verifier.verify_structure(block)
+
+    def test_parent_author_outside_committee_rejected(self, env):
+        _, _, committee, _, genesis = env
+        verifier = BlockVerifier(committee)
+        bad_ref = genesis[0].reference
+        parents = tuple(b.reference for b in genesis[1:]) + (
+            type(bad_ref)(author=7, round=0, digest=b"\x01" * 32),
+        )
+        block = Block(author=0, round=1, parents=parents)
+        with pytest.raises(BlockValidationError, match="parent author"):
+            verifier.verify_structure(block)
+
+
+class TestCrypto:
+    def test_bad_signature_rejected(self, env):
+        scheme, keys, committee, coin, _ = env
+        verifier = BlockVerifier(committee, scheme, coin)
+        block = make_block(env, sign=False)
+        with pytest.raises(BlockValidationError, match="signature"):
+            verifier.verify(block)
+
+    def test_signature_by_wrong_validator_rejected(self, env):
+        scheme, keys, committee, coin, genesis = env
+        verifier = BlockVerifier(committee, scheme, coin)
+        unsigned = make_block(env, author=0, sign=False)
+        forged = Block(
+            author=0,
+            round=1,
+            parents=unsigned.parents,
+            coin_share=unsigned.coin_share,
+            signature=scheme.sign(keys[1].private_key, unsigned.signable_bytes()),
+        )
+        with pytest.raises(BlockValidationError, match="signature"):
+            verifier.verify(forged)
+
+    def test_missing_coin_share_rejected(self, env):
+        scheme, _, committee, coin, _ = env
+        verifier = BlockVerifier(committee, scheme, coin)
+        block = make_block(env, share=False)
+        with pytest.raises(BlockValidationError, match="coin share"):
+            verifier.verify(block)
+
+    def test_mismatched_coin_share_rejected(self, env):
+        scheme, keys, committee, coin, genesis = env
+        verifier = BlockVerifier(committee, scheme, coin)
+        wrong_share = coin.share(1, 1)  # share authored by someone else
+        block = Block(
+            author=0,
+            round=1,
+            parents=tuple(b.reference for b in genesis),
+            coin_share=wrong_share,
+        )
+        block = Block(
+            author=block.author,
+            round=block.round,
+            parents=block.parents,
+            coin_share=block.coin_share,
+            signature=scheme.sign(keys[0].private_key, block.signable_bytes()),
+        )
+        with pytest.raises(BlockValidationError, match="does not match"):
+            verifier.verify(block)
+
+    def test_invalid_coin_share_rejected(self, env):
+        scheme, keys, committee, coin, genesis = env
+        verifier = BlockVerifier(committee, scheme, coin)
+        bogus_share = CoinShare(author=0, round=1, value=b"\x00" * 32)
+        block = Block(
+            author=0,
+            round=1,
+            parents=tuple(b.reference for b in genesis),
+            coin_share=bogus_share,
+        )
+        block = Block(
+            author=block.author,
+            round=block.round,
+            parents=block.parents,
+            coin_share=block.coin_share,
+            signature=scheme.sign(keys[0].private_key, block.signable_bytes()),
+        )
+        with pytest.raises(BlockValidationError, match="invalid coin share"):
+            verifier.verify(block)
+
+    def test_genesis_needs_no_share_or_checks(self, env):
+        scheme, _, committee, coin, genesis = env
+        verifier = BlockVerifier(committee, scheme, coin)
+        block = genesis[0]
+        # Genesis blocks are unsigned in this implementation; structural
+        # verification passes and crypto checks skip the coin share.
+        verifier.verify_structure(block)
+
+    def test_verifier_without_crypto_only_checks_structure(self, env):
+        _, _, committee, _, _ = env
+        verifier = BlockVerifier(committee)
+        verifier.verify(make_block(env, sign=False, share=False))

@@ -1,0 +1,70 @@
+"""Tests for the runtime wire format."""
+
+import pytest
+
+from repro.block import Block, make_genesis
+from repro.crypto.coin import CoinShare
+from repro.errors import TransportError
+from repro.runtime.messages import (
+    BlockMessage,
+    FetchRequest,
+    FetchResponse,
+    MAX_FRAME,
+    decode_message,
+    encode_message,
+    frame,
+)
+from repro.transaction import Transaction
+
+
+def sample_block():
+    genesis = make_genesis(4)
+    return Block(
+        author=2,
+        round=1,
+        parents=tuple(b.reference for b in genesis),
+        transactions=(Transaction.dummy(5),),
+        coin_share=CoinShare(author=2, round=1, value=b"\x33" * 32),
+        signature=b"signature",
+    )
+
+
+class TestRoundtrips:
+    def test_block_message(self):
+        message = BlockMessage(block=sample_block())
+        decoded = decode_message(encode_message(message))
+        assert decoded == message
+        assert decoded.block.digest == message.block.digest
+
+    def test_fetch_request(self):
+        refs = tuple(b.reference for b in make_genesis(4))
+        decoded = decode_message(encode_message(FetchRequest(refs=refs)))
+        assert decoded == FetchRequest(refs=refs)
+
+    def test_empty_fetch_request(self):
+        decoded = decode_message(encode_message(FetchRequest(refs=())))
+        assert decoded.refs == ()
+
+    def test_fetch_response(self):
+        blocks = (sample_block(), *make_genesis(2))
+        decoded = decode_message(encode_message(FetchResponse(blocks=blocks)))
+        assert decoded == FetchResponse(blocks=blocks)
+
+
+class TestErrors:
+    def test_empty_buffer_rejected(self):
+        with pytest.raises(TransportError):
+            decode_message(b"")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(TransportError):
+            decode_message(b"\xff\x00\x00")
+
+    def test_oversized_frame_rejected(self):
+        with pytest.raises(TransportError):
+            frame(b"\x00" * (MAX_FRAME + 1))
+
+    def test_frame_prefixes_length(self):
+        framed = frame(b"abc")
+        assert framed[:4] == (3).to_bytes(4, "little")
+        assert framed[4:] == b"abc"

@@ -1,0 +1,110 @@
+"""Tests for the write-ahead log and crash recovery."""
+
+import pytest
+
+from repro.block import make_genesis
+from repro.errors import WalCorruptionError
+from repro.runtime.wal import (
+    RECORD_COMMIT_MARK,
+    RECORD_OWN_BLOCK,
+    RECORD_PEER_BLOCK,
+    WalRecord,
+    WriteAheadLog,
+)
+
+
+class TestAppendAndRead:
+    def test_records_roundtrip(self, tmp_path):
+        path = tmp_path / "test.wal"
+        with WriteAheadLog(path) as wal:
+            wal.append(RECORD_OWN_BLOCK, b"payload-1")
+            wal.append(RECORD_PEER_BLOCK, b"payload-2")
+        records = list(WriteAheadLog.read_records(path))
+        assert records == [
+            WalRecord(RECORD_OWN_BLOCK, b"payload-1"),
+            WalRecord(RECORD_PEER_BLOCK, b"payload-2"),
+        ]
+
+    def test_blocks_roundtrip(self, tmp_path):
+        path = tmp_path / "blocks.wal"
+        genesis = make_genesis(4)
+        with WriteAheadLog(path) as wal:
+            wal.append_own_block(genesis[0])
+            wal.append_peer_block(genesis[1])
+            wal.append_commit_mark(17)
+        own, peers, commit = WriteAheadLog.recover(path)
+        assert own == [genesis[0]]
+        assert peers == [genesis[1]]
+        assert commit == 17
+
+    def test_missing_file_yields_nothing(self, tmp_path):
+        assert list(WriteAheadLog.read_records(tmp_path / "absent.wal")) == []
+
+    def test_append_after_reopen(self, tmp_path):
+        path = tmp_path / "reopen.wal"
+        with WriteAheadLog(path) as wal:
+            wal.append(RECORD_OWN_BLOCK, b"first")
+        with WriteAheadLog(path) as wal:
+            wal.append(RECORD_OWN_BLOCK, b"second")
+        payloads = [r.payload for r in WriteAheadLog.read_records(path)]
+        assert payloads == [b"first", b"second"]
+
+    def test_highest_commit_mark_wins(self, tmp_path):
+        path = tmp_path / "marks.wal"
+        with WriteAheadLog(path) as wal:
+            wal.append_commit_mark(5)
+            wal.append_commit_mark(9)
+            wal.append_commit_mark(7)
+        _, _, commit = WriteAheadLog.recover(path)
+        assert commit == 9
+
+
+class TestCrashTolerance:
+    def write_then_truncate(self, path, cut):
+        with WriteAheadLog(path) as wal:
+            wal.append(RECORD_OWN_BLOCK, b"intact-record")
+            wal.append(RECORD_PEER_BLOCK, b"doomed-record")
+        data = path.read_bytes()
+        path.write_bytes(data[:-cut])
+
+    def test_truncated_tail_discarded(self, tmp_path):
+        path = tmp_path / "torn.wal"
+        self.write_then_truncate(path, cut=4)
+        records = list(WriteAheadLog.read_records(path))
+        assert [r.payload for r in records] == [b"intact-record"]
+
+    def test_truncated_tail_strict_raises(self, tmp_path):
+        path = tmp_path / "torn.wal"
+        self.write_then_truncate(path, cut=4)
+        with pytest.raises(WalCorruptionError):
+            list(WriteAheadLog.read_records(path, strict=True))
+
+    def test_corrupt_crc_discarded(self, tmp_path):
+        path = tmp_path / "flipped.wal"
+        with WriteAheadLog(path) as wal:
+            wal.append(RECORD_OWN_BLOCK, b"good")
+            wal.append(RECORD_OWN_BLOCK, b"bad-crc")
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF  # flip a payload byte of the last record
+        path.write_bytes(bytes(data))
+        records = list(WriteAheadLog.read_records(path))
+        assert [r.payload for r in records] == [b"good"]
+
+    def test_corrupt_crc_strict_raises(self, tmp_path):
+        path = tmp_path / "flipped.wal"
+        with WriteAheadLog(path) as wal:
+            wal.append(RECORD_OWN_BLOCK, b"payload")
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(WalCorruptionError):
+            list(WriteAheadLog.read_records(path, strict=True))
+
+    def test_recovery_after_partial_header(self, tmp_path):
+        path = tmp_path / "header.wal"
+        with WriteAheadLog(path) as wal:
+            wal.append(RECORD_OWN_BLOCK, b"complete")
+        with open(path, "ab") as handle:
+            handle.write(b"\x05\x00")  # 2 bytes of a 9-byte header
+        records = list(WriteAheadLog.read_records(path))
+        assert [r.payload for r in records] == [b"complete"]

@@ -1,0 +1,91 @@
+"""Tests for the discrete-event loop."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import EventLoop
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(0.3, fired.append, "c")
+        loop.schedule(0.1, fired.append, "a")
+        loop.schedule(0.2, fired.append, "b")
+        loop.run_until(1.0)
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_fire_in_insertion_order(self):
+        loop = EventLoop()
+        fired = []
+        for tag in "abc":
+            loop.schedule(0.5, fired.append, tag)
+        loop.run_until(1.0)
+        assert fired == ["a", "b", "c"]
+
+    def test_now_advances_to_event_time(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule(0.25, lambda: seen.append(loop.now))
+        loop.run_until(1.0)
+        assert seen == [0.25]
+        assert loop.now == 1.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            EventLoop().schedule(-0.1, lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule(0.5, lambda: loop.schedule_at(0.75, lambda: seen.append(loop.now)))
+        loop.run_until(1.0)
+        assert seen == [0.75]
+
+    def test_schedule_at_past_time_fires_immediately(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule(0.5, lambda: loop.schedule_at(0.1, lambda: seen.append(loop.now)))
+        loop.run_until(1.0)
+        assert seen == [0.5]
+
+    def test_run_until_leaves_later_events_queued(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(0.5, fired.append, "early")
+        loop.schedule(2.0, fired.append, "late")
+        loop.run_until(1.0)
+        assert fired == ["early"]
+        assert loop.pending() == 1
+
+    def test_events_scheduled_during_run_execute(self):
+        loop = EventLoop()
+        fired = []
+
+        def cascade(depth):
+            fired.append(depth)
+            if depth < 3:
+                loop.schedule(0.1, cascade, depth + 1)
+
+        loop.schedule(0.0, cascade, 0)
+        loop.run_until(1.0)
+        assert fired == [0, 1, 2, 3]
+
+    def test_event_budget_guards_runaway(self):
+        loop = EventLoop()
+
+        def forever():
+            loop.schedule(0.0, forever)
+
+        loop.schedule(0.0, forever)
+        with pytest.raises(SimulationError):
+            loop.run_until(1.0, max_events=100)
+
+    def test_run_to_completion(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(5.0, fired.append, "x")
+        loop.run_to_completion()
+        assert fired == ["x"]
+        assert loop.events_processed == 1

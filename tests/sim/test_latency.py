@@ -1,0 +1,84 @@
+"""Tests for the WAN latency models."""
+
+import random
+
+import pytest
+
+from repro.sim.latency import (
+    GeoLatencyModel,
+    PAPER_REGIONS,
+    UniformLatencyModel,
+)
+
+
+class TestGeoModel:
+    def test_round_robin_region_assignment(self):
+        model = GeoLatencyModel(10)
+        assert model.region_of(0) == "us-east-2"
+        assert model.region_of(4) == "eu-south-1"
+        assert model.region_of(5) == "us-east-2"
+
+    def test_five_paper_regions(self):
+        assert len(PAPER_REGIONS) == 5
+        assert set(PAPER_REGIONS) == {
+            "us-east-2",
+            "us-west-2",
+            "af-south-1",
+            "ap-east-1",
+            "eu-south-1",
+        }
+
+    def test_symmetric_delays(self):
+        model = GeoLatencyModel(10)
+        for src in range(10):
+            for dst in range(10):
+                assert model.base_delay(src, dst) == model.base_delay(dst, src)
+
+    def test_intra_region_much_faster(self):
+        model = GeoLatencyModel(10)
+        # Validators 0 and 5 share us-east-2.
+        assert model.base_delay(0, 5) < 0.001
+        assert model.base_delay(0, 2) > 0.05
+
+    def test_all_pairs_defined(self):
+        model = GeoLatencyModel(50)
+        for src in range(50):
+            for dst in range(50):
+                assert model.base_delay(src, dst) >= 0
+
+    def test_jitter_is_small_and_positive(self):
+        model = GeoLatencyModel(10)
+        rng = random.Random(1)
+        base = model.base_delay(0, 2)
+        samples = [model.sample(0, 2, rng) for _ in range(200)]
+        assert all(s > 0 for s in samples)
+        assert all(abs(s - base) / base < 0.5 for s in samples)
+
+    def test_far_pair_is_cape_town_hong_kong(self):
+        model = GeoLatencyModel(10)
+        delays = {
+            (model.region_of(a), model.region_of(b)): model.base_delay(a, b)
+            for a in range(5)
+            for b in range(5)
+            if a != b
+        }
+        worst = max(delays, key=delays.get)
+        assert set(worst) == {"af-south-1", "ap-east-1"}
+
+
+class TestUniformModel:
+    def test_constant_delay(self):
+        model = UniformLatencyModel(0.1)
+        rng = random.Random(0)
+        assert model.sample(0, 1, rng) == 0.1
+        assert model.sample(3, 2, rng) == 0.1
+
+    def test_self_delay_is_intra_region(self):
+        model = UniformLatencyModel(0.1)
+        assert model.base_delay(2, 2) < 0.001
+
+    def test_optional_jitter(self):
+        model = UniformLatencyModel(0.1, jitter_sigma=0.1)
+        rng = random.Random(0)
+        samples = {model.sample(0, 1, rng) for _ in range(10)}
+        assert len(samples) > 1

@@ -1,0 +1,124 @@
+"""Tests for metrics collection and the open-loop client."""
+
+import math
+
+import pytest
+
+from repro.sim.client import OpenLoopClient, reset_tx_ids
+from repro.sim.events import EventLoop
+from repro.sim.metrics import ExperimentMetrics, LatencySummary
+
+
+class TestMetrics:
+    def test_latency_recorded_per_transaction(self):
+        metrics = ExperimentMetrics()
+        metrics.record_submission(1, 0.0)
+        metrics.record_commit(1, 0.8)
+        summary = metrics.latency_summary()
+        assert summary.avg == pytest.approx(0.8)
+        assert summary.count == 1
+
+    def test_warmup_excluded(self):
+        metrics = ExperimentMetrics(warmup=5.0)
+        metrics.record_submission(1, 1.0)  # during warmup
+        metrics.record_submission(2, 6.0)
+        metrics.record_commit(1, 2.0)
+        metrics.record_commit(2, 6.5)
+        summary = metrics.latency_summary()
+        assert summary.count == 1
+        assert summary.avg == pytest.approx(0.5)
+
+    def test_duplicate_commits_counted_once(self):
+        metrics = ExperimentMetrics()
+        metrics.record_submission(1, 0.0)
+        metrics.record_commit(1, 0.5)
+        metrics.record_commit(1, 0.9)
+        assert metrics.committed_unique == 1
+        assert metrics.duplicate_commits == 1
+
+    def test_weighted_latency_and_throughput(self):
+        metrics = ExperimentMetrics()
+        metrics.record_submission(1, 0.0, weight=10.0)
+        metrics.record_submission(2, 0.0, weight=30.0)
+        metrics.record_commit(1, 1.0)
+        metrics.record_commit(2, 2.0)
+        summary = metrics.latency_summary()
+        assert summary.avg == pytest.approx((1.0 * 10 + 2.0 * 30) / 40)
+        assert metrics.throughput(duration=10.0) == pytest.approx(4.0)
+
+    def test_percentiles(self):
+        metrics = ExperimentMetrics()
+        for i in range(100):
+            metrics.record_submission(i, 0.0)
+            metrics.record_commit(i, (i + 1) / 100)
+        summary = metrics.latency_summary()
+        assert summary.p50 == pytest.approx(0.50, abs=0.02)
+        assert summary.p90 == pytest.approx(0.90, abs=0.02)
+        assert summary.p99 == pytest.approx(0.99, abs=0.02)
+        assert summary.max == pytest.approx(1.0)
+
+    def test_empty_summary_is_nan(self):
+        summary = ExperimentMetrics().latency_summary()
+        assert math.isnan(summary.avg)
+        assert summary.count == 0
+
+    def test_pending_counts_uncommitted(self):
+        metrics = ExperimentMetrics()
+        metrics.record_submission(1, 0.0)
+        metrics.record_submission(2, 0.0)
+        metrics.record_commit(1, 1.0)
+        assert metrics.pending == 1
+
+
+class TestOpenLoopClient:
+    def test_average_rate(self):
+        reset_tx_ids()
+        loop = EventLoop()
+        received = []
+        client = OpenLoopClient(loop, received.append, rate=100.0, seed=1)
+        client.start()
+        loop.run_until(10.0)
+        assert client.submitted == len(received)
+        assert 800 <= client.submitted <= 1200  # ~1000 +- Poisson noise
+
+    def test_stop_at(self):
+        reset_tx_ids()
+        loop = EventLoop()
+        received = []
+        client = OpenLoopClient(loop, received.append, rate=100.0, stop_at=2.0, seed=1)
+        client.start()
+        loop.run_until(10.0)
+        assert all(tx.submitted_at <= 2.0 for tx in received)
+
+    def test_zero_rate_never_submits(self):
+        loop = EventLoop()
+        client = OpenLoopClient(loop, lambda tx: None, rate=0.0)
+        client.start()
+        loop.run_until(5.0)
+        assert client.submitted == 0
+
+    def test_submission_hook_sees_weight(self):
+        reset_tx_ids()
+        loop = EventLoop()
+        seen = []
+        client = OpenLoopClient(
+            loop,
+            lambda tx: None,
+            rate=10.0,
+            weight=50.0,
+            on_submission=lambda tx_id, t, w: seen.append((tx_id, w)),
+            seed=2,
+        )
+        client.start()
+        loop.run_until(1.0)
+        assert seen and all(w == 50.0 for _, w in seen)
+
+    def test_tx_ids_unique_across_clients(self):
+        reset_tx_ids()
+        loop = EventLoop()
+        received = []
+        for seed in range(3):
+            OpenLoopClient(loop, received.append, rate=50.0, seed=seed).start()
+        loop.run_until(2.0)
+        ids = [tx.tx_id for tx in received]
+        assert len(ids) == len(set(ids))

@@ -1,0 +1,116 @@
+"""Tests for the simulated network (bandwidth, FIFO, adversary)."""
+
+import pytest
+
+from repro.sim.events import EventLoop
+from repro.sim.latency import UniformLatencyModel
+from repro.sim.network import (
+    AsyncAdversaryScheduler,
+    Message,
+    NetworkConfig,
+    SimNetwork,
+)
+
+
+def make_network(n=4, delay=0.05, bandwidth=10e9 / 8, scheduler=None):
+    loop = EventLoop()
+    network = SimNetwork(
+        loop,
+        UniformLatencyModel(delay),
+        n,
+        config=NetworkConfig(bandwidth=bandwidth),
+        scheduler=scheduler,
+        seed=0,
+    )
+    inboxes = {i: [] for i in range(n)}
+    for i in range(n):
+        network.register(i, lambda m, i=i: inboxes[i].append((m, loop.now)))
+    return loop, network, inboxes
+
+
+class TestDelivery:
+    def test_point_to_point_delay(self):
+        loop, network, inboxes = make_network()
+        network.send(0, 1, "block", "payload", size=100)
+        loop.run_to_completion()
+        [(message, when)] = inboxes[1]
+        assert message.payload == "payload"
+        assert message.src == 0
+        assert when == pytest.approx(0.05, rel=0.01)
+
+    def test_broadcast_reaches_all_peers(self):
+        loop, network, inboxes = make_network()
+        network.broadcast(0, "block", "x", size=100)
+        loop.run_to_completion()
+        assert not inboxes[0]
+        for peer in (1, 2, 3):
+            assert len(inboxes[peer]) == 1
+
+    def test_no_self_send(self):
+        loop, network, _ = make_network()
+        with pytest.raises(ValueError):
+            network.send(1, 1, "block", "x", 10)
+
+    def test_fifo_per_link(self):
+        loop, network, inboxes = make_network()
+        for i in range(20):
+            network.send(0, 1, "block", i, size=10)
+        loop.run_to_completion()
+        received = [m.payload for m, _ in inboxes[1]]
+        assert received == list(range(20))
+
+    def test_counters(self):
+        loop, network, _ = make_network()
+        network.broadcast(0, "block", "x", size=1000)
+        assert network.messages_sent == 3
+        assert network.bytes_sent == 3 * (1000 + 128)
+
+
+class TestBandwidth:
+    def test_uplink_serialization_delays_large_messages(self):
+        # 1 MB/s uplink: a 0.5 MB message takes 0.5s to serialize.
+        loop, network, inboxes = make_network(bandwidth=1e6)
+        network.send(0, 1, "block", "big", size=500_000)
+        loop.run_to_completion()
+        [(_, when)] = inboxes[1]
+        assert when == pytest.approx(0.5 + 0.05, rel=0.01)
+
+    def test_broadcast_serializes_per_peer(self):
+        loop, network, inboxes = make_network(bandwidth=1e6)
+        network.broadcast(0, "block", "big", size=500_000)
+        loop.run_to_completion()
+        times = sorted(when for peer in (1, 2, 3) for _, when in inboxes[peer])
+        # Third copy leaves the uplink ~1.5s in.
+        assert times[-1] == pytest.approx(1.5 + 0.05, rel=0.02)
+
+    def test_small_messages_unaffected(self):
+        loop, network, inboxes = make_network(bandwidth=10e9 / 8)
+        network.send(0, 1, "ack", "x", size=64)
+        loop.run_to_completion()
+        [(_, when)] = inboxes[1]
+        assert when == pytest.approx(0.05, rel=0.01)
+
+
+class TestAdversary:
+    def test_targeted_senders_delayed(self):
+        scheduler = AsyncAdversaryScheduler(
+            committee_size=4, targets_per_window=1, delay=1.0, window=1000.0
+        )
+        target = next(iter(scheduler._targets(0.0)))
+        loop, network, inboxes = make_network(scheduler=scheduler)
+        victim_dst = (target + 1) % 4
+        network.send(target, victim_dst, "block", "slow", size=10)
+        clean_src = (target + 2) % 4
+        network.send(clean_src, victim_dst, "block", "fast", size=10)
+        loop.run_to_completion()
+        arrivals = {m.payload: when for m, when in inboxes[victim_dst]}
+        assert arrivals["slow"] > 1.0
+        assert arrivals["fast"] < 0.1
+
+    def test_target_set_rotates(self):
+        scheduler = AsyncAdversaryScheduler(
+            committee_size=10, targets_per_window=3, delay=0.5, window=1.0
+        )
+        windows = [scheduler._targets(t) for t in (0.0, 1.5, 2.5, 3.5, 10.5)]
+        assert any(a != b for a, b in zip(windows, windows[1:]))
+        assert all(len(w) == 3 for w in windows)

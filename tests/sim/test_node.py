@@ -1,0 +1,144 @@
+"""Unit tests for :class:`SimValidator`: pacing, faults, sync, CPU."""
+
+import pytest
+
+from repro.committee import Committee
+from repro.config import ProtocolConfig
+from repro.core.protocol import MahiMahiCore
+from repro.crypto.coin import FastCoin
+from repro.sim.events import EventLoop
+from repro.sim.faults import NodeBehavior
+from repro.sim.latency import UniformLatencyModel
+from repro.sim.network import SimNetwork
+from repro.sim.node import CpuConfig, SimValidator
+from repro.transaction import Transaction
+
+
+def make_cluster(n=4, *, delay=0.05, interval=0.0, behaviors=None, certified=False, cpu=None):
+    committee = Committee.of_size(n)
+    coin = FastCoin(seed=b"node-test", n=n, threshold=committee.quorum_threshold)
+    config = ProtocolConfig(wave_length=5, leaders_per_round=2)
+    loop = EventLoop()
+    network = SimNetwork(loop, UniformLatencyModel(delay), n, seed=1)
+    nodes = []
+    for i in range(n):
+        behavior = behaviors.get(i) if behaviors else None
+        nodes.append(
+            SimValidator(
+                MahiMahiCore(i, committee, config, coin),
+                network,
+                loop,
+                certified=certified,
+                behavior=behavior,
+                min_block_interval=interval,
+                cpu=cpu,
+            )
+        )
+    return loop, nodes
+
+
+class TestRoundPacing:
+    def test_unpaced_rounds_advance_at_network_speed(self):
+        loop, nodes = make_cluster(interval=0.0)
+        for node in nodes:
+            node.start()
+        loop.run_until(1.0)
+        # One-way delay 0.05s: ~20 rounds in a second.
+        assert nodes[0].core.round >= 15
+
+    def test_paced_rounds_respect_interval(self):
+        loop, nodes = make_cluster(interval=0.2)
+        for node in nodes:
+            node.start()
+        loop.run_until(2.0)
+        assert 8 <= nodes[0].core.round <= 11  # ~2s / 0.2s
+
+    def test_all_nodes_commit_and_agree(self):
+        loop, nodes = make_cluster()
+        nodes[0].submit(Transaction.dummy(1))
+        for node in nodes:
+            node.start()
+        loop.run_until(3.0)
+        sequences = [[b.digest for b in n.core.committed_blocks()] for n in nodes]
+        shortest = min(len(s) for s in sequences)
+        assert shortest > 0
+        assert all(s[:shortest] == sequences[0][:shortest] for s in sequences)
+
+
+class TestFaults:
+    def test_crashed_node_never_sends(self):
+        loop, nodes = make_cluster(behaviors={3: NodeBehavior(crashed=True)})
+        for node in nodes:
+            if not node.behavior.crashed:
+                node.start()
+        loop.run_until(2.0)
+        assert nodes[3].core.round == 0
+        # The rest still make progress: 3 of 4 = 2f+1.
+        assert nodes[0].core.committer.stats.blocks_committed > 0
+
+    def test_crash_at_mid_run_preserves_liveness(self):
+        loop, nodes = make_cluster(behaviors={3: NodeBehavior(crash_at=1.0)})
+        for node in nodes:
+            node.start()
+        loop.run_until(4.0)
+        crashed_round = nodes[3].core.round
+        assert crashed_round > 0  # participated before the crash
+        assert nodes[0].core.round > crashed_round  # others moved on
+        assert nodes[0].core.committer.stats.blocks_committed > 0
+
+    def test_equivocator_splits_peers(self):
+        loop, nodes = make_cluster(behaviors={1: NodeBehavior(equivocate=True)})
+        for node in nodes:
+            node.start()
+        loop.run_until(2.0)
+        # Some validator holds a slot with two blocks from validator 1.
+        slots_seen = set()
+        for node in nodes:
+            for r in range(1, nodes[0].core.round):
+                if len(node.core.store.slot_blocks(r, 1)) > 1:
+                    slots_seen.add((node.authority, r))
+        assert slots_seen, "no equivocation observed in any DAG"
+        # And everyone still agrees.
+        honest = [n for n in nodes if not n.behavior.equivocate]
+        sequences = [[b.digest for b in n.core.committed_blocks()] for n in honest]
+        shortest = min(len(s) for s in sequences)
+        assert all(s[:shortest] == sequences[0][:shortest] for s in sequences)
+
+
+class TestCertifiedMode:
+    def test_certified_rounds_take_three_hops(self):
+        plain_loop, plain_nodes = make_cluster(certified=False)
+        cert_loop, cert_nodes = make_cluster(certified=True)
+        for node in plain_nodes:
+            node.start()
+        for node in cert_nodes:
+            node.start()
+        plain_loop.run_until(2.0)
+        cert_loop.run_until(2.0)
+        # Cert mode needs block + ack + cert per round: ~3x fewer rounds.
+        ratio = plain_nodes[0].core.round / max(1, cert_nodes[0].core.round)
+        assert 2.0 < ratio < 4.5
+
+
+class TestCpuModel:
+    def test_ingress_queue_delays_mempool(self):
+        cpu = CpuConfig(tx_ingress_cost=0.1)  # absurdly slow for the test
+        loop, nodes = make_cluster(cpu=cpu)
+        for _ in range(5):
+            nodes[0].submit(Transaction.dummy(1))
+        # Transactions are still queued in the CPU stage, not the mempool.
+        assert len(nodes[0].core.mempool) == 0
+        loop.run_until(1.0)
+        assert len(nodes[0].core.mempool) == 5
+
+    def test_consensus_cost_slows_rounds(self):
+        fast_loop, fast_nodes = make_cluster(cpu=None)
+        slow_cpu = CpuConfig(block_base_cost=0.05)
+        slow_loop, slow_nodes = make_cluster(cpu=slow_cpu)
+        for node in fast_nodes:
+            node.start()
+        for node in slow_nodes:
+            node.start()
+        fast_loop.run_until(2.0)
+        slow_loop.run_until(2.0)
+        assert slow_nodes[0].core.round < fast_nodes[0].core.round

@@ -1,0 +1,149 @@
+"""Tests for the key-value state machine and command codec."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.smr.commands import (
+    DeleteCommand,
+    PutCommand,
+    TransferCommand,
+    decode_command,
+)
+from repro.smr.state_machine import KeyValueStore
+
+
+class TestCommandCodec:
+    @pytest.mark.parametrize(
+        "command",
+        [
+            PutCommand(key=b"k", value=b"v"),
+            PutCommand(key=b"", value=b""),
+            DeleteCommand(key=b"some-key"),
+            TransferCommand(source=b"alice", dest=b"bob", amount=42),
+            TransferCommand(source=b"a", dest=b"b", amount=-5),
+        ],
+    )
+    def test_roundtrip(self, command):
+        assert decode_command(command.encode()) == command
+
+    def test_empty_payload_rejected(self):
+        with pytest.raises(ReproError):
+            decode_command(b"")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ReproError):
+            decode_command(b"\x99abc")
+
+    def test_truncated_field_rejected(self):
+        encoded = PutCommand(key=b"key", value=b"value").encode()
+        with pytest.raises((ReproError, Exception)):
+            decode_command(encoded[:-3])
+
+
+class TestKeyValueStore:
+    def test_put_get_delete(self):
+        store = KeyValueStore()
+        store.apply_command(PutCommand(key=b"k", value=b"v"))
+        assert store.get(b"k") == b"v"
+        store.apply_command(DeleteCommand(key=b"k"))
+        assert store.get(b"k") is None
+
+    def test_delete_missing_is_noop(self):
+        store = KeyValueStore()
+        store.apply_command(DeleteCommand(key=b"ghost"))
+        assert len(store) == 0
+
+    def test_overwrite(self):
+        store = KeyValueStore()
+        store.apply_command(PutCommand(key=b"k", value=b"1"))
+        store.apply_command(PutCommand(key=b"k", value=b"2"))
+        assert store.get(b"k") == b"2"
+
+    def test_applied_counter(self):
+        store = KeyValueStore()
+        for i in range(5):
+            store.apply(PutCommand(key=bytes([i]), value=b"x").encode())
+        assert store.applied == 5
+
+
+class TestTransfers:
+    def seed(self, store, account, amount):
+        store.apply_command(
+            PutCommand(key=account, value=amount.to_bytes(8, "little", signed=True))
+        )
+
+    def test_successful_transfer(self):
+        store = KeyValueStore()
+        self.seed(store, b"alice", 100)
+        store.apply_command(TransferCommand(source=b"alice", dest=b"bob", amount=30))
+        assert store.balance(b"alice") == 70
+        assert store.balance(b"bob") == 30
+
+    def test_insufficient_balance_rejected(self):
+        store = KeyValueStore()
+        self.seed(store, b"alice", 10)
+        store.apply_command(TransferCommand(source=b"alice", dest=b"bob", amount=30))
+        assert store.balance(b"alice") == 10
+        assert store.balance(b"bob") == 0
+        assert store.rejected_transfers == 1
+
+    def test_negative_amount_rejected(self):
+        store = KeyValueStore()
+        self.seed(store, b"alice", 10)
+        store.apply_command(TransferCommand(source=b"alice", dest=b"bob", amount=-5))
+        assert store.balance(b"alice") == 10
+
+    def test_order_sensitivity(self):
+        """The same multiset of transfers in different orders produces
+        different state — why SMR needs total order."""
+        forward, backward = KeyValueStore(), KeyValueStore()
+        for store in (forward, backward):
+            self.seed(store, b"a", 10)
+        top_up = TransferCommand(source=b"c", dest=b"a", amount=0)
+        spend = TransferCommand(source=b"a", dest=b"b", amount=10)
+        spend_again = TransferCommand(source=b"a", dest=b"b", amount=10)
+        refill = TransferCommand(source=b"b", dest=b"a", amount=10)
+        forward_order = [spend, refill, spend_again]
+        backward_order = [spend, spend_again, refill]
+        for command in forward_order:
+            forward.apply_command(command)
+        for command in backward_order:
+            backward.apply_command(command)
+        assert forward.balance(b"b") == 10
+        assert backward.balance(b"b") == 0
+        assert forward.state_root() != backward.state_root()
+
+
+class TestRootsAndSnapshots:
+    def test_root_deterministic_across_insertion_orders(self):
+        a, b = KeyValueStore(), KeyValueStore()
+        a.apply_command(PutCommand(key=b"x", value=b"1"))
+        a.apply_command(PutCommand(key=b"y", value=b"2"))
+        b.apply_command(PutCommand(key=b"y", value=b"2"))
+        b.apply_command(PutCommand(key=b"x", value=b"1"))
+        assert a.state_root() == b.state_root()
+
+    def test_root_changes_with_state(self):
+        store = KeyValueStore()
+        empty = store.state_root()
+        store.apply_command(PutCommand(key=b"k", value=b"v"))
+        assert store.state_root() != empty
+
+    def test_snapshot_restore_roundtrip(self):
+        store = KeyValueStore()
+        for i in range(20):
+            store.apply_command(PutCommand(key=bytes([i]), value=bytes([i]) * 3))
+        snapshot = store.snapshot()
+        fresh = KeyValueStore()
+        fresh.restore(snapshot)
+        assert fresh.state_root() == store.state_root()
+        assert fresh.get(bytes([7])) == bytes([7]) * 3
+
+    def test_restore_replaces_state(self):
+        store = KeyValueStore()
+        store.apply_command(PutCommand(key=b"old", value=b"1"))
+        snapshot = store.snapshot()
+        store.apply_command(PutCommand(key=b"new", value=b"2"))
+        store.restore(snapshot)
+        assert store.get(b"new") is None
+        assert store.get(b"old") == b"1"

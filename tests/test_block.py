@@ -1,0 +1,118 @@
+"""Tests for :mod:`repro.block`."""
+
+import pytest
+
+from repro.block import Block, BlockRef, GENESIS_ROUND, make_genesis
+from repro.crypto.coin import CoinShare
+from repro.transaction import Transaction
+
+
+def sample_block(**overrides) -> Block:
+    genesis = make_genesis(4)
+    fields = dict(
+        author=1,
+        round=1,
+        parents=tuple(b.reference for b in genesis),
+        transactions=(Transaction.dummy(1), Transaction.dummy(2)),
+        coin_share=CoinShare(author=1, round=1, value=b"\xaa" * 32),
+        signature=b"sig-bytes",
+    )
+    fields.update(overrides)
+    return Block(**fields)
+
+
+class TestDigest:
+    def test_digest_is_stable(self):
+        assert sample_block().digest == sample_block().digest
+
+    def test_digest_excludes_signature(self):
+        """The digest covers the signed contents; the signature itself
+        (computed over those contents) cannot be part of them."""
+        assert sample_block(signature=b"a").digest == sample_block(signature=b"b").digest
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("author", 2),
+            ("round", 3),
+            ("transactions", ()),
+            ("salt", b"equivocation"),
+            ("coin_share", CoinShare(author=1, round=1, value=b"\xbb" * 32)),
+        ],
+    )
+    def test_digest_covers_field(self, field, value):
+        assert sample_block().digest != sample_block(**{field: value}).digest
+
+    def test_digest_covers_parent_order(self):
+        genesis = make_genesis(4)
+        refs = tuple(b.reference for b in genesis)
+        a = sample_block(parents=refs)
+        b = sample_block(parents=refs[::-1])
+        assert a.digest != b.digest
+
+    def test_reference_matches_identity(self):
+        block = sample_block()
+        assert block.reference == BlockRef(author=1, round=1, digest=block.digest)
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        block = sample_block()
+        decoded, consumed = Block.decode(block.encode())
+        assert decoded == block
+        assert decoded.digest == block.digest
+        assert consumed == len(block.encode())
+
+    def test_roundtrip_without_coin_share(self):
+        block = sample_block(coin_share=None)
+        decoded, _ = Block.decode(block.encode())
+        assert decoded.coin_share is None
+        assert decoded == block
+
+    def test_roundtrip_genesis(self):
+        for genesis in make_genesis(4):
+            decoded, _ = Block.decode(genesis.encode())
+            assert decoded == genesis
+
+    def test_roundtrip_with_salt(self):
+        block = sample_block(salt=b"sibling-2")
+        decoded, _ = Block.decode(block.encode())
+        assert decoded.salt == b"sibling-2"
+
+    def test_ref_roundtrip(self):
+        ref = sample_block().reference
+        decoded, consumed = BlockRef.decode(ref.encode())
+        assert decoded == ref
+        assert consumed == len(ref.encode())
+
+    def test_size_matches_encoding(self):
+        block = sample_block()
+        assert block.size == len(block.encode())
+
+
+class TestHelpers:
+    def test_slot(self):
+        assert sample_block().slot == (1, 1)
+
+    def test_parents_at_round(self):
+        block = sample_block()
+        assert len(block.parents_at_round(0)) == 4
+        assert block.parents_at_round(5) == []
+
+    def test_genesis_shape(self):
+        genesis = make_genesis(7)
+        assert len(genesis) == 7
+        for i, block in enumerate(genesis):
+            assert block.author == i
+            assert block.round == GENESIS_ROUND
+            assert block.parents == ()
+            assert block.transactions == ()
+
+    def test_genesis_digests_distinct(self):
+        digests = {b.digest for b in make_genesis(10)}
+        assert len(digests) == 10
+
+    def test_refs_order_lexicographically(self):
+        genesis = make_genesis(4)
+        refs = sorted(b.reference for b in genesis)
+        assert [r.author for r in refs] == [0, 1, 2, 3]

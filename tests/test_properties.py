@@ -1,0 +1,175 @@
+"""Property-based tests (hypothesis) on core data structures and
+protocol invariants."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.block import Block, BlockRef, make_genesis
+from repro.committee import Committee
+from repro.config import ProtocolConfig
+from repro.core.protocol import MahiMahiCore
+from repro.crypto.coin import FastCoin
+from repro.crypto.hashing import hash_parts
+from repro.crypto.threshold import combine_shares, deal
+from repro.dag.traversal import DagTraversal
+from repro.transaction import Transaction, decode_transactions, encode_transactions
+
+from .helpers import DagBuilder, FixedCoin
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+transactions = st.builds(
+    Transaction,
+    tx_id=st.integers(min_value=0, max_value=2**63 - 1),
+    submitted_at=st.floats(min_value=0, max_value=1e6, allow_nan=False),
+    payload=st.binary(max_size=200),
+)
+
+coin_shares = st.builds(
+    lambda a, r, v: __import__("repro.crypto.coin", fromlist=["CoinShare"]).CoinShare(
+        author=a, round=r, value=v
+    ),
+    a=st.integers(min_value=0, max_value=100),
+    r=st.integers(min_value=0, max_value=10_000),
+    v=st.binary(min_size=1, max_size=64),
+)
+
+
+@st.composite
+def blocks(draw):
+    genesis = make_genesis(4)
+    parent_subset = draw(st.sets(st.integers(0, 3), min_size=1, max_size=4))
+    return Block(
+        author=draw(st.integers(0, 3)),
+        round=draw(st.integers(1, 100)),
+        parents=tuple(genesis[i].reference for i in sorted(parent_subset)),
+        transactions=tuple(draw(st.lists(transactions, max_size=5))),
+        coin_share=draw(st.one_of(st.none(), coin_shares)),
+        signature=draw(st.binary(max_size=64)),
+        salt=draw(st.binary(max_size=16)),
+    )
+
+
+# ----------------------------------------------------------------------
+# Codec properties
+# ----------------------------------------------------------------------
+@given(transactions)
+def test_transaction_roundtrip(tx):
+    decoded, consumed = Transaction.decode(tx.encode())
+    assert decoded == tx
+    assert consumed == len(tx.encode())
+
+
+@given(st.lists(transactions, max_size=20))
+def test_transaction_batch_roundtrip(batch):
+    decoded, _ = decode_transactions(encode_transactions(tuple(batch)))
+    assert decoded == tuple(batch)
+
+
+@given(blocks())
+@settings(max_examples=50)
+def test_block_roundtrip(block):
+    decoded, _ = Block.decode(block.encode())
+    assert decoded == block
+    assert decoded.digest == block.digest
+
+
+@given(blocks(), blocks())
+@settings(max_examples=50)
+def test_distinct_signed_content_has_distinct_digests(a, b):
+    """The digest covers exactly the signed contents — blocks differing
+    only in their (unsigned-over) signature share a digest."""
+    if a.signable_bytes() != b.signable_bytes():
+        assert a.digest != b.digest
+    else:
+        assert a.digest == b.digest
+
+
+@given(st.lists(st.binary(max_size=30), max_size=10))
+def test_hash_parts_injective_framing(parts):
+    """Concatenating two adjacent parts must change the hash."""
+    if len(parts) >= 2 and parts[0]:
+        merged = [parts[0] + parts[1]] + parts[2:]
+        assert hash_parts(parts) != hash_parts(merged)
+
+
+# ----------------------------------------------------------------------
+# Threshold sharing properties
+# ----------------------------------------------------------------------
+@given(
+    st.integers(min_value=4, max_value=10),
+    st.integers(min_value=0, max_value=1_000),
+    st.randoms(use_true_random=False),
+)
+@settings(max_examples=20, deadline=None)
+def test_any_quorum_reconstructs_same_secret(n, seed, rng):
+    threshold = n - (n - 1) // 3
+    setup, shares = deal(n, threshold, seed=seed)
+    subset_a = rng.sample(shares, threshold)
+    subset_b = rng.sample(shares, threshold)
+    assert combine_shares(setup, subset_a) == combine_shares(setup, subset_b)
+
+
+# ----------------------------------------------------------------------
+# Linearization properties
+# ----------------------------------------------------------------------
+@given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=5, max_value=12))
+@settings(max_examples=15, deadline=None)
+def test_linearize_is_topological_and_complete(seed, rounds):
+    """Over random sparse DAGs: linearization emits each block once, in
+    an order where every block follows its causal ancestors."""
+    committee = Committee.of_size(4)
+    builder = DagBuilder(committee, FixedCoin(n=4, threshold=3))
+    rng = random.Random(seed)
+    for r in range(1, rounds + 1):
+        previous = sorted(builder.store.authors_at_round(r - 1))
+        for author in range(4):
+            if rng.random() < 0.15 and r > 1 and len(previous) >= 4:
+                continue  # author skips the round sometimes
+            k = min(len(previous), max(3, len(previous) - 1))
+            quorum = rng.sample(previous, k)
+            builder.block(author, r, parents=[(a, r - 1) for a in sorted(quorum)])
+    traversal = DagTraversal(builder.store, 3)
+    tips = builder.store.round_blocks(builder.store.highest_round)
+    sequence = traversal.linearize(list(tips), set())
+    digests = [b.digest for b in sequence]
+    assert len(digests) == len(set(digests))
+    position = {digest: i for i, digest in enumerate(digests)}
+    for block in sequence:
+        for parent in block.parents:
+            if parent.digest in position:
+                assert position[parent.digest] < position[block.digest]
+
+
+# ----------------------------------------------------------------------
+# End-to-end agreement property
+# ----------------------------------------------------------------------
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=10, deadline=None)
+def test_lockstep_cluster_total_order(seed):
+    """Random per-round delivery orders never change the committed
+    sequence prefix agreement."""
+    committee = Committee.of_size(4)
+    coin = FastCoin(seed=b"prop", n=4, threshold=3)
+    config = ProtocolConfig(wave_length=5, leaders_per_round=2)
+    cores = [MahiMahiCore(i, committee, config, coin) for i in range(4)]
+    rng = random.Random(seed)
+    for _ in range(14):
+        proposals = [c.maybe_propose() for c in cores]
+        deliveries = [
+            (c, b) for b in proposals if b for c in cores if c.authority != b.author
+        ]
+        rng.shuffle(deliveries)
+        for core, block in deliveries:
+            core.add_block(block)
+        for core in cores:
+            core.try_commit()
+    sequences = [[b.digest for b in c.committed_blocks()] for c in cores]
+    shortest = min(len(s) for s in sequences)
+    assert shortest > 0
+    for sequence in sequences:
+        assert sequence[:shortest] == sequences[0][:shortest]

@@ -1,0 +1,72 @@
+"""Tests for :mod:`repro.transaction`."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.transaction import (
+    DEFAULT_TX_SIZE,
+    Transaction,
+    decode_transactions,
+    encode_transactions,
+)
+
+
+class TestRoundtrip:
+    def test_encode_decode(self):
+        tx = Transaction(tx_id=42, submitted_at=1.5, payload=b"hello world")
+        decoded, offset = Transaction.decode(tx.encode())
+        assert decoded == tx
+        assert offset == len(tx.encode())
+
+    def test_empty_payload(self):
+        tx = Transaction(tx_id=1)
+        decoded, _ = Transaction.decode(tx.encode())
+        assert decoded.payload == b""
+
+    def test_batch_roundtrip(self):
+        batch = tuple(Transaction.dummy(i, submitted_at=i / 10) for i in range(25))
+        decoded, offset = decode_transactions(encode_transactions(batch))
+        assert decoded == batch
+        assert offset == len(encode_transactions(batch))
+
+    def test_empty_batch(self):
+        decoded, _ = decode_transactions(encode_transactions(()))
+        assert decoded == ()
+
+    def test_decode_at_offset(self):
+        tx = Transaction.dummy(7)
+        data = b"\xff" * 10 + tx.encode()
+        decoded, _ = Transaction.decode(data, offset=10)
+        assert decoded == tx
+
+
+class TestErrors:
+    def test_truncated_header(self):
+        with pytest.raises(ReproError):
+            Transaction.decode(b"\x01\x02")
+
+    def test_truncated_payload(self):
+        data = Transaction(tx_id=1, payload=b"abcdef").encode()
+        with pytest.raises(ReproError):
+            Transaction.decode(data[:-3])
+
+    def test_truncated_batch_count(self):
+        with pytest.raises(ReproError):
+            decode_transactions(b"\x01")
+
+
+class TestDummy:
+    def test_dummy_matches_paper_size(self):
+        """Benchmark transactions are 512 bytes (Section 5.1)."""
+        assert Transaction.dummy(1).size == DEFAULT_TX_SIZE == 512
+
+    def test_dummy_custom_size(self):
+        assert Transaction.dummy(1, size=100).size == 100
+
+    def test_dummy_below_header_size_clamps(self):
+        tx = Transaction.dummy(1, size=1)
+        assert tx.payload == b""
+
+    def test_size_accounts_header_and_payload(self):
+        tx = Transaction(tx_id=1, payload=b"x" * 10)
+        assert tx.size == len(tx.encode())
