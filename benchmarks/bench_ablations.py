@@ -10,29 +10,76 @@ argues for in prose:
   turns crashed leaders into head-of-line blockers;
 * **one wave per round vs non-overlapping waves** — Mahi-Mahi's
   overlapping waves vs the Cordial-Miners-style cadence.
+
+The ablation points are declared as data (``SWEEPS``) and consumed both
+by these pytest-benchmark tests and by ``run_all.py``.
 """
 
 from __future__ import annotations
 
-import pytest
-
-from repro.sim.runner import Experiment, ExperimentConfig
+from repro.sim.runner import ExperimentConfig
+from repro.sim.sweep import FigureSpec, SweepSpec, run_configs
 
 from .paper_data import Row, bench_scale, print_table
 
+_SCALE = bench_scale()
 
-def run(**overrides):
-    scale = bench_scale()
-    config = ExperimentConfig(
+
+def _config(**overrides) -> ExperimentConfig:
+    base = dict(
         protocol="mahi-mahi-5",
         num_validators=10,
         load_tps=5_000,
-        duration=14.0 * scale,
-        warmup=4.0 * scale,
+        duration=14.0 * _SCALE,
+        warmup=4.0 * _SCALE,
         seed=17,
-        **overrides,
     )
-    return Experiment(config).run(check_safety=True)
+    base.update(overrides)
+    return ExperimentConfig(**base)
+
+
+SWEEP_WAVE_LENGTH = SweepSpec(
+    name="ablation-wave-length",
+    figure=FigureSpec(
+        figure="ablation",
+        title="Ablation: wave length under asynchronous adversary",
+        x_axis="wave_length_override",
+        y_axis="blocks_committed",
+        series_key="protocol",
+    ),
+    configs=tuple(
+        _config(wave_length_override=wave, adversary_targets=3, adversary_delay=0.4)
+        for wave in (3, 4, 5)
+    ),
+)
+
+SWEEP_DIRECT_SKIP = SweepSpec(
+    name="ablation-direct-skip",
+    figure=FigureSpec(
+        figure="ablation",
+        title="Ablation: direct skip rule (3 crash faults)",
+        x_axis="direct_skip",
+        series_key="num_crashed",
+    ),
+    configs=(
+        _config(num_crashed=3),
+        _config(num_crashed=3, direct_skip=False),
+    ),
+)
+
+SWEEP_OVERLAPPING_WAVES = SweepSpec(
+    name="ablation-overlapping-waves",
+    figure=FigureSpec(
+        figure="ablation",
+        title="Ablation: overlapping waves vs one wave per 5 rounds",
+    ),
+    configs=(
+        _config(),
+        _config(protocol="cordial-miners"),
+    ),
+)
+
+SWEEPS = (SWEEP_WAVE_LENGTH, SWEEP_DIRECT_SKIP, SWEEP_OVERLAPPING_WAVES)
 
 
 def test_ablation_wave_length_under_adversary(benchmark):
@@ -40,14 +87,8 @@ def test_ablation_wave_length_under_adversary(benchmark):
     asynchronous adversary its decisions stall while w=4/5 progress."""
 
     def sweep():
-        out = {}
-        for wave in (3, 4, 5):
-            out[wave] = run(
-                wave_length_override=wave,
-                adversary_targets=3,
-                adversary_delay=0.4,
-            )
-        return out
+        results = run_configs(SWEEP_WAVE_LENGTH.configs)
+        return {r.config.wave_length_override: r for r in results}
 
     results = benchmark.pedantic(sweep, rounds=1, iterations=1)
     rows = []
@@ -69,10 +110,16 @@ def test_ablation_wave_length_under_adversary(benchmark):
             )
         )
     print_table("Ablation: wave length under asynchronous adversary", rows)
-    # Liveness ordering: longer waves decide at least as much.
+    # All wave lengths stay live in absolute terms...
     assert results[5].blocks_committed > 0
     assert results[4].blocks_committed > 0
-    assert results[3].blocks_committed <= results[4].blocks_committed
+    # ...but w=3's lost common-core guarantee shows up as leaders
+    # skipped under the adversary, while w=5 skips (almost) nothing and
+    # directly commits far more slots.  (Raw blocks_committed is too
+    # noisy to order w=3 vs w=4 on a single seed: skipped leaders are
+    # recovered through later anchors.)
+    assert results[3].direct_skips > results[4].direct_skips >= results[5].direct_skips
+    assert results[5].direct_commits > results[3].direct_commits
 
 
 def test_ablation_direct_skip_rule(benchmark):
@@ -80,10 +127,8 @@ def test_ablation_direct_skip_rule(benchmark):
     slots wait for anchors, inflating latency (Section 5.3)."""
 
     def pair():
-        return {
-            "with skip": run(num_crashed=3),
-            "without skip": run(num_crashed=3, direct_skip=False),
-        }
+        with_skip, without_skip = run_configs(SWEEP_DIRECT_SKIP.configs)
+        return {"with skip": with_skip, "without skip": without_skip}
 
     results = benchmark.pedantic(pair, rounds=1, iterations=1)
     rows = [
@@ -111,18 +156,10 @@ def test_ablation_overlapping_waves(benchmark):
     wave-position latency penalty for non-leader blocks."""
 
     def pair():
+        overlapping, non_overlapping = run_configs(SWEEP_OVERLAPPING_WAVES.configs)
         return {
-            "overlapping (every round)": run(),
-            "non-overlapping (every 5)": Experiment(
-                ExperimentConfig(
-                    protocol="cordial-miners",
-                    num_validators=10,
-                    load_tps=5_000,
-                    duration=14.0 * bench_scale(),
-                    warmup=4.0 * bench_scale(),
-                    seed=17,
-                )
-            ).run(),
+            "overlapping (every round)": overlapping,
+            "non-overlapping (every 5)": non_overlapping,
         }
 
     results = benchmark.pedantic(pair, rounds=1, iterations=1)

@@ -15,9 +15,31 @@ from repro.analysis.commit_probability import (
     monte_carlo_direct_commit_w5,
     unreachable_pair_bound,
 )
-from repro.sim.runner import Experiment, ExperimentConfig
+from repro.sim.runner import ExperimentConfig
+from repro.sim.sweep import FigureSpec, SweepSpec, run_configs
 
 from .paper_data import Row, bench_scale, print_table
+
+SWEEP_DIRECT_RATE = SweepSpec(
+    name="appendix-c-direct-rate",
+    figure=FigureSpec(
+        figure="appendix-c",
+        title="Simulated direct-commit rate vs Lemma 17 (benign network)",
+        y_axis="direct_commits",
+    ),
+    configs=(
+        ExperimentConfig(
+            protocol="mahi-mahi-5",
+            num_validators=10,
+            load_tps=5_000,
+            duration=12.0 * bench_scale(),
+            warmup=3.0 * bench_scale(),
+            seed=11,
+        ),
+    ),
+)
+
+SWEEPS = (SWEEP_DIRECT_RATE,)
 
 
 def test_lemma13_closed_form_vs_monte_carlo(benchmark):
@@ -82,18 +104,10 @@ def test_simulated_direct_commit_rate_tracks_lemma(benchmark):
     """In the benign simulated network, nearly every slot decides via
     the direct rule — consistent with Lemma 17's with-high-probability
     claim for the random network model."""
-    scale = bench_scale()
 
     def run():
-        config = ExperimentConfig(
-            protocol="mahi-mahi-5",
-            num_validators=10,
-            load_tps=5_000,
-            duration=12.0 * scale,
-            warmup=3.0 * scale,
-            seed=11,
-        )
-        return Experiment(config).run()
+        [result] = run_configs(SWEEP_DIRECT_RATE.configs)
+        return result
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)
     total = (

@@ -13,14 +13,14 @@ from pathlib import Path
 
 import pytest
 
-sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tests"))
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 
 from repro.committee import Committee
 from repro.config import ProtocolConfig
 from repro.core.committer import Committer
 from repro.dag.traversal import DagTraversal
 
-from helpers import DagBuilder, FixedCoin  # noqa: E402  (tests/helpers.py)
+from tests.helpers import DagBuilder, FixedCoin  # noqa: E402
 
 
 def build_dag(n=10, rounds=20):

@@ -4,35 +4,83 @@ Reproduces the comparative WAN measurement of Mahi-Mahi-5, Mahi-Mahi-4,
 Cordial Miners and Tusk with 10 and 50 validators, no faults, 512-byte
 transactions (Section 5.2; claims C1, C2 and C5).
 
-Each benchmark runs the load sweep for one protocol and prints the
-throughput/latency series next to the paper's reference numbers.
-Absolute tx/s differ from the paper's Rust-on-AWS testbed; the
-reproduction targets are the latency ordering, the ratios between
-protocols, and the position of the saturation knee.
+The sweeps are declared as data (``SWEEPS``) and consumed both by these
+pytest-benchmark tests and by ``run_all.py``.  Each benchmark runs the
+load sweep for one protocol and prints the throughput/latency series
+next to the paper's reference numbers.  Absolute tx/s differ from the
+paper's Rust-on-AWS testbed; the reproduction targets are the latency
+ordering, the ratios between protocols, and the position of the
+saturation knee.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.sim.runner import Experiment, ExperimentConfig, PROTOCOLS, run_load_sweep
+from repro.sim.runner import ExperimentConfig, PROTOCOLS
+from repro.sim.sweep import FigureSpec, SweepSpec, run_configs
 
 from .paper_data import FIG3_10_NODES, FIG3_50_NODES, Row, bench_scale, print_table
 
 #: Offered loads for the 10-validator sweep (real tx/s).
 LOADS_10 = [20_000, 60_000, 100_000, 130_000]
 
+_SCALE = bench_scale()
+
+SWEEP_10 = SweepSpec(
+    name="fig3-ideal-10",
+    figure=FigureSpec(figure="3", title="Figure 3: 10 validators, ideal conditions"),
+    configs=tuple(
+        ExperimentConfig(
+            protocol=protocol,
+            num_validators=10,
+            load_tps=load,
+            duration=20.0 * _SCALE,
+            warmup=5.0 * _SCALE,
+            seed=3,
+        )
+        for protocol in PROTOCOLS
+        for load in LOADS_10
+    ),
+)
+
+SWEEP_50 = SweepSpec(
+    name="fig3-ideal-50",
+    figure=FigureSpec(figure="3", title="Figure 3: 50 validators, ideal conditions"),
+    configs=tuple(
+        ExperimentConfig(
+            protocol=protocol,
+            num_validators=50,
+            load_tps=200_000 if protocol != "tusk" else 80_000,
+            duration=8.0 * _SCALE,
+            warmup=3.0 * _SCALE,
+            seed=3,
+        )
+        for protocol in PROTOCOLS
+    ),
+)
+
+SWEEP_ORDERING = SweepSpec(
+    name="fig3-ordering-10",
+    figure=FigureSpec(figure="3", title="Figure 3 ordering: 10 validators @ 20k tx/s"),
+    configs=tuple(
+        ExperimentConfig(
+            protocol=protocol,
+            num_validators=10,
+            load_tps=20_000,
+            duration=14.0 * _SCALE,
+            warmup=4.0 * _SCALE,
+            seed=3,
+        )
+        for protocol in PROTOCOLS
+    ),
+)
+
+SWEEPS = (SWEEP_10, SWEEP_50, SWEEP_ORDERING)
+
 
 def _sweep_10(protocol: str):
-    scale = bench_scale()
-    base = ExperimentConfig(
-        protocol=protocol,
-        num_validators=10,
-        duration=20.0 * scale,
-        warmup=5.0 * scale,
-        seed=3,
-    )
-    return run_load_sweep(base, LOADS_10)
+    return run_configs(c for c in SWEEP_10.configs if c.protocol == protocol)
 
 
 @pytest.mark.parametrize("protocol", PROTOCOLS)
@@ -60,18 +108,8 @@ def test_fig3_50_validators(benchmark, protocol):
     """The large-committee point (claim C2): uncertified DAGs sustain
     far higher load at 50 nodes than Tusk, at higher latency than the
     10-node deployment."""
-    scale = bench_scale()
-    config = ExperimentConfig(
-        protocol=protocol,
-        num_validators=50,
-        load_tps=200_000 if protocol != "tusk" else 80_000,
-        duration=8.0 * scale,
-        warmup=3.0 * scale,
-        seed=3,
-    )
-    result = benchmark.pedantic(
-        lambda: Experiment(config).run(), rounds=1, iterations=1
-    )
+    [config] = [c for c in SWEEP_50.configs if c.protocol == protocol]
+    [result] = benchmark.pedantic(run_configs, args=([config],), rounds=1, iterations=1)
     paper = FIG3_50_NODES[protocol]
     print_table(
         f"Figure 3 (50 validators, ideal) - {protocol}",
@@ -92,21 +130,10 @@ def test_fig3_50_validators(benchmark, protocol):
 
 def test_fig3_latency_ordering(benchmark):
     """The headline comparison at one load: MM-4 < MM-5 < CM <= Tusk."""
-    scale = bench_scale()
 
     def sweep():
-        out = {}
-        for protocol in PROTOCOLS:
-            config = ExperimentConfig(
-                protocol=protocol,
-                num_validators=10,
-                load_tps=20_000,
-                duration=14.0 * scale,
-                warmup=4.0 * scale,
-                seed=3,
-            )
-            out[protocol] = Experiment(config).run()
-        return out
+        results = run_configs(SWEEP_ORDERING.configs)
+        return {r.config.protocol: r for r in results}
 
     results = benchmark.pedantic(sweep, rounds=1, iterations=1)
     rows = [

@@ -4,33 +4,66 @@
 (Section 5.3; claim C3).  The reproduction targets: Mahi-Mahi's direct
 skip rule holds its latency near the ideal case, Cordial Miners pays
 roughly two extra rounds per dead leader, and Tusk degrades the most.
+
+The sweeps are declared as data (``SWEEPS``) and consumed both by these
+pytest-benchmark tests and by ``run_all.py``.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.sim.runner import Experiment, ExperimentConfig, PROTOCOLS, run_load_sweep
+from repro.sim.runner import ExperimentConfig, PROTOCOLS
+from repro.sim.sweep import FigureSpec, SweepSpec, run_configs
 
 from .paper_data import FIG4_FAULTS, Row, bench_scale, print_table
 
 LOADS = [10_000, 30_000]
 
+_SCALE = bench_scale()
+
+SWEEP_FAULTS = SweepSpec(
+    name="fig4-faults-10",
+    figure=FigureSpec(figure="4", title="Figure 4: 10 validators, 3 crash faults"),
+    configs=tuple(
+        ExperimentConfig(
+            protocol=protocol,
+            num_validators=10,
+            num_crashed=3,
+            load_tps=load,
+            duration=12.0 * _SCALE,
+            warmup=4.0 * _SCALE,
+            seed=5,
+        )
+        for protocol in PROTOCOLS
+        for load in LOADS
+    ),
+)
+
+SWEEP_SKIP_MECHANISM = SweepSpec(
+    name="fig4-skip-mechanism",
+    figure=FigureSpec(figure="4", title="Figure 4 mechanism: direct skips vs anchors"),
+    configs=tuple(
+        ExperimentConfig(
+            protocol=protocol,
+            num_validators=10,
+            num_crashed=3,
+            load_tps=10_000,
+            duration=14.0 * _SCALE,
+            warmup=4.0 * _SCALE,
+            seed=5,
+        )
+        for protocol in ("mahi-mahi-5", "cordial-miners")
+    ),
+)
+
+SWEEPS = (SWEEP_FAULTS, SWEEP_SKIP_MECHANISM)
+
 
 @pytest.mark.parametrize("protocol", PROTOCOLS)
 def test_fig4_three_crash_faults(benchmark, protocol):
-    scale = bench_scale()
-    base = ExperimentConfig(
-        protocol=protocol,
-        num_validators=10,
-        num_crashed=3,
-        duration=12.0 * scale,
-        warmup=4.0 * scale,
-        seed=5,
-    )
-    results = benchmark.pedantic(
-        lambda: run_load_sweep(base, LOADS), rounds=1, iterations=1
-    )
+    configs = [c for c in SWEEP_FAULTS.configs if c.protocol == protocol]
+    results = benchmark.pedantic(run_configs, args=(configs,), rounds=1, iterations=1)
     paper = FIG4_FAULTS[protocol]
     rows = [
         Row(
@@ -51,22 +84,10 @@ def test_fig4_three_crash_faults(benchmark, protocol):
 def test_fig4_direct_skip_advantage(benchmark):
     """Claim C3's mechanism: Mahi-Mahi skips dead leaders directly,
     Cordial Miners only through later anchors."""
-    scale = bench_scale()
 
     def run_pair():
-        out = {}
-        for protocol in ("mahi-mahi-5", "cordial-miners"):
-            config = ExperimentConfig(
-                protocol=protocol,
-                num_validators=10,
-                num_crashed=3,
-                load_tps=10_000,
-                duration=14.0 * scale,
-                warmup=4.0 * scale,
-                seed=5,
-            )
-            out[protocol] = Experiment(config).run()
-        return out
+        results = run_configs(SWEEP_SKIP_MECHANISM.configs)
+        return {r.config.protocol: r for r in results}
 
     results = benchmark.pedantic(run_pair, rounds=1, iterations=1)
     mahi, cm = results["mahi-mahi-5"], results["cordial-miners"]

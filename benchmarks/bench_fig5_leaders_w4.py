@@ -4,13 +4,18 @@ Mahi-Mahi-4 with 1, 2 and 3 leaders per round, 10 validators, zero and
 three crash faults (Section 5.4; claim C4).  The paper reports latency
 dropping by ~40 ms (ideal) and ~100 ms (faulty) going from 1 to 3
 leaders, with no further gain beyond 3.
+
+The sweeps are declared as data (``SWEEPS``) and consumed both by these
+pytest-benchmark tests and by ``run_all.py``; ``bench_fig7_leaders_w5``
+reuses the builders for the wave-5 variant.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.sim.runner import Experiment, ExperimentConfig
+from repro.sim.runner import ExperimentConfig
+from repro.sim.sweep import FigureSpec, SweepSpec, run_configs
 
 from .paper_data import LEADER_SWEEP_IMPROVEMENT, Row, bench_scale, print_table
 
@@ -18,22 +23,45 @@ WAVE_PROTOCOL = "mahi-mahi-4"
 LEADERS = (1, 2, 3)
 
 
-def run_leader_sweep(protocol: str, num_crashed: int, seed: int = 7):
+def leader_sweep_spec(figure: str, protocol: str, num_crashed: int, seed: int = 7) -> SweepSpec:
+    """The leader-slot sweep for one protocol/fault combination."""
     scale = bench_scale()
-    results = {}
-    for leaders in LEADERS:
-        config = ExperimentConfig(
-            protocol=protocol,
-            num_validators=10,
-            leaders_per_round=leaders,
-            num_crashed=num_crashed,
-            load_tps=20_000,
-            duration=14.0 * scale,
-            warmup=4.0 * scale,
-            seed=seed,
-        )
-        results[leaders] = Experiment(config).run()
-    return results
+    label = f"{num_crashed}-faults" if num_crashed else "ideal"
+    return SweepSpec(
+        name=f"fig{figure}-leaders-{protocol}-{label}",
+        figure=FigureSpec(
+            figure=figure,
+            title=f"Figure {figure}: leader slots per round ({protocol}, {label})",
+            x_axis="leaders_per_round",
+            series_key="num_crashed",
+        ),
+        configs=tuple(
+            ExperimentConfig(
+                protocol=protocol,
+                num_validators=10,
+                leaders_per_round=leaders,
+                num_crashed=num_crashed,
+                load_tps=20_000,
+                duration=14.0 * scale,
+                warmup=4.0 * scale,
+                seed=seed,
+            )
+            for leaders in LEADERS
+        ),
+    )
+
+
+SWEEPS = (
+    leader_sweep_spec("5", WAVE_PROTOCOL, 0),
+    leader_sweep_spec("5", WAVE_PROTOCOL, 3),
+)
+
+
+def run_leader_sweep(protocol: str, num_crashed: int, seed: int = 7, *, figure: str = "5"):
+    """Run the leader sweep in-process, keyed by leader count."""
+    spec = leader_sweep_spec(figure, protocol, num_crashed, seed)
+    results = run_configs(spec.configs)
+    return {r.config.leaders_per_round: r for r in results}
 
 
 def report(protocol: str, num_crashed: int, results) -> None:

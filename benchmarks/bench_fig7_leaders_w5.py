@@ -2,21 +2,32 @@
 
 Identical methodology to Figure 5 but with Mahi-Mahi-5: 1, 2 and 3
 leader slots per round, 10 validators, zero and three crash faults.
+The sweeps are declared as data (``SWEEPS``) via the shared builder in
+``bench_fig5_leaders_w4``.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from .bench_fig5_leaders_w4 import LEADERS, report, run_leader_sweep
+from .bench_fig5_leaders_w4 import LEADERS, leader_sweep_spec, report, run_leader_sweep
 
 WAVE_PROTOCOL = "mahi-mahi-5"
+
+SWEEPS = (
+    leader_sweep_spec("7", WAVE_PROTOCOL, 0),
+    leader_sweep_spec("7", WAVE_PROTOCOL, 3),
+)
 
 
 @pytest.mark.parametrize("num_crashed", [0, 3])
 def test_fig7_leader_sweep(benchmark, num_crashed):
     results = benchmark.pedantic(
-        run_leader_sweep, args=(WAVE_PROTOCOL, num_crashed), rounds=1, iterations=1
+        run_leader_sweep,
+        args=(WAVE_PROTOCOL, num_crashed),
+        kwargs={"figure": "7"},
+        rounds=1,
+        iterations=1,
     )
     report(WAVE_PROTOCOL, num_crashed, results)
     benchmark.extra_info.update(

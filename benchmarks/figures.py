@@ -79,19 +79,19 @@ def _figure4() -> None:
     print_table("Figure 4 (10 validators, 3 crash faults)", rows)
 
 
-def _leader_sweep(protocol: str) -> None:
+def _leader_sweep(figure: str, protocol: str) -> None:
     from .bench_fig5_leaders_w4 import report, run_leader_sweep
 
     for crashed in (0, 3):
-        report(protocol, crashed, run_leader_sweep(protocol, crashed))
+        report(protocol, crashed, run_leader_sweep(protocol, crashed, figure=figure))
 
 
 def _figure5() -> None:
-    _leader_sweep("mahi-mahi-4")
+    _leader_sweep("5", "mahi-mahi-4")
 
 
 def _figure7() -> None:
-    _leader_sweep("mahi-mahi-5")
+    _leader_sweep("7", "mahi-mahi-5")
 
 
 FIGURES = {"3": _figure3, "4": _figure4, "5": _figure5, "7": _figure7}

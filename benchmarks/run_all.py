@@ -1,0 +1,203 @@
+#!/usr/bin/env python3
+"""One-command reproduction driver (``repro-bench``).
+
+Collects every sweep declared by the ``bench_*`` modules (their
+``SWEEPS`` tuples) and executes them through the parallel, cached sweep
+engine (:mod:`repro.sim.sweep`).  Finished points land in
+``results/points/<config-hash>.json``; per-sweep series summaries in
+``results/<sweep>.json``; a run-level roll-up in
+``results/summary.json``.  Re-running resumes: cached points are served
+near-instantly, only missing ones compute.
+
+Usage::
+
+    python benchmarks/run_all.py --smoke          # seconds-long CI gate
+    python benchmarks/run_all.py                  # full figure sweeps
+    python benchmarks/run_all.py --only fig3      # one figure's sweeps
+    python benchmarks/run_all.py --list           # show the sweep plan
+    python benchmarks/run_all.py --scale 3        # longer runs
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Benchmark modules that declare sweeps, in execution order.
+BENCH_MODULES = (
+    "benchmarks.bench_fig3_ideal",
+    "benchmarks.bench_fig4_faults",
+    "benchmarks.bench_fig5_leaders_w4",
+    "benchmarks.bench_fig7_leaders_w5",
+    "benchmarks.bench_ablations",
+    "benchmarks.bench_commit_probability",
+)
+
+
+def _bootstrap_sys_path() -> None:
+    """Make ``repro`` and ``benchmarks`` importable from a checkout."""
+    for path in (REPO_ROOT / "src", REPO_ROOT):
+        entry = str(path)
+        if entry not in sys.path:
+            sys.path.insert(0, entry)
+
+
+def discover_sweeps() -> list:
+    """All declared sweeps, in module order."""
+    sweeps = []
+    for module_name in BENCH_MODULES:
+        module = importlib.import_module(module_name)
+        sweeps.extend(getattr(module, "SWEEPS", ()))
+    return sweeps
+
+
+def main(argv: list[str] | None = None) -> int:
+    _bootstrap_sys_path()
+    parser = argparse.ArgumentParser(
+        prog="repro-bench", description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="shrink every sweep to seconds-long deployments (the CI gate)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="parallel worker processes (default: all cores, or REPRO_SWEEP_WORKERS)",
+    )
+    parser.add_argument(
+        "--results",
+        default=None,
+        help="results directory (default: results/, or REPRO_RESULTS_DIR)",
+    )
+    parser.add_argument(
+        "--only",
+        default=None,
+        help="run only sweeps whose name contains this substring",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="print the sweep plan and exit"
+    )
+    parser.add_argument(
+        "--force", action="store_true", help="ignore cached points and recompute"
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="duration multiplier for full (non-smoke) sweeps (sets REPRO_BENCH_SCALE)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.scale is not None:
+        # Must land in the environment before the bench modules build
+        # their specs at import time.
+        os.environ["REPRO_BENCH_SCALE"] = str(args.scale)
+
+    from repro.sim.sweep import ResultsStore, default_workers, run_sweep
+
+    sweeps = discover_sweeps()
+    if args.smoke:
+        sweeps = [sweep.smoke() for sweep in sweeps]
+    if args.only:
+        sweeps = [sweep for sweep in sweeps if args.only in sweep.name]
+        if not sweeps:
+            parser.error(f"no sweep name contains {args.only!r}")
+
+    total_points = sum(len(sweep.configs) for sweep in sweeps)
+    if args.list:
+        for sweep in sweeps:
+            print(f"{sweep.name:<40} {len(sweep.configs):>3} points  ({sweep.figure.title})")
+        print(f"{'total':<40} {total_points:>3} points")
+        return 0
+
+    results_dir = args.results or os.environ.get("REPRO_RESULTS_DIR") or "results"
+    store = ResultsStore(results_dir)
+    workers = args.workers if args.workers is not None else default_workers()
+    mode = "smoke" if args.smoke else "full"
+    print(
+        f"repro-bench: {len(sweeps)} sweeps, {total_points} points, "
+        f"{workers} workers, mode={mode}, results={store.root}/"
+    )
+
+    if args.force:
+        for sweep in sweeps:
+            for config in sweep.configs:
+                store.point_path(config).unlink(missing_ok=True)
+
+    outcomes = []
+    started = time.perf_counter()
+    for sweep in sweeps:
+        outcome = run_sweep(sweep, store, workers=workers, progress=print)
+        print(
+            f"[{sweep.name}] done: {outcome.executed} run, {outcome.cached} cached, "
+            f"{outcome.wall_seconds:.1f}s"
+        )
+        outcomes.append(outcome)
+    wall = time.perf_counter() - started
+
+    executed = sum(o.executed for o in outcomes)
+    cached = sum(o.cached for o in outcomes)
+    sim_events = sum(r.events_processed for o in outcomes for r in o.results)
+    committed = sum(r.blocks_committed for o in outcomes for r in o.results)
+    # Drain rate over *executed* points only: mixing cached points'
+    # events with this run's wall clock would inflate the rate on any
+    # resumed run.
+    executed_events = sum(o.executed_events for o in outcomes)
+    executed_wall = sum(o.executed_wall_seconds for o in outcomes)
+    summary = {
+        "mode": mode,
+        "sweeps": [
+            {
+                "name": o.spec.name,
+                "points": len(o.results),
+                "executed": o.executed,
+                "cached": o.cached,
+                "wall_seconds": round(o.wall_seconds, 3),
+            }
+            for o in outcomes
+        ],
+        "totals": {
+            "points": total_points,
+            "executed": executed,
+            "cached": cached,
+            "wall_seconds": round(wall, 3),
+            "sim_events": sim_events,
+            "blocks_committed": committed,
+            "executed_sim_events": executed_events,
+            "executed_wall_seconds": round(executed_wall, 3),
+            "sim_events_per_second": (
+                round(executed_events / executed_wall) if executed_wall > 0 else None
+            ),
+        },
+    }
+    store.root.mkdir(parents=True, exist_ok=True)
+    (store.root / "summary.json").write_text(json.dumps(summary, indent=2, sort_keys=True))
+    print(
+        f"repro-bench: {executed} points run, {cached} cached in {wall:.1f}s "
+        f"({sim_events:,} sim events; {committed:,} blocks committed)"
+    )
+
+    # The smoke gate: every sweep must actually commit blocks somewhere
+    # (the wave-3 adversary ablation legitimately stalls individual
+    # points, so the bar is per-sweep, not per-point).
+    stalled = [
+        o.spec.name for o in outcomes if not any(r.blocks_committed > 0 for r in o.results)
+    ]
+    if stalled:
+        print(f"repro-bench: FAIL - no blocks committed in: {', '.join(stalled)}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

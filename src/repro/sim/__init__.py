@@ -17,8 +17,26 @@ from .node import NodeBehavior, SimValidator
 from .client import OpenLoopClient
 from .metrics import ExperimentMetrics, LatencySummary
 from .runner import Experiment, ExperimentConfig, ExperimentResult, PROTOCOLS
+from .sweep import (
+    FigureSpec,
+    ResultsStore,
+    SweepOutcome,
+    SweepSpec,
+    config_hash,
+    run_configs,
+    run_sweep,
+    smoke_config,
+)
 
 __all__ = [
+    "FigureSpec",
+    "ResultsStore",
+    "SweepOutcome",
+    "SweepSpec",
+    "config_hash",
+    "run_configs",
+    "run_sweep",
+    "smoke_config",
     "EventLoop",
     "LatencyModel",
     "GeoLatencyModel",

@@ -3,6 +3,14 @@
 Events fire in (time, insertion-sequence) order, so simultaneous events
 run in the order they were scheduled — no heap-order nondeterminism
 leaks into experiments.
+
+This is the hottest loop of the whole simulator (every message hop,
+client arrival and CPU-stage completion passes through it), so the
+implementation is deliberately low-level: the loop object is slotted,
+heap entries stay plain tuples (tuple comparison is what ``heapq``
+optimises for — a slotted entry object would add a ``__lt__`` dispatch
+per sift), and the drain loops bind every attribute they touch to a
+local once instead of re-resolving ``self.*`` per event.
 """
 
 from __future__ import annotations
@@ -15,6 +23,8 @@ from ..errors import SimulationError
 
 class EventLoop:
     """Priority-queue event loop with virtual time."""
+
+    __slots__ = ("_now", "_sequence", "_heap", "_events_processed")
 
     def __init__(self) -> None:
         self._now = 0.0
@@ -41,7 +51,29 @@ class EventLoop:
 
     def schedule_at(self, when: float, callback: Callable[..., None], *args: Any) -> None:
         """Run ``callback(*args)`` at absolute virtual time ``when``."""
-        self.schedule(max(0.0, when - self._now), callback, *args)
+        if when < self._now:
+            when = self._now
+        heapq.heappush(self._heap, (when, self._sequence, callback, args))
+        self._sequence += 1
+
+    def schedule_batch(self, times: list[float], callback: Callable[..., None]) -> None:
+        """Schedule ``callback()`` at each absolute time in ``times``.
+
+        One entry point for pre-generated arrival batches (open-loop
+        clients): the heap pushes happen in a single tight loop instead
+        of one ``schedule`` call per arrival.  Times earlier than *now*
+        are clamped to *now*, like :meth:`schedule_at`.
+        """
+        push = heapq.heappush
+        heap = self._heap
+        sequence = self._sequence
+        now = self._now
+        for when in times:
+            if when < now:
+                when = now
+            push(heap, (when, sequence, callback, ()))
+            sequence += 1
+        self._sequence = sequence
 
     def run_until(self, deadline: float, *, max_events: int | None = None) -> None:
         """Process events until virtual time exceeds ``deadline``.
@@ -51,26 +83,41 @@ class EventLoop:
             max_events: Optional hard cap guarding against runaway loops.
         """
         budget = max_events if max_events is not None else float("inf")
-        while self._heap and self._heap[0][0] <= deadline:
-            if self._events_processed >= budget:
-                raise SimulationError(
-                    f"event budget exhausted ({max_events} events before t={deadline})"
-                )
-            when, _, callback, args = heapq.heappop(self._heap)
-            self._now = when
-            self._events_processed += 1
-            callback(*args)
-        self._now = max(self._now, deadline)
+        heap = self._heap
+        pop = heapq.heappop
+        processed = self._events_processed
+        try:
+            while heap and heap[0][0] <= deadline:
+                if processed >= budget:
+                    raise SimulationError(
+                        f"event budget exhausted ({max_events} events before t={deadline})"
+                    )
+                when, _, callback, args = pop(heap)
+                self._now = when
+                processed += 1
+                callback(*args)
+        finally:
+            # The counter is synced on every exit path (including a
+            # callback raising) so observability never goes stale.
+            self._events_processed = processed
+        if self._now < deadline:
+            self._now = deadline
 
     def run_to_completion(self, *, max_events: int = 10_000_000) -> None:
         """Drain every scheduled event (tests and shutdown flushes)."""
-        while self._heap:
-            if self._events_processed >= max_events:
-                raise SimulationError(f"event budget exhausted ({max_events} events)")
-            when, _, callback, args = heapq.heappop(self._heap)
-            self._now = when
-            self._events_processed += 1
-            callback(*args)
+        heap = self._heap
+        pop = heapq.heappop
+        processed = self._events_processed
+        try:
+            while heap:
+                if processed >= max_events:
+                    raise SimulationError(f"event budget exhausted ({max_events} events)")
+                when, _, callback, args = pop(heap)
+                self._now = when
+                processed += 1
+                callback(*args)
+        finally:
+            self._events_processed = processed
 
     def pending(self) -> int:
         """Number of events still queued."""

@@ -11,6 +11,7 @@ from __future__ import annotations
 import math
 import random
 from abc import ABC, abstractmethod
+from typing import Callable
 
 #: The five regions of the paper's evaluation, in assignment order.
 PAPER_REGIONS = ("us-east-2", "us-west-2", "af-south-1", "ap-east-1", "eu-south-1")
@@ -33,19 +34,82 @@ _ONE_WAY: dict[frozenset[str], float] = {
 _INTRA_REGION = 0.0005
 
 
+#: Jitter multipliers are pre-sampled this many at a time; one RNG/exp
+#: refill pass then serves a whole block of messages.
+_JITTER_BLOCK = 1024
+
+
 class LatencyModel(ABC):
     """Maps a (source, destination) validator pair to a one-way delay."""
+
+    #: Sigma of the default multiplicative lognormal jitter (a few
+    #: percent, as on real WAN paths).
+    jitter_sigma: float = 0.05
 
     @abstractmethod
     def base_delay(self, src: int, dst: int) -> float:
         """Deterministic component of the one-way delay, in seconds."""
 
     def sample(self, src: int, dst: int, rng: random.Random) -> float:
-        """One-way delay with jitter.  Default: multiplicative lognormal
-        jitter with sigma 0.05 (a few percent, as on real WAN paths)."""
+        """One-way delay with jitter (one draw; convenience API)."""
         base = self.base_delay(src, dst)
-        jitter = math.exp(rng.gauss(0.0, 0.05))
-        return base * jitter
+        if self.jitter_sigma <= 0.0:
+            return base
+        return base * math.exp(rng.gauss(0.0, self.jitter_sigma))
+
+    def make_sampler(self, rng: random.Random) -> Callable[[int, int], float]:
+        """A fast ``(src, dst) -> delay`` closure for the network hot path.
+
+        Base delays are memoized per pair and jitter multipliers are
+        pre-sampled in blocks of :data:`_JITTER_BLOCK`, so the per-message
+        cost is a dict hit plus a list index instead of a method dispatch
+        and an ``exp(gauss())`` pair.  Draws come off ``rng`` in blocks,
+        so a sweep stays deterministic for a fixed seed (the draw
+        *order* differs from calling :meth:`sample` per message, which
+        only reshuffles jitter — never protocol logic).
+        """
+        # A subclass overriding sample() keeps its custom distribution:
+        # the fast path below only encodes the *default* base x lognormal
+        # shape, so it must not silently replace an override.
+        if type(self).sample is not LatencyModel.sample:
+            custom_sample = self.sample
+
+            def sample_custom(src: int, dst: int) -> float:
+                return custom_sample(src, dst, rng)
+
+            return sample_custom
+
+        base_cache: dict[tuple[int, int], float] = {}
+        base_delay = self.base_delay
+        sigma = self.jitter_sigma
+        if sigma <= 0.0:
+
+            def sample_fast(src: int, dst: int) -> float:
+                delay = base_cache.get((src, dst))
+                if delay is None:
+                    delay = base_cache[(src, dst)] = base_delay(src, dst)
+                return delay
+
+            return sample_fast
+
+        gauss = rng.gauss
+        exp = math.exp
+        jitter: list[float] = []
+        cursor = _JITTER_BLOCK  # force a refill on first use
+
+        def sample_jittered(src: int, dst: int) -> float:
+            nonlocal jitter, cursor
+            delay = base_cache.get((src, dst))
+            if delay is None:
+                delay = base_cache[(src, dst)] = base_delay(src, dst)
+            if cursor >= _JITTER_BLOCK:
+                jitter = [exp(gauss(0.0, sigma)) for _ in range(_JITTER_BLOCK)]
+                cursor = 0
+            value = delay * jitter[cursor]
+            cursor += 1
+            return value
+
+        return sample_jittered
 
 
 class GeoLatencyModel(LatencyModel):
@@ -72,13 +136,7 @@ class UniformLatencyModel(LatencyModel):
 
     def __init__(self, delay: float = 0.05, jitter_sigma: float = 0.0) -> None:
         self._delay = delay
-        self._sigma = jitter_sigma
+        self.jitter_sigma = jitter_sigma
 
     def base_delay(self, src: int, dst: int) -> float:
         return self._delay if src != dst else _INTRA_REGION
-
-    def sample(self, src: int, dst: int, rng: random.Random) -> float:
-        base = self.base_delay(src, dst)
-        if self._sigma <= 0.0:
-            return base
-        return base * math.exp(rng.gauss(0.0, self._sigma))

@@ -26,9 +26,12 @@ from .events import EventLoop
 from .latency import LatencyModel
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Message:
     """One network message.
+
+    Slotted: a high-load sweep materializes millions of these, and the
+    sim keeps every in-flight one alive on the event heap.
 
     Attributes:
         src: Sending validator.
@@ -119,6 +122,22 @@ class NetworkConfig:
 class SimNetwork:
     """Connects :class:`~repro.sim.node.SimValidator` instances."""
 
+    __slots__ = (
+        "_loop",
+        "_latency",
+        "_n",
+        "_config",
+        "_scheduler",
+        "_benign",
+        "_rng",
+        "_sample_delay",
+        "_handlers",
+        "_egress_free",
+        "_last_delivery",
+        "messages_sent",
+        "bytes_sent",
+    )
+
     def __init__(
         self,
         loop: EventLoop,
@@ -134,7 +153,12 @@ class SimNetwork:
         self._n = num_validators
         self._config = config or NetworkConfig()
         self._scheduler = scheduler or RandomScheduler()
+        # Benign schedulers add nothing; skip constructing a Message
+        # early and the extra_delay dispatch entirely on the hot path.
+        self._benign = type(self._scheduler) is RandomScheduler
         self._rng = random.Random(repr(("network", seed)))
+        # Pair-memoized base delays + block-presampled jitter.
+        self._sample_delay = latency.make_sampler(self._rng)
         self._handlers: dict[int, Callable[[Message], None]] = {}
         # Sender uplink: time at which each validator's egress is free.
         self._egress_free = [0.0] * num_validators
@@ -158,16 +182,22 @@ class SimNetwork:
         wire_size = size + self._config.message_overhead
         now = self._loop.now
         # Serialization on the sender's uplink.
-        start = max(now, self._egress_free[src])
+        egress_free = self._egress_free
+        start = egress_free[src]
+        if now > start:
+            start = now
         egress_done = start + wire_size / self._config.bandwidth
-        self._egress_free[src] = egress_done
+        egress_free[src] = egress_done
         # Propagation + scheduler-injected delay.
-        delay = self._latency.sample(src, dst, self._rng)
-        delay += self._scheduler.extra_delay(message, now, self._rng)
+        delay = self._sample_delay(src, dst)
+        if not self._benign:
+            delay += self._scheduler.extra_delay(message, now, self._rng)
         arrival = egress_done + delay
         # FIFO per link (TCP semantics).
         link = (src, dst)
-        arrival = max(arrival, self._last_delivery.get(link, 0.0) + 1e-9)
+        last = self._last_delivery.get(link, 0.0) + 1e-9
+        if last > arrival:
+            arrival = last
         self._last_delivery[link] = arrival
         self.messages_sent += 1
         self.bytes_sent += wire_size

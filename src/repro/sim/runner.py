@@ -133,6 +133,9 @@ class ExperimentResult:
     messages_sent: int
     bytes_sent: int
     pending_transactions: int
+    #: Simulator events executed producing this point (perf accounting
+    #: for the sweep engine's events/sec reporting).
+    events_processed: int = 0
 
     def summary(self) -> str:
         """One human-readable line, in the paper's units."""
@@ -344,6 +347,7 @@ class Experiment:
             messages_sent=self._network.messages_sent,
             bytes_sent=self._network.bytes_sent,
             pending_transactions=self._metrics.pending,
+            events_processed=self._loop.events_processed,
         )
 
 

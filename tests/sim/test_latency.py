@@ -82,3 +82,32 @@ class TestUniformModel:
         rng = random.Random(0)
         samples = {model.sample(0, 1, rng) for _ in range(10)}
         assert len(samples) > 1
+
+
+class TestMakeSampler:
+    def test_fast_path_matches_base_delay_when_no_jitter(self):
+        model = UniformLatencyModel(0.1)
+        sampler = model.make_sampler(random.Random(0))
+        assert sampler(0, 1) == 0.1
+        assert sampler(2, 2) == model.base_delay(2, 2)
+
+    def test_jittered_sampler_stays_near_base(self):
+        model = UniformLatencyModel(0.1, jitter_sigma=0.05)
+        sampler = model.make_sampler(random.Random(0))
+        samples = [sampler(0, 1) for _ in range(2000)]
+        assert len(set(samples)) > 1
+        assert all(abs(s - 0.1) / 0.1 < 0.5 for s in samples)
+
+    def test_deterministic_for_fixed_seed(self):
+        model = GeoLatencyModel(10)
+        a = model.make_sampler(random.Random(7))
+        b = model.make_sampler(random.Random(7))
+        assert [a(0, 1) for _ in range(100)] == [b(0, 1) for _ in range(100)]
+
+    def test_subclass_sample_override_is_honored(self):
+        class ConstantModel(UniformLatencyModel):
+            def sample(self, src, dst, rng):
+                return 42.0
+
+        sampler = ConstantModel(0.1, jitter_sigma=0.05).make_sampler(random.Random(0))
+        assert sampler(0, 1) == 42.0

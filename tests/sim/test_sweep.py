@@ -1,0 +1,225 @@
+"""Tests for the parallel sweep engine and its results cache."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.sim.runner import ExperimentConfig
+from repro.sim.sweep import (
+    FigureSpec,
+    ResultsStore,
+    SweepSpec,
+    config_from_dict,
+    config_hash,
+    config_to_dict,
+    result_from_dict,
+    result_to_dict,
+    run_sweep,
+    smoke_config,
+)
+
+
+def tiny_config(**overrides) -> ExperimentConfig:
+    """A deployment that finishes in well under a second."""
+    defaults = dict(
+        protocol="mahi-mahi-5",
+        num_validators=4,
+        load_tps=200.0,
+        duration=1.5,
+        warmup=0.5,
+        uniform_delay=0.05,
+        model_cpu=False,
+        seed=7,
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+def tiny_spec(configs, name="test-sweep") -> SweepSpec:
+    return SweepSpec(
+        name=name,
+        figure=FigureSpec(figure="test", title="engine test"),
+        configs=tuple(configs),
+    )
+
+
+class TestConfigHash:
+    def test_equal_configs_equal_hashes(self):
+        assert config_hash(tiny_config()) == config_hash(tiny_config())
+
+    def test_any_field_change_changes_hash(self):
+        base = config_hash(tiny_config())
+        assert config_hash(tiny_config(seed=8)) != base
+        assert config_hash(tiny_config(load_tps=201.0)) != base
+        assert config_hash(tiny_config(protocol="tusk")) != base
+
+    def test_golden_hash_pinned(self):
+        """The serialization is part of the cache contract: if this
+        changes, bump SCHEMA_VERSION in sweep.py (old caches must read
+        as misses, not as silently wrong hits)."""
+        assert config_hash(ExperimentConfig()) == "dd8b57c7cfcf7042"
+
+    def test_stable_across_interpreter_instances(self):
+        """No PYTHONHASHSEED leakage: a fresh interpreter with a random
+        hash seed derives the same hash."""
+        script = (
+            "from repro.sim.sweep import config_hash;"
+            "from repro.sim.runner import ExperimentConfig;"
+            "print(config_hash(ExperimentConfig()))"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": "src", "PYTHONHASHSEED": "random"},
+            check=True,
+        )
+        assert out.stdout.strip() == config_hash(ExperimentConfig())
+
+    def test_config_roundtrip(self):
+        config = tiny_config(num_crashed=1, direct_skip=False)
+        assert config_from_dict(config_to_dict(config)) == config
+
+
+class TestSmokeTransform:
+    def test_shrinks_and_keeps_shape(self):
+        big = ExperimentConfig(
+            protocol="tusk", num_validators=50, load_tps=200_000, num_crashed=16
+        )
+        small = smoke_config(big)
+        assert small.protocol == "tusk"
+        assert small.num_validators <= 10
+        assert small.duration <= 2.0
+        assert small.load_tps <= 2_000
+        # Fault pattern survives, clamped to the smaller committee's f.
+        assert small.num_crashed == (small.num_validators - 1) // 3
+
+    def test_result_is_valid_config(self):
+        # __post_init__ re-validates; this must not raise.
+        smoke_config(ExperimentConfig(num_validators=10, num_crashed=3, num_equivocators=0))
+
+    def test_smoke_spec_deduplicates_collapsed_points(self):
+        spec = tiny_spec(
+            ExperimentConfig(protocol="mahi-mahi-5", load_tps=load, duration=20.0)
+            for load in (20_000, 60_000, 100_000)
+        )
+        smoked = spec.smoke()
+        assert smoked.name == "test-sweep-smoke"
+        assert len(smoked.configs) == 1  # loads collapse onto one point
+
+
+class TestResultsStore:
+    def test_miss_then_hit(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        spec = tiny_spec([tiny_config()])
+        assert store.get(spec.configs[0]) is None
+        first = run_sweep(spec, store, workers=1)
+        assert (first.cached, first.executed) == (0, 1)
+        second = run_sweep(spec, store, workers=1)
+        assert (second.cached, second.executed) == (1, 0)
+        assert second.results[0] == first.results[0]
+
+    def test_resume_recomputes_only_missing_points(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        spec = tiny_spec([tiny_config(seed=1), tiny_config(seed=2), tiny_config(seed=3)])
+        run_sweep(spec, store, workers=1)
+        store.point_path(spec.configs[1]).unlink()
+        resumed = run_sweep(spec, store, workers=1)
+        assert (resumed.cached, resumed.executed) == (2, 1)
+
+    def test_corrupt_point_reads_as_miss(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        config = tiny_config()
+        run_sweep(tiny_spec([config]), store, workers=1)
+        store.point_path(config).write_text("{truncated")
+        assert store.get(config) is None
+
+    def test_stale_schema_reads_as_miss(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        config = tiny_config()
+        run_sweep(tiny_spec([config]), store, workers=1)
+        path = store.point_path(config)
+        data = json.loads(path.read_text())
+        data["schema"] = -1
+        path.write_text(json.dumps(data))
+        assert store.get(config) is None
+
+    def test_result_roundtrip_preserves_nan_latency(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        # Too short to commit anything after warmup -> NaN latency.
+        config = tiny_config(duration=0.4, warmup=0.3)
+        [result] = run_sweep(tiny_spec([config]), store, workers=1).results
+        restored = store.get(config)
+        assert restored is not None
+        assert dataclasses.asdict(restored.config) == dataclasses.asdict(result.config)
+
+    def test_summary_written_per_sweep(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        spec = tiny_spec([tiny_config()], name="my-sweep")
+        run_sweep(spec, store, workers=1)
+        summary = json.loads((tmp_path / "my-sweep.json").read_text())
+        assert summary["sweep"] == "my-sweep"
+        assert len(summary["points"]) == 1
+        assert summary["points"][0]["config_hash"] == config_hash(spec.configs[0])
+
+
+class TestParallelExecution:
+    def test_parallel_identical_to_serial(self, tmp_path):
+        spec = tiny_spec([tiny_config(seed=s) for s in (1, 2, 3)])
+        serial = run_sweep(spec, ResultsStore(tmp_path / "serial"), workers=1)
+        parallel = run_sweep(spec, ResultsStore(tmp_path / "parallel"), workers=2)
+        assert parallel.executed == 3
+        for left, right in zip(serial.results, parallel.results):
+            assert result_to_dict(left) == result_to_dict(right)
+
+    def test_results_keep_config_order(self, tmp_path):
+        configs = [tiny_config(seed=s) for s in (5, 1, 9)]
+        outcome = run_sweep(tiny_spec(configs), ResultsStore(tmp_path), workers=2)
+        assert [r.config.seed for r in outcome.results] == [5, 1, 9]
+
+    def test_result_dict_roundtrip(self, tmp_path):
+        outcome = run_sweep(tiny_spec([tiny_config()]), ResultsStore(tmp_path), workers=1)
+        result = outcome.results[0]
+        data = json.loads(json.dumps(result_to_dict(result)))
+        assert result_to_dict(result_from_dict(result.config, data)) == result_to_dict(result)
+
+
+class TestSmokeBudget:
+    def test_smoke_point_finishes_fast(self, tmp_path):
+        """One smoke-size full-stack point (CPU model, geo latency) must
+        finish in single-digit seconds — the whole ~30-point smoke gate
+        budget is ~120 s."""
+        config = smoke_config(
+            ExperimentConfig(protocol="mahi-mahi-5", num_validators=10, load_tps=20_000, seed=3)
+        )
+        started = time.perf_counter()
+        outcome = run_sweep(tiny_spec([config]), ResultsStore(tmp_path), workers=1)
+        elapsed = time.perf_counter() - started
+        assert elapsed < 10.0
+        assert outcome.results[0].blocks_committed > 0
+
+
+@pytest.mark.slow
+class TestDriver:
+    def test_run_all_smoke_cli(self, tmp_path):
+        """`run_all.py --smoke` end-to-end on a subset: writes points,
+        a sweep summary and the run-level summary, and resumes from
+        cache on the second invocation."""
+        from benchmarks import run_all
+
+        argv = ["--smoke", "--only", "ordering", "--results", str(tmp_path), "--workers", "1"]
+        assert run_all.main(argv) == 0
+        summary = json.loads((tmp_path / "summary.json").read_text())
+        assert summary["mode"] == "smoke"
+        assert summary["totals"]["executed"] > 0
+        assert (tmp_path / "points").is_dir()
+        assert run_all.main(argv) == 0
+        resumed = json.loads((tmp_path / "summary.json").read_text())
+        assert resumed["totals"]["executed"] == 0
+        assert resumed["totals"]["cached"] == resumed["totals"]["points"]
