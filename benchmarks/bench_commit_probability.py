@@ -47,17 +47,17 @@ def test_lemma13_closed_form_vs_monte_carlo(benchmark):
 
     def sample_all():
         return {
-            (f, l): monte_carlo_direct_commit_w5(f, l, trials=50_000)
-            for f, l in cases
+            (f, k): monte_carlo_direct_commit_w5(f, k, trials=50_000)
+            for f, k in cases
         }
 
     sampled = benchmark(sample_all)
     rows = []
-    for (f, l), measured in sampled.items():
-        closed = direct_commit_probability_w5(f, l)
+    for (f, k), measured in sampled.items():
+        closed = direct_commit_probability_w5(f, k)
         rows.append(
             Row(
-                label=f"w=5, f={f}, {l} leader(s)",
+                label=f"w=5, f={f}, {k} leader(s)",
                 paper=f"p* = {closed:.4f}",
                 measured=f"monte-carlo {measured:.4f}",
             )
@@ -69,19 +69,19 @@ def test_lemma13_closed_form_vs_monte_carlo(benchmark):
 def test_lemma16_w4_probabilities(benchmark):
     def compute():
         return {
-            (f, l): direct_commit_probability_w4(f, l)
+            (f, k): direct_commit_probability_w4(f, k)
             for f in (1, 3, 5)
-            for l in (1, 2, 3)
+            for k in (1, 2, 3)
         }
 
     values = benchmark(compute)
     rows = [
         Row(
-            label=f"w=4, f={f}, {l} leader(s)",
-            paper=f"l/(3f+1) = {l}/{3 * f + 1}",
+            label=f"w=4, f={f}, {k} leader(s)",
+            paper=f"l/(3f+1) = {k}/{3 * f + 1}",
             measured=f"{p:.4f}",
         )
-        for (f, l), p in values.items()
+        for (f, k), p in values.items()
     ]
     print_table("Lemma 16: direct-commit probability (w=4, adversary)", rows)
 

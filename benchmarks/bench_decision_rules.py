@@ -15,10 +15,10 @@ import pytest
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 
-from repro.committee import Committee
-from repro.config import ProtocolConfig
-from repro.core.committer import Committer
-from repro.dag.traversal import DagTraversal
+from repro.committee import Committee  # noqa: E402
+from repro.config import ProtocolConfig  # noqa: E402
+from repro.core.committer import Committer  # noqa: E402
+from repro.dag.traversal import DagTraversal  # noqa: E402
 
 from tests.helpers import DagBuilder, FixedCoin  # noqa: E402
 
@@ -38,7 +38,6 @@ def dag():
 
 def test_is_vote_dfs(benchmark, dag):
     committee, _, builder = dag
-    traversal = DagTraversal(builder.store, committee.quorum_threshold)
     leader = builder.get(0, 1)
     votes = builder.store.round_blocks(4)
 

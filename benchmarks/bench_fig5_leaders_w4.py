@@ -97,7 +97,7 @@ def test_fig5_leader_sweep(benchmark, num_crashed):
     )
     report(WAVE_PROTOCOL, num_crashed, results)
     benchmark.extra_info.update(
-        {f"latency_{l}_leaders_ms": results[l].latency.avg * 1000 for l in LEADERS}
+        {f"latency_{k}_leaders_ms": results[k].latency.avg * 1000 for k in LEADERS}
     )
     # Claim C4: more leader slots never hurt, and help under faults.
     assert results[3].latency.avg <= results[1].latency.avg + 0.02

@@ -31,6 +31,6 @@ def test_fig7_leader_sweep(benchmark, num_crashed):
     )
     report(WAVE_PROTOCOL, num_crashed, results)
     benchmark.extra_info.update(
-        {f"latency_{l}_leaders_ms": results[l].latency.avg * 1000 for l in LEADERS}
+        {f"latency_{k}_leaders_ms": results[k].latency.avg * 1000 for k in LEADERS}
     )
     assert results[3].latency.avg <= results[1].latency.avg + 0.02

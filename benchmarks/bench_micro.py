@@ -9,7 +9,6 @@ from __future__ import annotations
 import heapq
 import time
 
-import pytest
 
 from repro.block import Block, make_genesis
 from repro.crypto.coin import FastCoin, ThresholdCoin

@@ -1,0 +1,210 @@
+"""Crash-recovery and reconfiguration workloads.
+
+The paper evaluates crash faults as the production-relevant failure
+mode (Section 5.3) but only as validators going silent forever.  These
+sweeps exercise the other half of production reality: a crashed
+validator *restarts* with an empty in-memory state, re-syncs the DAG
+behind the commit frontier through the fetch path, and rejoins
+proposing — plus reconfiguration (validators joining and leaving
+mid-run) and mixed transaction-size workloads.
+
+Three sweeps:
+
+* ``recovery-crash-restart`` — ``num_recovering`` validators crash a
+  quarter into the run and restart at the halfway mark; the figure
+  tracks the recovery time (restart -> first post-restart proposal) per
+  protocol.  Certified DAGs pay more: the restarted validator re-syncs
+  certificates, not bare blocks.
+* ``reconfig-join-leave`` — one validator joins mid-run (provisioned
+  but silent until then) and another leaves permanently; the figure
+  tracks end-to-end latency across the membership change.
+* ``mixed-tx-sizes`` — clients draw transaction sizes from a skewed
+  distribution (mostly small, a heavy tail of large) instead of the
+  uniform 512 B of Section 5.1.
+
+Recovery sweeps disable garbage collection (``gc_depth=0``): a
+restarted validator re-syncs from genesis, so the full causal history
+must remain fetchable at any duration/scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.faults import FaultEvent
+from repro.sim.runner import ExperimentConfig
+from repro.sim.sweep import FigureSpec, SweepSpec, run_configs
+
+from .paper_data import Row, bench_scale, print_table
+
+_SCALE = bench_scale()
+_DURATION = 16.0 * _SCALE
+_WARMUP = 4.0 * _SCALE
+
+RECOVERY_PROTOCOLS = ("mahi-mahi-5", "cordial-miners", "tusk")
+LOADS = [5_000, 20_000]
+
+SWEEP_RECOVERY = SweepSpec(
+    name="recovery-crash-restart",
+    figure=FigureSpec(
+        figure="recovery",
+        title="Crash-recovery: restart, re-sync, resume proposing",
+        y_axis="recovery_time_s",
+    ),
+    configs=tuple(
+        ExperimentConfig(
+            protocol=protocol,
+            num_validators=10,
+            num_recovering=2,
+            load_tps=load,
+            duration=_DURATION,
+            warmup=_WARMUP,
+            gc_depth=0,
+            seed=7,
+        )
+        for protocol in RECOVERY_PROTOCOLS
+        for load in LOADS
+    ),
+)
+
+SWEEP_RECONFIG = SweepSpec(
+    name="reconfig-join-leave",
+    figure=FigureSpec(
+        figure="reconfig",
+        title="Reconfiguration: one validator joins, one leaves",
+    ),
+    configs=tuple(
+        ExperimentConfig(
+            protocol=protocol,
+            num_validators=10,
+            load_tps=load,
+            duration=_DURATION,
+            warmup=_WARMUP,
+            gc_depth=0,
+            fault_schedule=(
+                FaultEvent(time=0.3 * _DURATION, validator=8, kind="join"),
+                FaultEvent(time=0.6 * _DURATION, validator=9, kind="leave"),
+            ),
+            seed=7,
+        )
+        for protocol in ("mahi-mahi-5", "cordial-miners")
+        for load in LOADS
+    ),
+)
+
+#: Mostly-small transactions with a heavy tail: 70% 128 B, 25% 512 B,
+#: 5% 4 KiB (a payment-plus-contract-deployment style mix).
+TX_SIZE_MIX = ((128, 0.70), (512, 0.25), (4096, 0.05))
+
+SWEEP_MIXED_SIZES = SweepSpec(
+    name="mixed-tx-sizes",
+    figure=FigureSpec(
+        figure="mixed-sizes",
+        title="Mixed transaction sizes (128 B / 512 B / 4 KiB)",
+    ),
+    configs=tuple(
+        ExperimentConfig(
+            protocol="mahi-mahi-5",
+            num_validators=10,
+            load_tps=load,
+            duration=_DURATION,
+            warmup=_WARMUP,
+            tx_size_mix=TX_SIZE_MIX,
+            seed=7,
+        )
+        for load in LOADS
+    ),
+)
+
+SWEEPS = (SWEEP_RECOVERY, SWEEP_RECONFIG, SWEEP_MIXED_SIZES)
+
+
+@pytest.mark.parametrize("protocol", RECOVERY_PROTOCOLS)
+def test_recovery_restart_and_resync(benchmark, protocol):
+    """A crashed validator restarts, re-syncs via fetch, resumes
+    proposing, and the safety check covers it (run() asserts prefix
+    consistency with the recovered validator included)."""
+    configs = [c for c in SWEEP_RECOVERY.configs if c.protocol == protocol]
+    results = benchmark.pedantic(run_configs, args=(configs,), rounds=1, iterations=1)
+    rows = []
+    for r in results:
+        assert r.recoveries == r.config.num_recovering
+        assert r.recovery_time_s is not None and r.recovery_time_s > 0
+        assert r.availability < 1.0
+        rows.append(
+            Row(
+                label=f"{protocol} @ {r.config.load_tps / 1000:.0f}k tx/s",
+                paper="(new workload)",
+                measured=(
+                    f"recovery {r.recovery_time_s:.3f}s avg "
+                    f"(max {r.recovery_time_max_s:.3f}s), "
+                    f"availability {r.availability:.3f}, "
+                    f"latency {r.latency.avg:.2f}s"
+                ),
+            )
+        )
+    print_table(f"Crash-recovery - {protocol}", rows)
+    benchmark.extra_info["recovery_time_s"] = results[0].recovery_time_s
+
+
+def test_recovery_certified_resync_costs_more(benchmark):
+    """Tusk's restarted validator re-syncs certified vertices (the
+    2f+1-signature verification overhead of Section 2.2), so its
+    recovery takes longer than Mahi-Mahi's at matched load."""
+
+    def run_pair():
+        configs = [
+            c
+            for c in SWEEP_RECOVERY.configs
+            if c.protocol in ("mahi-mahi-5", "tusk") and c.load_tps == LOADS[0]
+        ]
+        return {r.config.protocol: r for r in run_configs(configs)}
+
+    results = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    mahi, tusk = results["mahi-mahi-5"], results["tusk"]
+    print_table(
+        "Recovery: uncertified vs certified re-sync",
+        [
+            Row("mahi-mahi-5", "(new workload)", f"{mahi.recovery_time_s:.3f}s"),
+            Row("tusk", "(new workload)", f"{tusk.recovery_time_s:.3f}s"),
+        ],
+    )
+    assert mahi.recovery_time_s < tusk.recovery_time_s
+
+
+def test_reconfiguration_preserves_liveness(benchmark):
+    results = benchmark.pedantic(
+        run_configs, args=(SWEEP_RECONFIG.configs,), rounds=1, iterations=1
+    )
+    rows = []
+    for r in results:
+        assert r.blocks_committed > 0
+        assert r.recoveries >= 1  # the join completed
+        rows.append(
+            Row(
+                label=f"{r.config.protocol} @ {r.config.load_tps / 1000:.0f}k tx/s",
+                paper="(new workload)",
+                measured=(
+                    f"latency {r.latency.avg:.2f}s, availability {r.availability:.3f}, "
+                    f"join sync {r.recovery_time_s:.3f}s"
+                ),
+            )
+        )
+    print_table("Reconfiguration: join + leave", rows)
+
+
+def test_mixed_tx_sizes_account_bytes(benchmark):
+    results = benchmark.pedantic(
+        run_configs, args=(SWEEP_MIXED_SIZES.configs,), rounds=1, iterations=1
+    )
+    rows = []
+    for r in results:
+        assert r.blocks_committed > 0
+        rows.append(
+            Row(
+                label=f"mixed sizes @ {r.config.load_tps / 1000:.0f}k tx/s",
+                paper="(new workload)",
+                measured=f"latency {r.latency.avg:.2f}s, {r.bytes_sent / 1e6:.1f} MB sent",
+            )
+        )
+    print_table("Mixed transaction sizes", rows)

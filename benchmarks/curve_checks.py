@@ -1,0 +1,106 @@
+"""Programmatic curve-shape checks against the paper's numbers.
+
+``paper_data.py`` carries the latency/throughput figures quoted in the
+paper's evaluation; this module checks that *measured* sweep results
+reproduce the robust qualitative shape of those curves — the protocol
+orderings the paper's claims rest on — without requiring pixel-perfect
+absolute values from a discrete-event simulator.
+
+The rule is data-driven: within every group of results that differ only
+in protocol (same committee size, load, fault pattern, seed), any pair
+of protocols whose *paper* latencies differ by at least
+:data:`MIN_PAPER_RATIO` must show the same ordering in the measured
+averages.  A 2x paper gap (e.g. Tusk's 3.5 s vs Mahi-Mahi-5's 1.1 s in
+Figure 3) is far outside smoke-run noise; sub-2x gaps (Cordial Miners
+vs Mahi-Mahi-5 under faults) are deliberately not enforced at smoke
+durations.
+
+Used by ``run_all.py`` after every run and by the regression tests in
+``tests/benchmarks/test_curve_shapes.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+from typing import Iterable
+
+from repro.sim.runner import ExperimentResult
+from repro.sim.sweep import config_hash
+
+from .paper_data import FIG3_10_NODES, FIG3_50_NODES, FIG4_FAULTS
+
+#: Only enforce orderings the paper separates by at least this factor.
+MIN_PAPER_RATIO = 2.0
+
+
+def paper_table_for(result: ExperimentResult) -> dict[str, dict] | None:
+    """The paper reference table matching a result's fault pattern and
+    committee size, or ``None`` when the paper has no matching figure
+    (ablations, adversary sweeps, recovery workloads...)."""
+    cfg = result.config
+    if cfg.num_equivocators or cfg.adversary_targets or cfg.num_recovering:
+        return None
+    if cfg.fault_schedule or cfg.wave_length_override or not cfg.direct_skip:
+        return None
+    if cfg.num_crashed >= 3:
+        return FIG4_FAULTS
+    if cfg.num_crashed:
+        return None
+    return FIG3_50_NODES if cfg.num_validators >= 50 else FIG3_10_NODES
+
+
+def group_by_shape(results: Iterable[ExperimentResult]) -> dict[str, dict[str, ExperimentResult]]:
+    """Group results that differ only in protocol.
+
+    The key is the config hash with the protocol field neutralized, so
+    points from different sweeps that share committee size, load, fault
+    pattern and seed land in the same comparison group.
+    """
+    groups: dict[str, dict[str, ExperimentResult]] = {}
+    for result in results:
+        key = config_hash(replace(result.config, protocol="mahi-mahi-5"))
+        groups.setdefault(key, {})[result.config.protocol] = result
+    return groups
+
+
+def check_curve_shapes(results: Iterable[ExperimentResult]) -> list[str]:
+    """Check measured protocol orderings against the paper's curves.
+
+    Returns a list of human-readable violations (empty = every enforced
+    ordering holds).  Results without a matching paper figure, or with
+    unmeasurable latency, are skipped.
+    """
+    violations = []
+    for group in group_by_shape(results).values():
+        sample = next(iter(group.values()))
+        table = paper_table_for(sample)
+        if table is None:
+            continue
+        protocols = [
+            p
+            for p, r in group.items()
+            if p in table and not math.isnan(r.latency.avg)
+        ]
+        for i, first in enumerate(protocols):
+            for second in protocols[i + 1:]:
+                fast, slow = first, second
+                paper_fast = table[fast]["latency_s"]
+                paper_slow = table[slow]["latency_s"]
+                if paper_fast > paper_slow:
+                    fast, slow = slow, fast
+                    paper_fast, paper_slow = paper_slow, paper_fast
+                if paper_slow < MIN_PAPER_RATIO * paper_fast:
+                    continue  # the paper itself separates them too little
+                measured_fast = group[fast].latency.avg
+                measured_slow = group[slow].latency.avg
+                if measured_fast >= measured_slow:
+                    cfg = group[fast].config
+                    violations.append(
+                        f"{fast} should beat {slow} on latency "
+                        f"(paper {paper_fast:.2f}s vs {paper_slow:.2f}s) but measured "
+                        f"{measured_fast:.3f}s vs {measured_slow:.3f}s "
+                        f"(n={cfg.num_validators}, load={cfg.load_tps:.0f}, "
+                        f"crashed={cfg.num_crashed})"
+                    )
+    return violations

@@ -38,6 +38,7 @@ BENCH_MODULES = (
     "benchmarks.bench_fig7_leaders_w5",
     "benchmarks.bench_ablations",
     "benchmarks.bench_commit_probability",
+    "benchmarks.bench_recovery",
 )
 
 
@@ -61,7 +62,9 @@ def discover_sweeps() -> list:
 def main(argv: list[str] | None = None) -> int:
     _bootstrap_sys_path()
     parser = argparse.ArgumentParser(
-        prog="repro-bench", description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+        prog="repro-bench",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument(
         "--smoke",
@@ -195,6 +198,39 @@ def main(argv: list[str] | None = None) -> int:
     ]
     if stalled:
         print(f"repro-bench: FAIL - no blocks committed in: {', '.join(stalled)}")
+        return 1
+
+    # The recovery gate: every sweep that schedules restarts must show a
+    # validator actually restarting, re-syncing, and resuming proposing,
+    # with the recovery-time metric reported per point.
+    failed_recovery = []
+    for o in outcomes:
+        restarting = [
+            r
+            for r in o.results
+            if r.config.num_recovering
+            or any(e.kind in ("recover", "join") for e in r.config.fault_schedule)
+        ]
+        if restarting and not any(
+            r.recoveries > 0 and r.recovery_time_s is not None for r in restarting
+        ):
+            failed_recovery.append(o.spec.name)
+    if failed_recovery:
+        print(
+            "repro-bench: FAIL - no completed recovery reported in: "
+            + ", ".join(failed_recovery)
+        )
+        return 1
+
+    # Curve shapes: the robust protocol orderings the paper's claims
+    # rest on (see benchmarks/curve_checks.py) must hold in the measured
+    # points at any scale, smoke included.
+    from benchmarks.curve_checks import check_curve_shapes
+
+    violations = check_curve_shapes(r for o in outcomes for r in o.results)
+    for violation in violations:
+        print(f"repro-bench: curve-shape violation - {violation}")
+    if violations:
         return 1
     return 0
 

@@ -9,7 +9,7 @@ Mahi-Mahi-4 < Mahi-Mahi-5 < Cordial Miners < Tusk.
 Run:  python examples/geo_replication.py
 """
 
-from repro.sim import Experiment, ExperimentConfig, PROTOCOLS
+from repro.sim import Experiment, ExperimentConfig
 
 
 def main() -> None:

@@ -33,24 +33,24 @@ def direct_commit_probability_w5(f: int, leaders_per_round: int) -> float:
     """Lemma 13: probability that at least one slot of a round commits
     directly, for wave length 5 under a full asynchronous adversary."""
     n = _committee_or_raise(f)
-    l = leaders_per_round
-    if not 1 <= l <= n:
+    slots = leaders_per_round
+    if not 1 <= slots <= n:
         raise ValueError(f"leaders_per_round must be in [1, {n}]")
-    if l > f:
+    if slots > f:
         return 1.0
-    return 1.0 - math.comb(f, l) / math.comb(n, l)
+    return 1.0 - math.comb(f, slots) / math.comb(n, slots)
 
 
 def direct_commit_probability_w4(f: int, leaders_per_round: int) -> float:
     """Lemma 16: probability that at least one slot of a round commits
     directly, for wave length 4 under a full asynchronous adversary."""
     n = _committee_or_raise(f)
-    l = leaders_per_round
-    if not 1 <= l <= n:
+    slots = leaders_per_round
+    if not 1 <= slots <= n:
         raise ValueError(f"leaders_per_round must be in [1, {n}]")
-    if l == n:
+    if slots == n:
         return 1.0
-    return l / n
+    return slots / n
 
 
 def unreachable_pair_bound(f: int) -> float:
@@ -80,13 +80,13 @@ def monte_carlo_direct_commit_w5(
     fraction of trials where at least one committable proposal was hit.
     """
     n = _committee_or_raise(f)
-    l = leaders_per_round
+    slots = leaders_per_round
     committable = 2 * f + 1
-    rng = random.Random(repr(("mc-commit", seed, f, l)))
+    rng = random.Random(repr(("mc-commit", seed, f, slots)))
     hits = 0
     population = list(range(n))
     for _ in range(trials):
-        drawn = rng.sample(population, l)
+        drawn = rng.sample(population, slots)
         if any(slot < committable for slot in drawn):
             hits += 1
     return hits / trials

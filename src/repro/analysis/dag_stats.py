@@ -19,7 +19,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..block import Block
 from ..dag.store import DagStore
 from ..dag.traversal import DagTraversal
 

@@ -24,7 +24,6 @@ from __future__ import annotations
 
 from ..block import Block
 from ..committee import Committee
-from ..config import ProtocolConfig
 from ..core.committer import CommitObservation, CommitterStats, FIRST_LEADER_ROUND
 from ..core.decider import LeaderElector, UNKNOWN_AUTHORITY
 from ..core.slots import Decision, LeaderSlot, SlotStatus

@@ -14,7 +14,7 @@ decisions, exactly like the reference implementation's ``BlockRef``.
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import cached_property
 
 from .crypto.coin import CoinShare
@@ -124,7 +124,6 @@ class Block:
     # Serialization (wire format and WAL records)
     # ------------------------------------------------------------------
     def encode(self) -> bytes:
-        body = self.signable_bytes()
         share = self.coin_share.encode() if self.coin_share is not None else b""
         # Layout: header | parents | txs | share? | salt | signature — with
         # explicit lengths so decode is unambiguous.

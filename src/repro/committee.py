@@ -8,7 +8,7 @@ other module hard-codes it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Sequence
 
 from .errors import ConfigError

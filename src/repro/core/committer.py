@@ -16,7 +16,7 @@ and never recomputed.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..block import Block
 from ..committee import Committee

@@ -182,7 +182,9 @@ class Decider:
                 non_voting += 1
         return non_voting
 
-    def _slot_unskippable_votes_missing(self, propose_round: int, authority: int, candidates: list[Block]) -> bool:
+    def _slot_unskippable_votes_missing(
+        self, propose_round: int, authority: int, candidates: list[Block]
+    ) -> bool:
         """Whether the *slot* (not just one candidate) is safely skippable.
 
         An unseen equivocating proposal can only gather votes from
@@ -246,11 +248,15 @@ class Decider:
         assert anchor.block is not None
         for candidate in self.candidate_blocks(propose_round, authority):
             if self._is_certified_link(propose_round, anchor.block, candidate):
-                return SlotStatus(slot=slot, decision=Decision.COMMIT, block=candidate, direct=False)
+                return SlotStatus(
+                    slot=slot, decision=Decision.COMMIT, block=candidate, direct=False
+                )
         return SlotStatus(slot=slot, decision=Decision.SKIP, direct=False)
 
     @staticmethod
-    def _find_anchor(certify_round: int, higher_statuses: "Iterable[SlotStatus]") -> SlotStatus | None:
+    def _find_anchor(
+        certify_round: int, higher_statuses: "Iterable[SlotStatus]"
+    ) -> SlotStatus | None:
         """Algorithm 2 line 29: the first slot after the certify round
         that is not skipped (i.e. committed or still undecided)."""
         for status in higher_statuses:

@@ -17,7 +17,7 @@ blocks are surfaced to the host (simulator node or asyncio runtime).
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..block import Block, BlockRef, make_genesis
 from ..committee import Committee
@@ -115,6 +115,24 @@ class MahiMahiCore:
         """Queue a client transaction for inclusion in the next proposal."""
         self.mempool.append(tx)
 
+    @property
+    def pending_count(self) -> int:
+        """Blocks buffered while waiting for missing ancestors (a
+        re-syncing validator is caught up once this drains to zero)."""
+        return len(self._pending)
+
+    def missing_frontier(self) -> tuple[BlockRef, ...]:
+        """Every parent reference the buffered (pending) blocks still
+        wait for — neither stored nor itself buffered.  A re-syncing
+        validator fetches exactly this set to pull the next chunk of
+        history."""
+        refs: dict[Digest, BlockRef] = {}
+        for block in self._pending.values():
+            for ref in block.parents:
+                if ref.digest not in self.store and ref.digest not in self._pending:
+                    refs[ref.digest] = ref
+        return tuple(refs.values())
+
     # ------------------------------------------------------------------
     # Block ingestion
     # ------------------------------------------------------------------
@@ -128,7 +146,9 @@ class MahiMahiCore:
             except BlockValidationError:
                 return AddBlockResult(rejected=True)
 
-        missing = [ref for ref in self.store.missing_parents(block) if ref.digest not in self._pending]
+        missing = [
+            ref for ref in self.store.missing_parents(block) if ref.digest not in self._pending
+        ]
         pending_parents = [
             ref for ref in block.parents
             if ref.digest in self._pending

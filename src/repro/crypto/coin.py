@@ -84,7 +84,9 @@ class CommonCoin(ABC):
             InvalidShare: A share fails verification.
         """
 
-    def leader(self, round_number: int, shares: list[CoinShare], committee_size: int, offset: int = 0) -> int:
+    def leader(
+        self, round_number: int, shares: list[CoinShare], committee_size: int, offset: int = 0
+    ) -> int:
         """Elect the leader for ``(round_number, offset)`` (Algorithm 2 line 15)."""
         value = self.reconstruct(round_number, shares)
         return (value + offset) % committee_size

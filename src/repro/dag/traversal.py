@@ -19,9 +19,9 @@ per DFS path.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable
+from typing import Iterable
 
-from ..block import Block, BlockRef
+from ..block import Block
 from ..crypto.hashing import Digest
 from .store import DagStore
 

@@ -8,7 +8,6 @@ localhost.  Used by the examples and the runtime integration tests.
 from __future__ import annotations
 
 import asyncio
-import tempfile
 from pathlib import Path
 
 from ..committee import Committee

@@ -8,9 +8,8 @@ causal history) and retries against other peers on timeout.
 
 from __future__ import annotations
 
-import asyncio
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..block import BlockRef
 from ..crypto.hashing import Digest

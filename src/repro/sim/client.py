@@ -50,6 +50,8 @@ class OpenLoopClient:
         "_stop_at",
         "_on_submission",
         "_rng",
+        "_size_values",
+        "_size_cum_weights",
         "submitted",
     )
 
@@ -62,7 +64,8 @@ class OpenLoopClient:
         weight: float = 1.0,
         stop_at: float = float("inf"),
         on_submission: Callable[[int, float, float], None] | None = None,
-        seed: int = 0,
+        seed: object = 0,
+        tx_size_mix: tuple[tuple[int, float], ...] = (),
     ) -> None:
         """Args:
         loop: The experiment's event loop.
@@ -73,7 +76,16 @@ class OpenLoopClient:
         weight: Real transactions represented by one simulated one.
         stop_at: Stop submitting at this virtual time.
         on_submission: Metrics hook ``(tx_id, time, weight)``.
-        seed: Per-client jitter seed.
+        seed: Per-client jitter seed.  Any ``repr``-stable value works;
+            the experiment harness passes the ``(master_seed, authority)``
+            pair so distinct clients never share a stream and streams do
+            not correlate across master seeds (arithmetic derivations
+            like ``seed * 1000 + authority`` collide for committees past
+            1000).
+        tx_size_mix: Optional ``(size_bytes, weight)`` distribution;
+            when set, each transaction samples a ``size_hint`` from it
+            (mixed-workload experiments).  Empty means the experiment's
+            uniform size.
         """
         self._loop = loop
         self._submit = submit
@@ -82,6 +94,17 @@ class OpenLoopClient:
         self._stop_at = stop_at
         self._on_submission = on_submission
         self._rng = random.Random(repr(("client", seed)))
+        if tx_size_mix:
+            self._size_values = tuple(size for size, _ in tx_size_mix)
+            cum = []
+            total = 0.0
+            for _, share in tx_size_mix:
+                total += share
+                cum.append(total)
+            self._size_cum_weights = tuple(cum)
+        else:
+            self._size_values = ()
+            self._size_cum_weights = ()
         self.submitted = 0
 
     def start(self) -> None:
@@ -120,7 +143,12 @@ class OpenLoopClient:
         if now >= self._stop_at:
             return
         tx_id = next(_TX_IDS)
-        tx = Transaction(tx_id=tx_id, submitted_at=now)
+        size_hint = None
+        if self._size_values:
+            size_hint = self._rng.choices(
+                self._size_values, cum_weights=self._size_cum_weights
+            )[0]
+        tx = Transaction(tx_id=tx_id, submitted_at=now, size_hint=size_hint)
         self._submit(tx)
         self.submitted += 1
         if self._on_submission is not None:

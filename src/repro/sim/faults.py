@@ -1,16 +1,225 @@
-"""Fault injection: crash faults and Byzantine equivocators.
+"""Fault injection: crash faults, crash-*recovery*, reconfiguration,
+and Byzantine equivocators.
 
 The paper evaluates crash faults (Section 5.3, the common failure mode
 in production) and proves safety under full Byzantine behaviour; the
 simulator injects both so tests can check the decision rules against
 live adversaries, not only hand-built DAGs.
+
+Two layers of fault configuration coexist:
+
+* :class:`NodeBehavior` — static per-validator flags (down from the
+  start, silent after ``crash_at``, equivocating).  These cover the
+  paper's own evaluation matrix.
+* :class:`FaultSchedule` — a time-ordered list of :class:`FaultEvent`
+  lifecycle transitions (``crash``, ``recover``, ``join``, ``leave``)
+  that the experiment harness replays off the event loop.  This is what
+  opens crash-*recovery* and reconfiguration as sweepable workloads: a
+  recovering validator restarts with an empty in-memory state and must
+  re-sync the DAG via the fetch path before it can propose again.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
 
 from ..block import Block
+from ..errors import ConfigError
+
+#: Lifecycle transitions a schedule may contain.  ``crash`` silences a
+#: running validator (in-memory state is lost); ``recover`` restarts it
+#: from an empty state; ``join`` brings a validator online for the first
+#: time (it is provisioned in the committee but silent until then);
+#: ``leave`` takes a validator out of service permanently.
+FAULT_KINDS = ("crash", "recover", "join", "leave")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One lifecycle transition of one validator.
+
+    Attributes:
+        time: Virtual time at which the transition fires.
+        validator: Committee index of the affected validator.
+        kind: One of :data:`FAULT_KINDS`.
+    """
+
+    time: float
+    validator: int
+    kind: str
+
+    def __post_init__(self) -> None:
+        # Coerce field types so FaultEvent(1, 3, "crash") and its JSON
+        # round trip ({"time": 1.0, ...}) are equal — and hash to the
+        # same sweep-cache key.
+        object.__setattr__(self, "time", float(self.time))
+        object.__setattr__(self, "validator", int(self.validator))
+        object.__setattr__(self, "kind", str(self.kind))
+        if self.kind not in FAULT_KINDS:
+            raise ConfigError(f"unknown fault kind {self.kind!r}; pick one of {FAULT_KINDS}")
+        if self.time < 0:
+            raise ConfigError(f"fault event time must be >= 0, got {self.time}")
+        if self.validator < 0:
+            raise ConfigError(f"fault event validator must be >= 0, got {self.validator}")
+
+
+def normalize_events(raw: Iterable) -> tuple[FaultEvent, ...]:
+    """Coerce an event list into :class:`FaultEvent` tuples.
+
+    Accepts :class:`FaultEvent` instances, ``(time, validator, kind)``
+    sequences, and ``{"time": ..., "validator": ..., "kind": ...}``
+    mappings — the latter two are what a sweep-cache round trip through
+    JSON produces.
+    """
+    events = []
+    for item in raw:
+        if isinstance(item, FaultEvent):
+            events.append(item)
+        elif isinstance(item, Mapping):
+            try:
+                events.append(FaultEvent(**item))
+            except (TypeError, ValueError) as error:
+                raise ConfigError(f"cannot interpret fault event {item!r}: {error}") from None
+        elif isinstance(item, Sequence) and not isinstance(item, (str, bytes)):
+            try:
+                time, validator, kind = item
+                events.append(FaultEvent(time=time, validator=validator, kind=kind))
+            except (TypeError, ValueError) as error:
+                raise ConfigError(f"cannot interpret fault event {item!r}: {error}") from None
+        else:
+            raise ConfigError(f"cannot interpret fault event {item!r}")
+    return tuple(events)
+
+
+class FaultSchedule:
+    """A validated, time-ordered fault schedule.
+
+    Per validator the event sequence must describe a sane lifecycle:
+    a validator whose first event is ``join`` starts *down*; everyone
+    else starts up.  ``crash``/``leave`` require the validator to be up,
+    ``recover``/``join`` require it to be down, and ``leave`` is
+    terminal.
+    """
+
+    def __init__(self, events: Iterable[FaultEvent] = ()) -> None:
+        self.events: tuple[FaultEvent, ...] = tuple(
+            sorted(normalize_events(events), key=lambda e: (e.time, e.validator))
+        )
+        self._validate()
+
+    @classmethod
+    def crash_recover(
+        cls, validators: Iterable[int], crash_at: float, recover_at: float
+    ) -> "FaultSchedule":
+        """A schedule crashing each validator at ``crash_at`` and
+        restarting it at ``recover_at``."""
+        if recover_at <= crash_at:
+            raise ConfigError(f"recover_at ({recover_at}) must follow crash_at ({crash_at})")
+        events = []
+        for validator in validators:
+            events.append(FaultEvent(time=crash_at, validator=validator, kind="crash"))
+            events.append(FaultEvent(time=recover_at, validator=validator, kind="recover"))
+        return cls(events)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def validators(self) -> frozenset[int]:
+        """Every validator the schedule touches."""
+        return frozenset(e.validator for e in self.events)
+
+    def initially_down(self) -> frozenset[int]:
+        """Validators that start offline (their first event is ``join``)."""
+        return frozenset(
+            validator
+            for validator, events in self._per_validator().items()
+            if events[0].kind == "join"
+        )
+
+    def down_intervals(self, duration: float) -> dict[int, list[tuple[float, float]]]:
+        """Per-validator ``[start, end)`` intervals of downtime within
+        ``[0, duration]`` (open intervals close at ``duration``)."""
+        intervals: dict[int, list[tuple[float, float]]] = {}
+        for validator, events in self._per_validator().items():
+            spans = []
+            down_since = 0.0 if events[0].kind == "join" else None
+            for event in events:
+                if event.kind in ("crash", "leave"):
+                    down_since = event.time
+                elif down_since is not None:  # recover / join
+                    spans.append((down_since, min(event.time, duration)))
+                    down_since = None
+            if down_since is not None and down_since < duration:
+                spans.append((down_since, duration))
+            intervals[validator] = spans
+        return intervals
+
+    def downtime(self, duration: float) -> dict[int, float]:
+        """Per-validator total seconds of downtime within ``[0, duration]``."""
+        return {
+            validator: sum(end - max(0.0, start) for start, end in spans if end > start)
+            for validator, spans in self.down_intervals(duration).items()
+        }
+
+    def max_concurrent_down(self, horizon: float = float("inf")) -> int:
+        """The most validators simultaneously down at any instant
+        (the schedule's contribution to the fault budget)."""
+        deltas: list[tuple[float, int]] = []
+        for validator, spans in self.down_intervals(horizon).items():
+            for start, end in spans:
+                deltas.append((start, +1))
+                deltas.append((end, -1))
+        worst = current = 0
+        # Ends sort before starts at the same instant: a validator that
+        # recovers exactly when another crashes never overlaps it.
+        for _, delta in sorted(deltas, key=lambda d: (d[0], d[1])):
+            current += delta
+            worst = max(worst, current)
+        return worst
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def _per_validator(self) -> dict[int, list[FaultEvent]]:
+        grouped: dict[int, list[FaultEvent]] = {}
+        for event in self.events:
+            grouped.setdefault(event.validator, []).append(event)
+        return grouped
+
+    def _validate(self) -> None:
+        for validator, events in self._per_validator().items():
+            up = events[0].kind != "join"
+            left = False
+            for event in events:
+                if left:
+                    raise ConfigError(
+                        f"validator {validator}: event after terminal leave at t={event.time}"
+                    )
+                if event.kind in ("crash", "leave") and not up:
+                    raise ConfigError(
+                        f"validator {validator}: {event.kind} at t={event.time} while down"
+                    )
+                if event.kind in ("recover", "join") and up:
+                    raise ConfigError(
+                        f"validator {validator}: {event.kind} at t={event.time} while up"
+                    )
+                if event.kind == "join" and event is not events[0]:
+                    raise ConfigError(
+                        f"validator {validator}: join at t={event.time} must be the "
+                        "first event (restarts after a crash are 'recover')"
+                    )
+                up = event.kind in ("recover", "join")
+                left = event.kind == "leave"
 
 
 @dataclass
@@ -20,7 +229,12 @@ class NodeBehavior:
     Attributes:
         crashed: Never participates (down from the start).
         crash_at: Participates until this virtual time, then goes silent
-            (blocks in flight still arrive at peers).
+            (blocks in flight still arrive at peers).  For a crash the
+            validator later *recovers* from, use a schedule-level
+            crash+recover pair instead (``ExperimentConfig``'s
+            ``num_recovering`` generates one; see
+            :class:`FaultSchedule` — a bare ``recover`` event without a
+            scheduled crash does not validate).
         equivocate: Produces two conflicting blocks per round and sends
             each to half of the peers (Byzantine).
     """
@@ -30,7 +244,8 @@ class NodeBehavior:
     equivocate: bool = False
 
     def is_down(self, now: float) -> bool:
-        """Whether the validator is silent at time ``now``."""
+        """Whether the static flags alone make the validator silent at
+        time ``now`` (scheduled recoveries are tracked by the node)."""
         if self.crashed:
             return True
         return self.crash_at is not None and now >= self.crash_at

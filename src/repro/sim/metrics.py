@@ -10,7 +10,7 @@ stay tractable while keeping byte-accurate blocks.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass(frozen=True)
@@ -45,6 +45,10 @@ class ExperimentMetrics:
         self.committed_weight = 0.0
         self.committed_unique = 0
         self.duplicate_commits = 0
+        #: Seconds from each restart (``recover``/``join`` event) to the
+        #: validator's first own proposal afterwards: restart + DAG
+        #: re-sync + rejoining the proposing quorum.
+        self.recovery_times: list[float] = []
 
     # ------------------------------------------------------------------
     # Recording
@@ -68,6 +72,11 @@ class ExperimentMetrics:
         if self._first_commit_time is None:
             self._first_commit_time = time
         self._last_commit_time = time
+
+    def record_recovery(self, validator: int, recovered_at: float, resumed_at: float) -> None:
+        """Validator ``validator`` restarted at ``recovered_at`` and
+        proposed its first post-restart block at ``resumed_at``."""
+        self.recovery_times.append(resumed_at - recovered_at)
 
     # ------------------------------------------------------------------
     # Reporting
@@ -111,3 +120,23 @@ class ExperimentMetrics:
         if duration <= 0:
             return 0.0
         return self.committed_weight / duration
+
+    def recovery_summary(self) -> tuple[int, float | None, float | None]:
+        """``(recoveries, avg_seconds, max_seconds)`` over completed
+        recoveries (restarts that resumed proposing)."""
+        times = self.recovery_times
+        if not times:
+            return 0, None, None
+        return len(times), sum(times) / len(times), max(times)
+
+
+def availability(total_downtime: float, num_validators: int, duration: float) -> float:
+    """Fraction of validator-seconds the committee was in service.
+
+    ``1.0`` means every validator was up the whole run; each crashed or
+    not-yet-joined validator subtracts its downtime from the budget.
+    """
+    if duration <= 0 or num_validators <= 0:
+        return 1.0
+    budget = num_validators * duration
+    return max(0.0, 1.0 - total_downtime / budget)

@@ -19,7 +19,7 @@ TCP sockets).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Protocol
 
 from .events import EventLoop
@@ -94,11 +94,19 @@ class AsyncAdversaryScheduler:
         self._k = targets_per_window
         self._delay = delay
         self._window = window
+        # Target set cached per window epoch: the draw is a pure
+        # function of the epoch, so recomputing it (fresh Random,
+        # re-sample) for every message only burned CPU on the hot path.
+        self._cached_epoch = -1
+        self._cached_targets: set[int] = set()
 
     def _targets(self, now: float) -> set[int]:
         epoch = int(now / self._window)
-        rng = random.Random(repr(("adversary", epoch)))
-        return set(rng.sample(range(self._n), self._k))
+        if epoch != self._cached_epoch:
+            rng = random.Random(repr(("adversary", epoch)))
+            self._cached_targets = set(rng.sample(range(self._n), self._k))
+            self._cached_epoch = epoch
+        return self._cached_targets
 
     def extra_delay(self, message: Message, now: float, rng: random.Random) -> float:
         if message.src in self._targets(now):

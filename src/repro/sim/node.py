@@ -13,6 +13,15 @@ modes reproduce the two DAG families of the evaluation:
 
 Missing ancestors are fetched from the block's sender, mirroring the
 synchronizer sub-component the liveness proofs rely on (Lemma 8).
+
+Crash-recovery rides the same path: :meth:`SimValidator.crash` silences
+the validator and discards whatever it was processing; a later
+:meth:`SimValidator.recover` restarts it with an **empty in-memory
+state** (a fresh core holding only genesis).  The first block it then
+hears triggers a *deep* fetch — the peer serves the block's whole
+available ancestor closure, lowest rounds first — so the validator
+re-syncs the DAG behind the commit frontier, recommits deterministically
+from genesis, and resumes proposing.
 """
 
 from __future__ import annotations
@@ -62,6 +71,11 @@ _BLOCK_HEADER_SIZE = 150
 _SIGNATURE_SIZE = 64
 #: How long to wait before re-requesting a missing ancestor.
 _FETCH_RETRY = 1.0
+#: Most blocks served in one fetch response.  A re-syncing validator's
+#: deep fetch is truncated to the *lowest* rounds of the closure — it
+#: rebuilds the DAG ground-up and re-requests the rest as later blocks
+#: name them.
+_SYNC_MAX_BLOCKS = 4096
 
 
 class SimValidator:
@@ -93,6 +107,15 @@ class SimValidator:
         "_ingress_free",
         "_consensus_free",
         "commits",
+        "_down",
+        "_incarnation",
+        "_core_factory",
+        "_syncing",
+        "_sync_inflight",
+        "_sync_token",
+        "_recovered_at",
+        "_on_recovery",
+        "_mixed_tx_sizes",
     )
 
     def __init__(
@@ -108,6 +131,10 @@ class SimValidator:
         tx_weight: float = 1.0,
         cpu: CpuConfig | None = None,
         on_commit: Callable[[Transaction, float], None] | None = None,
+        core_factory: Callable[[], MahiMahiCore] | None = None,
+        start_down: bool = False,
+        on_recovery: Callable[[int, float, float], None] | None = None,
+        mixed_tx_sizes: bool = False,
     ) -> None:
         """Args:
         core: The protocol state machine (already holding genesis).
@@ -128,6 +155,16 @@ class SimValidator:
             (unit tests want pure message-delay arithmetic).
         on_commit: Called for every transaction in every newly committed
             block, with the commit time.
+        core_factory: Builds a fresh core on :meth:`recover` — a restart
+            loses all in-memory state.  Without a factory, ``recover``
+            resumes with the retained core (a process *pause* rather
+            than a restart; unit tests use this).
+        start_down: Begin offline (a validator that ``join``\\ s later).
+        on_recovery: Called as ``(authority, recovered_at, resumed_at)``
+            when the validator proposes its first block after a restart
+            — the recovery-time metric hook.
+        mixed_tx_sizes: Account block wire sizes per transaction (each
+            may carry a ``size_hint``) instead of the uniform fast path.
         """
         self.core = core
         self.authority = core.authority
@@ -152,20 +189,89 @@ class SimValidator:
         self._ingress_free = 0.0
         self._consensus_free = 0.0
         self.commits = 0
+        # Lifecycle: the down flag is the hot-path liveness check; the
+        # incarnation counter invalidates CPU-stage work queued before a
+        # crash (a real restart loses its queues).
+        self._down = start_down or self.behavior.is_down(loop.now)
+        self._incarnation = 0
+        self._core_factory = core_factory
+        self._syncing = False
+        # One outstanding re-sync chain at a time: token of the sync
+        # fetch currently in flight (0 = none), and a monotonic counter
+        # so timeouts only clear the request they armed.
+        self._sync_inflight = 0
+        self._sync_token = 0
+        self._recovered_at: float | None = None
+        self._on_recovery = on_recovery
+        self._mixed_tx_sizes = mixed_tx_sizes
+        if self.behavior.crash_at is not None and self.behavior.crash_at > loop.now:
+            loop.schedule_at(self.behavior.crash_at, self.crash)
         network.register(self.authority, self.on_message)
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
+    @property
+    def down(self) -> bool:
+        """Whether the validator is currently silent (crashed/left/not
+        yet joined)."""
+        return self._down
+
     def start(self) -> None:
         """Propose the first block (round 1 follows from genesis)."""
-        if not self.behavior.is_down(self._loop.now):
+        if not self._down:
             self._step()
+
+    def crash(self) -> None:
+        """Go silent.  In-flight CPU work is abandoned (the incarnation
+        guard drops it) and in-memory state is lost on the next
+        :meth:`recover`.  Idempotent."""
+        if self._down:
+            return
+        self._down = True
+        self._incarnation += 1
+
+    def leave(self) -> None:
+        """Leave the committee permanently (reconfiguration).  The
+        transport-level effect equals a crash that never recovers;
+        clients retarget away for good."""
+        self.crash()
+
+    def recover(self) -> None:
+        """Restart after a crash (or come online for the first time —
+        a ``join``).
+
+        With a ``core_factory`` the validator restarts from an **empty
+        in-memory state**: a fresh core holding only genesis, empty
+        mempool, no certification or fetch state.  It then re-syncs the
+        DAG via deep fetches (see :meth:`_request_missing`) and resumes
+        proposing once the frontier quorum is causally complete.
+        """
+        if not self._down:
+            return
+        self._down = False
+        self._incarnation += 1
+        self._fetching.clear()
+        self._last_proposal = float("-inf")
+        self._propose_timer_armed = False
+        self._sync_inflight = 0
+        if self._core_factory is None:
+            # Process pause, not restart: all state retained, nothing
+            # to re-sync — resume where we left off.
+            return
+        self.core = self._core_factory()
+        self._headers.clear()
+        self._acks.clear()
+        self._cert_sent.clear()
+        self._ingress_free = 0.0
+        self._consensus_free = 0.0
+        self._syncing = True
+        self._recovered_at = self._loop.now
 
     def submit(self, tx: Transaction) -> None:
         """Client entry point; transactions pass the ingress CPU stage
         (signature verification) before reaching the mempool."""
-        if self.behavior.is_down(self._loop.now):
+        if self._down:
             return
         if self._cpu is None:
             self.core.add_transaction(tx)
@@ -173,20 +279,30 @@ class SimValidator:
         now = self._loop.now
         cost = self._cpu.tx_ingress_cost * self._tx_weight
         self._ingress_free = max(now, self._ingress_free) + cost
+        # Binds the *current* core: transactions queued at crash time
+        # land in the abandoned instance, as on a real restart.
         self._loop.schedule_at(self._ingress_free, self.core.add_transaction, tx)
 
     # ------------------------------------------------------------------
     # Message handling
     # ------------------------------------------------------------------
     def on_message(self, message: Message) -> None:
-        if self.behavior.is_down(self._loop.now):
+        if self._down:
             return
         if self._cpu is not None:
             delay = self._processing_cost(message)
             self._consensus_free = max(self._loop.now, self._consensus_free) + delay
             if self._consensus_free > self._loop.now:
-                self._loop.schedule_at(self._consensus_free, self._handle, message)
+                self._loop.schedule_at(
+                    self._consensus_free, self._handle_queued, message, self._incarnation
+                )
                 return
+        self._handle(message)
+
+    def _handle_queued(self, message: Message, incarnation: int) -> None:
+        """CPU-stage completion: drop work queued before a crash."""
+        if incarnation != self._incarnation:
+            return
         self._handle(message)
 
     def _processing_cost(self, message: Message) -> float:
@@ -208,7 +324,7 @@ class SimValidator:
         return cost
 
     def _handle(self, message: Message) -> None:
-        if self.behavior.is_down(self._loop.now):
+        if self._down:
             return
         if message.kind == "block":
             if self._certified:
@@ -220,10 +336,20 @@ class SimValidator:
         elif message.kind == "cert":
             self._ingest(message.payload, message.src)
         elif message.kind == "fetch_req":
-            self._on_fetch_request(message.payload, message.src)
+            refs, sync_floor = message.payload
+            self._on_fetch_request(refs, message.src, sync_floor)
         elif message.kind == "fetch_resp":
+            self._sync_inflight = 0
+            if not message.payload:
+                # The peer had nothing for us (e.g. it is re-syncing
+                # too).  The next live message re-triggers the chain at
+                # a peer that can serve — continuing here would just
+                # re-ask the same empty-handed peer forever.
+                return
             for block in message.payload:
-                self._ingest(block, message.src)
+                self._ingest(block, message.src, live=False)
+            if self._syncing:
+                self._continue_sync(message.src)
 
     # ------------------------------------------------------------------
     # Certified (Tusk) round structure
@@ -246,14 +372,48 @@ class SimValidator:
     # ------------------------------------------------------------------
     # Ingestion, proposing, committing
     # ------------------------------------------------------------------
-    def _ingest(self, block: Block, sender: int) -> None:
+    def _ingest(self, block: Block, sender: int, live: bool = True) -> None:
         result = self.core.add_block(block)
         if result.missing:
             self._request_missing(sender, result.missing)
         if result.accepted:
+            if self._syncing and live and not self.core.pending_count:
+                # Caught up: a *freshly broadcast* block connected with
+                # its whole causal history present.  Fetched chunks
+                # (live=False) never count — a stale response from a
+                # pre-crash fetch ingests cleanly yet proves nothing
+                # about the frontier.
+                self._finish_sync()
             self._step()
 
+    def _finish_sync(self) -> None:
+        self._syncing = False
+        self._sync_inflight = 0
+        # Never propose in a round the pre-crash incarnation already
+        # proposed in (that would equivocate with our own old blocks):
+        # floor the proposal round at the highest own-authored block
+        # visible in the re-synced DAG.  (Residual assumption: our last
+        # pre-crash block reached the sync peer before the fetch — true
+        # whenever the down time exceeds a network round trip, which
+        # every schedule workload satisfies; real deployments persist
+        # the round in a WAL.)
+        store = self.core.store
+        own_rounds = [
+            r
+            for r in range(max(1, store.lowest_round), store.highest_round + 1)
+            if self.authority in store.authors_at_round(r)
+        ]
+        if own_rounds:
+            self.core.round = max(self.core.round, max(own_rounds))
+
     def _request_missing(self, peer: int, refs: tuple[BlockRef, ...]) -> None:
+        if self._syncing and self._sync_inflight:
+            # One outstanding re-sync chain at a time: the in-flight
+            # deep fetch (or its continuation off the response) will
+            # cover these ancestors; firing another full-closure fetch
+            # per incoming broadcast would re-serve the same span many
+            # times over.
+            return
         now = self._loop.now
         wanted = [
             ref
@@ -264,31 +424,124 @@ class SimValidator:
             return
         for ref in wanted:
             self._fetching[ref.digest] = now
+        if self._syncing:
+            self._send_sync_request(peer, tuple(wanted))
+            return
         self._network.send(
-            self.authority, peer, "fetch_req", tuple(wanted), _REF_WIRE_SIZE * len(wanted)
+            self.authority,
+            peer,
+            "fetch_req",
+            (tuple(wanted), -1),
+            _REF_WIRE_SIZE * len(wanted) + 4,
         )
 
-    def _on_fetch_request(self, refs: tuple[BlockRef, ...], src: int) -> None:
-        available = [
-            self.core.store.get(ref.digest) for ref in refs if ref.digest in self.core.store
-        ]
+    def _send_sync_request(self, peer: int, refs: tuple[BlockRef, ...]) -> None:
+        """One deep (ancestor-closure) fetch, floored at the highest
+        round already accepted so a chunked re-sync never re-serves
+        history we hold.  A retry timer clears the in-flight marker in
+        case the peer cannot serve anything (it sends no response)."""
+        self._sync_token += 1
+        self._sync_inflight = self._sync_token
+        self._loop.schedule(_FETCH_RETRY, self._sync_request_timeout, self._sync_token)
+        self._network.send(
+            self.authority,
+            peer,
+            "fetch_req",
+            (refs, self.core.store.highest_round),
+            _REF_WIRE_SIZE * len(refs) + 4,
+        )
+
+    def _sync_request_timeout(self, token: int) -> None:
+        if self._sync_inflight == token:
+            self._sync_inflight = 0
+
+    def _continue_sync(self, peer: int) -> None:
+        """Chain the next re-sync chunk immediately after ingesting one.
+
+        Waiting for fresh broadcasts (and the per-digest retry throttle)
+        to surface the still-missing ancestors would sync slower than
+        the network advances; instead the recovering validator asks for
+        its whole missing frontier right away, with the floor advanced
+        past everything just accepted.  The chain stops by itself: it
+        only continues off a ``fetch_resp``, and every response adds at
+        least one block we did not have.
+        """
+        refs = self.core.missing_frontier()
+        if not refs or self._sync_inflight:
+            return
+        now = self._loop.now
+        for ref in refs:
+            self._fetching[ref.digest] = now
+        self._send_sync_request(peer, refs)
+
+    def _on_fetch_request(
+        self, refs: tuple[BlockRef, ...], src: int, sync_floor: int = -1
+    ) -> None:
+        store = self.core.store
+        available = [store.get(ref.digest) for ref in refs if ref.digest in store]
         # Also serve headers not yet certified (Tusk).
         available.extend(
             self._headers[ref.digest]
             for ref in refs
-            if ref.digest not in self.core.store and ref.digest in self._headers
+            if ref.digest not in store and ref.digest in self._headers
         )
-        if not available:
+        if sync_floor >= 0:
+            available = self._ancestor_closure(available, sync_floor)
+        if not available and sync_floor < 0:
             return
+        # Sync requests always get a response — an empty one tells the
+        # re-syncing requester to unblock and try elsewhere instead of
+        # sitting on its retry timeout.
         size = sum(self._block_wire_size(b) for b in available)
         self._network.send(self.authority, src, "fetch_resp", tuple(available), size)
+
+    def _ancestor_closure(self, blocks: list[Block], floor: int) -> list[Block]:
+        """The requested blocks plus their stored ancestors above round
+        ``floor``, lowest rounds first, truncated to
+        :data:`_SYNC_MAX_BLOCKS`.
+
+        The floor is the requester's highest accepted round: closure
+        expansion skips history it already holds, so a re-sync larger
+        than one chunk progresses chunk by chunk instead of re-serving
+        the same prefix forever.  Explicitly requested refs are always
+        served regardless of the floor (a partially-transferred round's
+        stragglers get named — and thus served — on the next request).
+        Genesis is excluded (every validator holds it) and ancestry
+        stops at the garbage-collection horizon — a peer cannot serve
+        history it pruned, so recovery workloads keep enough ``gc_depth``
+        (or disable GC) for the full causal history to remain fetchable.
+        """
+        store = self.core.store
+        requested = {block.digest for block in blocks}
+        closure: dict[Digest, Block] = {}
+        frontier = list(blocks)
+        while frontier:
+            block = frontier.pop()
+            if block.digest in closure or block.round <= 0:
+                continue
+            if block.round <= floor and block.digest not in requested:
+                continue
+            closure[block.digest] = block
+            for ref in block.parents:
+                if ref.round > floor and ref.round > 0 and ref.digest not in closure:
+                    if ref.digest in store:
+                        frontier.append(store.get(ref.digest))
+        ordered = sorted(closure.values(), key=lambda b: (b.round, b.author))
+        return ordered[:_SYNC_MAX_BLOCKS]
 
     def _step(self) -> None:
         self._try_propose()
         self._commit()
 
     def _try_propose(self) -> None:
-        while not self.behavior.is_down(self._loop.now):
+        while not self._down:
+            if self._syncing:
+                # A restarted validator proposes nothing until the DAG
+                # behind the frontier is re-synced: its fresh core has
+                # forgotten which rounds it already proposed in, and a
+                # stale low-round proposal would equivocate with its own
+                # pre-crash blocks.
+                return
             if not self.core.ready_to_propose():
                 return
             now = self._loop.now
@@ -302,11 +555,16 @@ class SimValidator:
             if block is None:
                 return
             self._last_proposal = now
+            if self._recovered_at is not None:
+                # First proposal after a restart: recovery is complete.
+                if self._on_recovery is not None:
+                    self._on_recovery(self.authority, self._recovered_at, now)
+                self._recovered_at = None
             self._dispatch_own(block)
 
     def _on_propose_timer(self) -> None:
         self._propose_timer_armed = False
-        if self.behavior.is_down(self._loop.now):
+        if self._down:
             return
         self._try_propose()
         self._commit()
@@ -348,8 +606,11 @@ class SimValidator:
     # Wire sizes
     # ------------------------------------------------------------------
     def _block_wire_size(self, block: Block) -> int:
-        return int(
-            _BLOCK_HEADER_SIZE
-            + _REF_WIRE_SIZE * len(block.parents)
-            + self._tx_wire_size * len(block.transactions)
-        )
+        if self._mixed_tx_sizes:
+            tx_bytes = sum(
+                self._tx_weight * tx.size_hint if tx.size_hint is not None else self._tx_wire_size
+                for tx in block.transactions
+            )
+        else:
+            tx_bytes = self._tx_wire_size * len(block.transactions)
+        return int(_BLOCK_HEADER_SIZE + _REF_WIRE_SIZE * len(block.parents) + tx_bytes)

@@ -9,8 +9,7 @@ modules sweep load over a list of experiments to regenerate each curve.
 from __future__ import annotations
 
 import math
-import random
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from ..committee import Committee
 from ..config import ProtocolConfig
@@ -21,15 +20,24 @@ from ..crypto.coin import FastCoin
 from ..errors import ConfigError, SimulationError
 from .client import OpenLoopClient, reset_tx_ids
 from .events import EventLoop
-from .faults import NodeBehavior
+from .faults import FaultEvent, FaultSchedule, NodeBehavior, normalize_events
 from .latency import GeoLatencyModel, LatencyModel, UniformLatencyModel
-from .metrics import ExperimentMetrics, LatencySummary
+from .metrics import ExperimentMetrics, LatencySummary, availability
 from .network import AsyncAdversaryScheduler, MessageScheduler, NetworkConfig, SimNetwork
 from .node import CpuConfig, SimValidator
+from ..transaction import Transaction
 
 #: Protocols the harness knows how to deploy, as named in the paper's
 #: figures.
 PROTOCOLS = ("mahi-mahi-5", "mahi-mahi-4", "cordial-miners", "tusk")
+
+#: ``num_recovering`` timing, as fractions of the configured duration:
+#: crash a quarter in, restart at the halfway mark — the second half of
+#: the run observes re-sync, resumed proposing, and recovered steady
+#: state.  Fractions (not absolute times) keep smoke-mode shrinking
+#: meaningful.
+RECOVERY_CRASH_FRAC = 0.25
+RECOVERY_RESTART_FRAC = 0.5
 
 
 @dataclass(frozen=True)
@@ -45,8 +53,26 @@ class ExperimentConfig:
         tx_size: Real transaction size in bytes (512 in the paper).
         leaders_per_round: Mahi-Mahi leader slots per round.
         num_crashed: Validators silent from the start (highest indexes).
-        num_equivocators: Byzantine equivocators (lowest non-observer
-            indexes).
+        num_recovering: Validators that crash at
+            ``RECOVERY_CRASH_FRAC * duration`` and restart (empty
+            in-memory state, DAG re-sync via fetch) at
+            ``RECOVERY_RESTART_FRAC * duration``.  They take the highest
+            indexes below the statically crashed block.
+        num_equivocators: Byzantine equivocators: the highest indexes
+            below the crashed and recovering blocks (validator 0 always
+            stays the honest observer).
+        fault_schedule: Explicit time-ordered lifecycle events
+            (``crash``/``recover``/``join``/``leave`` per validator,
+            see :class:`~repro.sim.faults.FaultSchedule`) replayed off
+            the event loop; composes with ``num_recovering``, which is
+            shorthand for a crash+recover pair per validator.  May not
+            target validator 0 (the observer) or validators already
+            claimed by the static fault counts.
+        tx_size_mix: Optional ``((size_bytes, weight), ...)``
+            distribution of real transaction sizes; when set, clients
+            sample each transaction's size from it and blocks account
+            bytes per transaction (mixed workloads).  Empty means every
+            transaction is ``tx_size`` bytes.
         uniform_delay: When set, replaces the geo latency model with a
             constant one-way delay (useful for message-delay arithmetic
             tests); otherwise the paper's 5-region matrix is used.
@@ -79,7 +105,10 @@ class ExperimentConfig:
     tx_size: int = 512
     leaders_per_round: int = 2
     num_crashed: int = 0
+    num_recovering: int = 0
     num_equivocators: int = 0
+    fault_schedule: tuple[FaultEvent, ...] = ()
+    tx_size_mix: tuple[tuple[int, float], ...] = ()
     uniform_delay: float | None = None
     adversary_targets: int = 0
     adversary_delay: float = 0.2
@@ -97,12 +126,49 @@ class ExperimentConfig:
             raise ConfigError(f"unknown protocol {self.protocol!r}; pick one of {PROTOCOLS}")
         if self.num_validators < 4:
             raise ConfigError("need at least 4 validators")
+        # Normalize JSON round-trip shapes (sweep-cache configs arrive
+        # with events as dicts and the size mix as nested lists).
+        object.__setattr__(self, "fault_schedule", normalize_events(self.fault_schedule))
+        object.__setattr__(
+            self,
+            "tx_size_mix",
+            tuple((int(size), float(share)) for size, share in self.tx_size_mix),
+        )
+        for size, share in self.tx_size_mix:
+            if size <= 0 or share <= 0:
+                raise ConfigError(
+                    f"tx_size_mix entries need positive size/weight, got {(size, share)}"
+                )
+        schedule = FaultSchedule(self.fault_schedule)  # validates lifecycles
         faults_tolerated = (self.num_validators - 1) // 3
-        if self.num_crashed + self.num_equivocators > faults_tolerated:
+        static_faults = self.num_crashed + self.num_recovering + self.num_equivocators
+        # Budget check over *concurrent* downtime: permanently faulty
+        # validators (crashed, equivocating) count for the whole run;
+        # recovering and scheduled validators count only where their
+        # down intervals actually overlap — disjoint downtime windows
+        # do not stack.
+        permanent_faults = self.num_crashed + self.num_equivocators
+        worst_scheduled = self.effective_schedule().max_concurrent_down()
+        if permanent_faults + worst_scheduled > faults_tolerated:
             raise ConfigError(
                 f"{self.num_crashed} crashed + {self.num_equivocators} equivocators "
+                f"+ {worst_scheduled} concurrently down (recovering/scheduled) "
                 f"exceeds f={faults_tolerated}"
             )
+        first_static_fault = self.num_validators - static_faults
+        for validator in schedule.validators():
+            if validator == 0:
+                raise ConfigError("fault_schedule may not target validator 0 (the observer)")
+            if validator >= self.num_validators:
+                raise ConfigError(
+                    f"fault_schedule targets validator {validator} "
+                    f"but the committee has {self.num_validators}"
+                )
+            if validator >= first_static_fault:
+                raise ConfigError(
+                    f"fault_schedule targets validator {validator}, already claimed by the "
+                    f"static fault counts (indexes >= {first_static_fault})"
+                )
 
     @property
     def batch_weight(self) -> float:
@@ -115,6 +181,30 @@ class ExperimentConfig:
     def sim_tx_rate(self) -> float:
         """Total simulated transaction events per second."""
         return min(self.load_tps, self.max_sim_tx_rate)
+
+    @property
+    def mean_tx_size(self) -> float:
+        """Expected real transaction size in bytes (mix-weighted)."""
+        if not self.tx_size_mix:
+            return float(self.tx_size)
+        total = sum(share for _, share in self.tx_size_mix)
+        return sum(size * share for size, share in self.tx_size_mix) / total
+
+    def effective_schedule(self) -> FaultSchedule:
+        """The full fault schedule the harness replays: explicit
+        ``fault_schedule`` events plus the crash+recover pair that
+        ``num_recovering`` generates per recovering validator."""
+        events = list(self.fault_schedule)
+        first_recovering = self.num_validators - self.num_crashed - self.num_recovering
+        for index in range(self.num_recovering):
+            validator = first_recovering + index
+            events.append(
+                FaultEvent(RECOVERY_CRASH_FRAC * self.duration, validator, "crash")
+            )
+            events.append(
+                FaultEvent(RECOVERY_RESTART_FRAC * self.duration, validator, "recover")
+            )
+        return FaultSchedule(events)
 
 
 @dataclass(frozen=True)
@@ -136,6 +226,16 @@ class ExperimentResult:
     #: Simulator events executed producing this point (perf accounting
     #: for the sweep engine's events/sec reporting).
     events_processed: int = 0
+    #: Restarts (``recover``/``join`` events) that completed — the
+    #: validator re-synced and proposed again.
+    recoveries: int = 0
+    #: Average seconds from restart to first post-restart proposal
+    #: (``None`` when nothing recovered).
+    recovery_time_s: float | None = None
+    #: Worst single recovery in this run.
+    recovery_time_max_s: float | None = None
+    #: Fraction of validator-seconds in service (1.0 = no downtime).
+    availability: float = 1.0
 
     def summary(self) -> str:
         """One human-readable line, in the paper's units."""
@@ -172,6 +272,8 @@ class Experiment:
             scheduler=self._make_scheduler(),
             seed=config.seed,
         )
+        self._schedule = config.effective_schedule()
+        self._initially_down = self._schedule.initially_down()
         self.nodes = [self._make_node(i) for i in range(config.num_validators)]
         self._clients = self._make_clients()
 
@@ -250,13 +352,17 @@ class Experiment:
 
     def _behavior(self, authority: int) -> NodeBehavior:
         cfg = self.config
-        # Crashed validators take the highest indexes; equivocators the
-        # next ones down, keeping validator 0 honest as the observer.
+        # Fault placement, from the top of the index range down: crashed
+        # validators take the highest indexes, recovering ones the next
+        # block below, then the equivocators — keeping validator 0
+        # honest as the observer.  (The recovering/scheduled lifecycle
+        # itself is replayed by ``run`` off the effective schedule.)
         first_crashed = cfg.num_validators - cfg.num_crashed
-        first_equivocator = first_crashed - cfg.num_equivocators
+        first_recovering = first_crashed - cfg.num_recovering
+        first_equivocator = first_recovering - cfg.num_equivocators
         if authority >= first_crashed:
             return NodeBehavior(crashed=True)
-        if authority >= first_equivocator:
+        if authority >= first_equivocator and authority < first_recovering:
             return NodeBehavior(equivocate=True)
         return NodeBehavior()
 
@@ -270,11 +376,15 @@ class Experiment:
             self._loop,
             certified=self.config.protocol == "tusk",
             behavior=self._behavior(authority),
-            tx_wire_size=self.config.batch_weight * self.config.tx_size,
+            tx_wire_size=self.config.batch_weight * self.config.mean_tx_size,
             min_block_interval=self.config.block_interval,
             tx_weight=self.config.batch_weight,
             cpu=CpuConfig() if self.config.model_cpu else None,
             on_commit=on_commit,
+            core_factory=lambda authority=authority: self._make_core(authority),
+            start_down=authority in self._initially_down,
+            on_recovery=self._metrics.record_recovery,
+            mixed_tx_sizes=bool(self.config.tx_size_mix),
         )
 
     def _make_clients(self) -> list[OpenLoopClient]:
@@ -283,18 +393,46 @@ class Experiment:
         rate_per_validator = cfg.sim_tx_rate / len(live)
         clients = []
         for node in live:
+            # Under a fault schedule, submissions retarget away from
+            # down validators; the static case keeps the direct path.
+            submit = self._route_from(node.authority) if self._schedule else node.submit
             clients.append(
                 OpenLoopClient(
                     self._loop,
-                    node.submit,
+                    submit,
                     rate_per_validator,
                     weight=cfg.batch_weight,
                     stop_at=cfg.duration,
                     on_submission=self._metrics.record_submission,
-                    seed=cfg.seed * 1000 + node.authority,
+                    # Structured seed: distinct (master seed, authority)
+                    # pairs never collide (an arithmetic mix like
+                    # seed * 1000 + authority does, past 1000
+                    # validators) and do not correlate across seeds.
+                    seed=(cfg.seed, node.authority),
+                    tx_size_mix=cfg.tx_size_mix,
                 )
             )
         return clients
+
+    def _route_from(self, preferred: int):
+        """A submission callback that prefers ``preferred`` but walks to
+        the next live validator while it is down (clients retarget away
+        from crashed/left/not-yet-joined validators)."""
+        nodes = self.nodes
+
+        def submit(tx: Transaction) -> None:
+            node = nodes[preferred]
+            if node.down:
+                for offset in range(1, len(nodes)):
+                    candidate = nodes[(preferred + offset) % len(nodes)]
+                    if not candidate.down:
+                        node = candidate
+                        break
+                else:
+                    return  # every validator is down: the tx is lost
+            node.submit(tx)
+
+        return submit
 
     # ------------------------------------------------------------------
     # Execution
@@ -307,9 +445,10 @@ class Experiment:
                 across all live validators before reporting (Theorem 1).
         """
         reset_tx_ids()
+        for event in self._schedule:
+            self._loop.schedule_at(event.time, self._apply_fault_event, event)
         for node in self.nodes:
-            if not node.behavior.crashed:
-                node.start()
+            node.start()  # no-op for validators that are down at t=0
         for client in self._clients:
             client.start()
         self._loop.run_until(self.config.duration, max_events=200_000_000)
@@ -317,12 +456,27 @@ class Experiment:
             self.assert_safety()
         return self._result()
 
+    def _apply_fault_event(self, event) -> None:
+        node = self.nodes[event.validator]
+        if event.kind in ("crash", "leave"):
+            node.crash()
+        else:  # recover / join: restart with an empty in-memory state
+            node.recover()
+            node.start()
+
     def assert_safety(self) -> None:
-        """Check that live validators' commit sequences are prefix-
-        consistent (the Total Order property, Theorem 1)."""
+        """Check that every honest validator's commit sequence is a
+        prefix of the longest one (the Total Order property, Theorem 1).
+
+        Crashed, recovered, joined and left validators are all
+        *included*: an honest validator that went down mid-run holds a
+        shorter prefix, and a recovered one re-synced the DAG and
+        deterministically recommitted the same sequence from genesis.
+        Only equivocators are excluded (Byzantine, no honest sequence to
+        check)."""
         sequences = []
         for node in self.nodes:
-            if node.behavior.crashed or node.behavior.equivocate:
+            if node.behavior.equivocate:
                 continue
             sequences.append([b.digest for b in node.core.committed_blocks()])
         reference = max(sequences, key=len)
@@ -334,6 +488,10 @@ class Experiment:
         observer = self.nodes[0]
         stats = observer.core.committer.stats
         measured = max(1e-9, self.config.duration - self.config.warmup)
+        recoveries, recovery_avg, recovery_max = self._metrics.recovery_summary()
+        downtime = self.config.num_crashed * self.config.duration + sum(
+            self._schedule.downtime(self.config.duration).values()
+        )
         return ExperimentResult(
             config=self.config,
             latency=self._metrics.latency_summary(),
@@ -348,6 +506,12 @@ class Experiment:
             bytes_sent=self._network.bytes_sent,
             pending_transactions=self._metrics.pending,
             events_processed=self._loop.events_processed,
+            recoveries=recoveries,
+            recovery_time_s=recovery_avg,
+            recovery_time_max_s=recovery_max,
+            availability=availability(
+                downtime, self.config.num_validators, self.config.duration
+            ),
         )
 
 

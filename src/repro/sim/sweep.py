@@ -36,12 +36,15 @@ from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Callable, Iterable
 
+from .faults import FaultSchedule
 from .metrics import LatencySummary
 from .runner import Experiment, ExperimentConfig, ExperimentResult
 
 #: Bump when the meaning of a stored point changes (config fields,
 #: result fields, simulator semantics) to invalidate old caches.
-SCHEMA_VERSION = 2
+#: v3: fault-schedule subsystem (crash-recovery/reconfiguration fields,
+#: recovery/availability result metrics, structured client RNG seeds).
+SCHEMA_VERSION = 3
 
 #: Default on-disk location of the results store, relative to CWD.
 DEFAULT_RESULTS_DIR = "results"
@@ -130,17 +133,38 @@ def smoke_config(config: ExperimentConfig) -> ExperimentConfig:
     Protocol, fault pattern (clamped to the smaller committee's ``f``),
     adversary and ablation flags survive; committee size, duration and
     load shrink so the point finishes in well under a second of wall
-    time.
+    time.  Fault-schedule event times rescale with the duration (an
+    event at the halfway mark stays at the halfway mark), so
+    crash-recovery and reconfiguration sweeps keep their shape too.
     """
     validators = min(config.num_validators, _SMOKE_MAX_VALIDATORS)
     faults_tolerated = (validators - 1) // 3
     crashed = min(config.num_crashed, faults_tolerated)
-    equivocators = min(config.num_equivocators, faults_tolerated - crashed)
+    recovering = min(config.num_recovering, faults_tolerated - crashed)
+    equivocators = min(config.num_equivocators, faults_tolerated - crashed - recovering)
+    time_scale = _SMOKE_DURATION / config.duration if config.duration > 0 else 1.0
+    first_static_fault = validators - crashed - recovering - equivocators
+    schedule = tuple(
+        replace(event, time=event.time * time_scale)
+        for event in config.fault_schedule
+        # Validators that no longer exist in the shrunken committee (or
+        # that its static fault blocks now claim) drop out.
+        if 1 <= event.validator < first_static_fault
+    )
+    # Like the static counts, the schedule must fit the shrunken
+    # committee's fault budget: drop whole validators (highest index
+    # first) until the worst concurrent downtime fits.
+    budget = faults_tolerated - crashed - recovering - equivocators
+    while schedule and FaultSchedule(schedule).max_concurrent_down() > budget:
+        victim = max(event.validator for event in schedule)
+        schedule = tuple(event for event in schedule if event.validator != victim)
     return replace(
         config,
         num_validators=validators,
         num_crashed=crashed,
+        num_recovering=recovering,
         num_equivocators=equivocators,
+        fault_schedule=schedule,
         adversary_targets=min(config.adversary_targets, faults_tolerated),
         duration=_SMOKE_DURATION,
         warmup=_SMOKE_WARMUP,

@@ -56,7 +56,9 @@ class ReplicatedStateMachine:
                 return root
         return None
 
-    def common_prefix_roots(self, other: "ReplicatedStateMachine") -> list[tuple[int, Digest, Digest]]:
+    def common_prefix_roots(
+        self, other: "ReplicatedStateMachine"
+    ) -> list[tuple[int, Digest, Digest]]:
         """Checkpoints both replicas recorded at the same applied index
         — each pair of roots must match under Total Order."""
         theirs = dict(other.checkpoints)

@@ -8,7 +8,7 @@ submission and commit events), a submission timestamp, and a payload.
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from .errors import ReproError
 
@@ -27,11 +27,17 @@ class Transaction:
         submitted_at: Client-side submission timestamp (simulation seconds
             or wall-clock seconds for the runtime).
         payload: Opaque bytes; contents are never interpreted.
+        size_hint: Simulation-only: real wire bytes this transaction
+            represents when the experiment draws from a mixed
+            transaction-size distribution, without materializing the
+            payload.  ``None`` means the experiment's uniform size
+            applies.  Not part of the wire format.
     """
 
     tx_id: int
     submitted_at: float = 0.0
     payload: bytes = b""
+    size_hint: int | None = None
 
     @property
     def size(self) -> int:
@@ -59,10 +65,13 @@ class Transaction:
         payload_end = end + length
         if payload_end > len(data):
             raise ReproError("truncated transaction payload")
-        return cls(tx_id=tx_id, submitted_at=submitted_at, payload=data[end:payload_end]), payload_end
+        tx = cls(tx_id=tx_id, submitted_at=submitted_at, payload=data[end:payload_end])
+        return tx, payload_end
 
     @classmethod
-    def dummy(cls, tx_id: int, submitted_at: float = 0.0, size: int = DEFAULT_TX_SIZE) -> "Transaction":
+    def dummy(
+        cls, tx_id: int, submitted_at: float = 0.0, size: int = DEFAULT_TX_SIZE
+    ) -> "Transaction":
         """Create a benchmark transaction of ``size`` bytes total."""
         body = max(0, size - _HEADER.size)
         return cls(tx_id=tx_id, submitted_at=submitted_at, payload=b"\x00" * body)

@@ -24,7 +24,7 @@ class TestW5Formula:
 
     def test_probability_increases_with_leaders(self):
         f = 3
-        probabilities = [direct_commit_probability_w5(f, l) for l in (1, 2, 3)]
+        probabilities = [direct_commit_probability_w5(f, k) for k in (1, 2, 3)]
         assert probabilities == sorted(probabilities)
         assert all(0 < p <= 1 for p in probabilities)
 
@@ -35,9 +35,9 @@ class TestW5Formula:
         assert direct_commit_probability_w5(3, 3) == pytest.approx(1 - 1 / 120)
 
     def test_matches_monte_carlo(self):
-        for f, l in [(1, 1), (3, 1), (3, 2), (5, 3)]:
-            closed = direct_commit_probability_w5(f, l)
-            sampled = monte_carlo_direct_commit_w5(f, l, trials=40_000)
+        for f, k in [(1, 1), (3, 1), (3, 2), (5, 3)]:
+            closed = direct_commit_probability_w5(f, k)
+            sampled = monte_carlo_direct_commit_w5(f, k, trials=40_000)
             assert sampled == pytest.approx(closed, abs=0.01)
 
     def test_invalid_inputs(self):
@@ -61,8 +61,8 @@ class TestW4Formula:
         """The whole point of the extra Boost round (challenge 2): under
         a full asynchronous adversary, w=5 commits far more often."""
         for f in (1, 3, 5):
-            for l in (1, 2, 3):
-                assert direct_commit_probability_w4(f, l) <= direct_commit_probability_w5(f, l)
+            for k in (1, 2, 3):
+                assert direct_commit_probability_w4(f, k) <= direct_commit_probability_w5(f, k)
 
 
 class TestRandomNetworkBound:

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.analysis.dag_stats import (
-    CommonCoreReport,
     DagShape,
     common_core_report,
     round_reachability,

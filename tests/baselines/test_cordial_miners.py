@@ -1,7 +1,5 @@
 """Tests for the Cordial Miners baseline committer."""
 
-import pytest
-
 from repro.baselines.cordial_miners import make_cordial_miners_committer
 from repro.committee import Committee
 from repro.core.slots import Decision
@@ -40,12 +38,8 @@ class TestWaveStructure:
         coin, builder, committer = make()
         builder.rounds(1, 11)
         observations = committer.extend_commit_sequence()
-        first_commit = next(
-            o for o in observations if o.status.decision is Decision.COMMIT
-        )
-        second_commit = [
-            o for o in observations if o.status.decision is Decision.COMMIT
-        ][1]
+        commits = [o for o in observations if o.status.decision is Decision.COMMIT]
+        second_commit = commits[1]
         # The round-6 leader linearizes rounds 1..6 minus what round-1's
         # leader already output.
         rounds_covered = {b.round for b in second_commit.linearized}

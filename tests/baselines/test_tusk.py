@@ -1,7 +1,5 @@
 """Tests for the Tusk baseline committer."""
 
-import pytest
-
 from repro.baselines.tusk import TUSK_WAVE, TuskCommitter
 from repro.committee import Committee
 from repro.core.slots import Decision

@@ -1,0 +1,150 @@
+"""Curve-shape regression: smoke-sweep output vs the paper's trends.
+
+Closes the ROADMAP item "check curve shapes against paper_data.py
+programmatically": every smoke-size sweep point is compared against the
+qualitative protocol orderings the paper's figures establish (e.g.
+Mahi-Mahi-5's latency sits well below Tusk's at matched load), via
+``benchmarks.curve_checks``.  The same checks gate ``run_all.py``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.sim.sweep import ResultsStore, run_sweep
+
+from benchmarks.bench_fig3_ideal import SWEEPS as FIG3_SWEEPS
+from benchmarks.bench_fig4_faults import SWEEP_FAULTS
+from benchmarks.bench_recovery import SWEEP_RECOVERY, SWEEP_RECONFIG
+from benchmarks.curve_checks import (
+    MIN_PAPER_RATIO,
+    check_curve_shapes,
+    group_by_shape,
+    paper_table_for,
+)
+from benchmarks.paper_data import FIG3_10_NODES, FIG4_FAULTS
+
+
+@pytest.fixture(scope="module")
+def store(tmp_path_factory):
+    return ResultsStore(tmp_path_factory.mktemp("results"))
+
+
+def smoke_results(spec, store):
+    return run_sweep(spec.smoke(), store, workers=1).results
+
+
+@pytest.mark.slow
+class TestPaperCurveShapes:
+    def test_fig3_smoke_orderings_match_paper(self, store):
+        results = [r for spec in FIG3_SWEEPS for r in smoke_results(spec, store)]
+        assert check_curve_shapes(results) == []
+
+    def test_fig4_smoke_orderings_match_paper(self, store):
+        results = smoke_results(SWEEP_FAULTS, store)
+        assert check_curve_shapes(results) == []
+
+    def test_mahi_mahi_beats_tusk_at_matched_load(self, store):
+        """The satellite's named example: mahi-mahi-5 latency sits below
+        tusk at matched load (the paper separates them 3x).  Under the
+        ideal (fault-free) figure — with 3 crashes a 2-second smoke run
+        commits nothing measurable on tusk at all, which is itself the
+        paper's qualitative point."""
+        results = [r for spec in FIG3_SWEEPS for r in smoke_results(spec, store)]
+        by_protocol = {r.config.protocol: r for r in results}
+        assert by_protocol["mahi-mahi-5"].latency.avg < by_protocol["tusk"].latency.avg
+        # And under faults tusk degrades hardest: either unmeasurable in
+        # the smoke window or strictly slower than mahi-mahi-5.
+        faulty = {r.config.protocol: r for r in smoke_results(SWEEP_FAULTS, store)}
+        tusk = faulty["tusk"].latency.avg
+        assert math.isnan(tusk) or faulty["mahi-mahi-5"].latency.avg < tusk
+
+    def test_enforced_pairs_are_the_robust_ones(self):
+        """The checker only enforces orderings the paper separates by
+        >= MIN_PAPER_RATIO; Cordial Miners vs Mahi-Mahi under faults
+        (1.7s vs 0.95s) stays out, Tusk vs everything stays in."""
+        assert FIG4_FAULTS["cordial-miners"]["latency_s"] < (
+            MIN_PAPER_RATIO * FIG4_FAULTS["mahi-mahi-5"]["latency_s"]
+        )
+        assert FIG4_FAULTS["tusk"]["latency_s"] >= (
+            MIN_PAPER_RATIO * FIG4_FAULTS["cordial-miners"]["latency_s"]
+        )
+        assert FIG3_10_NODES["tusk"]["latency_s"] >= (
+            MIN_PAPER_RATIO * FIG3_10_NODES["mahi-mahi-5"]["latency_s"]
+        )
+
+
+@pytest.mark.slow
+class TestRecoverySweepAcceptance:
+    """The --smoke acceptance path for the recovery sweeps, without the
+    driver: a crash_at validator restarts, re-syncs via fetch, resumes
+    proposing, safety holds with it included, and every point reports a
+    recovery-time metric."""
+
+    def test_smoke_recovery_points_report_metric(self, store):
+        results = smoke_results(SWEEP_RECOVERY, store)  # run_sweep asserts safety
+        assert results
+        for r in results:
+            # Every point completes at least one restart within the
+            # smoke window and reports its recovery time.  Certified
+            # re-sync (tusk) is legitimately slower — a restarted
+            # validator re-syncs certificates over WAN round trips — so
+            # its second recovery may still be in flight when a
+            # 2-second smoke run ends; uncertified protocols finish all.
+            assert 1 <= r.recoveries <= r.config.num_recovering
+            if r.config.protocol != "tusk":
+                assert r.recoveries == r.config.num_recovering
+            assert r.recovery_time_s is not None and r.recovery_time_s > 0
+            assert r.availability < 1.0
+            assert r.blocks_committed > 0
+
+    def test_smoke_reconfig_points_complete_join(self, store):
+        results = smoke_results(SWEEP_RECONFIG, store)
+        assert results
+        for r in results:
+            assert any(e.kind == "join" for e in r.config.fault_schedule)
+            assert r.recoveries >= 1
+            assert r.blocks_committed > 0
+
+    def test_recovery_points_have_no_paper_reference(self):
+        """Recovery workloads are new; the curve checker must skip them
+        rather than compare against an unrelated figure."""
+
+        # paper_table_for only reads result.config; a minimal probe works.
+        class _Probe:
+            def __init__(self, config):
+                self.config = config
+
+        for config in SWEEP_RECOVERY.configs + SWEEP_RECONFIG.configs:
+            assert paper_table_for(_Probe(config)) is None
+
+
+class TestGrouping:
+    def test_group_by_shape_neutralizes_protocol(self):
+        from repro.sim.runner import ExperimentConfig, ExperimentResult
+        from repro.sim.metrics import LatencySummary
+
+        def fake(protocol, load):
+            return ExperimentResult(
+                config=ExperimentConfig(protocol=protocol, load_tps=load),
+                latency=LatencySummary(1, 1.0, 1.0, 1.0, 1.0, 1.0),
+                throughput_tps=1.0,
+                rounds_reached=1,
+                blocks_committed=1,
+                direct_commits=1,
+                indirect_commits=0,
+                direct_skips=0,
+                indirect_skips=0,
+                messages_sent=1,
+                bytes_sent=1,
+                pending_transactions=0,
+            )
+
+        groups = group_by_shape(
+            [fake("mahi-mahi-5", 100.0), fake("tusk", 100.0), fake("tusk", 200.0)]
+        )
+        assert len(groups) == 2
+        sizes = sorted(len(g) for g in groups.values())
+        assert sizes == [1, 2]

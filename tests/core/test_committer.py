@@ -1,7 +1,5 @@
 """Tests for Algorithm 1's commit-sequence machinery."""
 
-import pytest
-
 from repro.committee import Committee
 from repro.config import ProtocolConfig
 from repro.core.committer import Committer

@@ -8,8 +8,6 @@ indirect outcomes via an anchor.
 
 from __future__ import annotations
 
-import pytest
-
 from repro.committee import Committee
 from repro.config import ProtocolConfig
 from repro.core.committer import Committer

@@ -44,7 +44,8 @@ class TestDealing:
         full = combine_shares(setup, shares)
         assert combine_shares(setup, shares[:5]) == full
         assert combine_shares(setup, shares[2:7]) == full
-        assert combine_shares(setup, [shares[0], shares[2], shares[4], shares[5], shares[6]]) == full
+        quorum = [shares[0], shares[2], shares[4], shares[5], shares[6]]
+        assert combine_shares(setup, quorum) == full
 
     def test_insufficient_shares_rejected(self):
         setup, shares = deal(n=7, threshold=5)

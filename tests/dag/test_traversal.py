@@ -45,9 +45,10 @@ class TestVotedBlock:
         b = builder.block(0, 1, tag="b")
         builder.block(1, 1)
         builder.block(2, 1)
-        # Two round-2 blocks, one preferring each sibling.
-        via_a = builder.block(1, 2, parents=[(0, 1, "a"), (1, 1), (2, 1)])
-        via_b = builder.block(2, 2, parents=[(0, 1, "b"), (1, 1), (2, 1)])
+        # Two round-2 blocks, one preferring each sibling (the first,
+        # "via a", is listed before the second in the vote's parents).
+        builder.block(1, 2, parents=[(0, 1, "a"), (1, 1), (2, 1)])
+        builder.block(2, 2, parents=[(0, 1, "b"), (1, 1), (2, 1)])
         # Round-3 block whose first parent chain leads to sibling a.
         vote = builder.block(3, 3, parents=[(1, 2), (2, 2), (1, 2)][:2] + [(2, 2)])
         found = traversal.voted_block(vote, 0, 1)
@@ -101,9 +102,9 @@ class TestIsCert:
         leader = builder.get(0, 1)
         # Author 0 equivocates twice in the vote round; a certifier
         # referencing both plus one other author has only 2 distinct.
-        v1 = builder.block(0, 4, tag="a")
-        v2 = builder.block(0, 4, tag="b")
-        v3 = builder.block(1, 4)
+        builder.block(0, 4, tag="a")
+        builder.block(0, 4, tag="b")
+        builder.block(1, 4)
         certifier = builder.block(
             2, 5, parents=[(0, 4, "a"), (0, 4, "b"), (1, 4)]
         )

@@ -73,8 +73,7 @@ class TestFetching:
     def test_batching_splits_large_requests(self):
         transport = RecordingTransport()
         sync = Synchronizer(transport, committee_size=4)
-        many = tuple(b.reference for b in make_genesis(4)) * (BATCH // 2)
-        # Duplicates collapse; build unique refs from many committees.
+        # Build more unique refs than one batch holds.
         from repro.block import Block
 
         unique = tuple(

@@ -5,7 +5,6 @@ import pytest
 from repro.block import make_genesis
 from repro.errors import WalCorruptionError
 from repro.runtime.wal import (
-    RECORD_COMMIT_MARK,
     RECORD_OWN_BLOCK,
     RECORD_PEER_BLOCK,
     WalRecord,

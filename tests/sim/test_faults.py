@@ -1,0 +1,133 @@
+"""Unit tests for the fault-schedule model (crash/recover/join/leave)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.faults import FaultEvent, FaultSchedule, normalize_events
+
+
+class TestNormalization:
+    def test_accepts_events_tuples_and_dicts(self):
+        events = normalize_events(
+            [
+                FaultEvent(time=1.0, validator=3, kind="crash"),
+                (2.0, 3, "recover"),
+                {"time": 4.0, "validator": 5, "kind": "leave"},
+            ]
+        )
+        assert events == (
+            FaultEvent(1.0, 3, "crash"),
+            FaultEvent(2.0, 3, "recover"),
+            FaultEvent(4.0, 5, "leave"),
+        )
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ConfigError):
+            FaultEvent(time=1.0, validator=1, kind="explode")
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ConfigError):
+            FaultEvent(time=-1.0, validator=1, kind="crash")
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ConfigError):
+            normalize_events(["crash"])
+
+    def test_malformed_shapes_raise_config_error(self):
+        """Short tuples, non-numeric times and bad dict keys surface as
+        ConfigError, like every other malformed-config path."""
+        with pytest.raises(ConfigError):
+            normalize_events([(1.0, 2)])  # missing kind
+        with pytest.raises(ConfigError):
+            normalize_events([("x", 2, "crash")])  # non-numeric time
+        with pytest.raises(ConfigError):
+            normalize_events([{"when": 1.0, "validator": 2, "kind": "crash"}])
+
+
+class TestLifecycleValidation:
+    def test_sorts_events_by_time(self):
+        schedule = FaultSchedule(
+            [FaultEvent(5.0, 1, "recover"), FaultEvent(2.0, 1, "crash")]
+        )
+        assert [e.kind for e in schedule] == ["crash", "recover"]
+
+    def test_recover_without_crash_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultSchedule([FaultEvent(1.0, 1, "recover")])
+
+    def test_double_crash_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultSchedule([FaultEvent(1.0, 1, "crash"), FaultEvent(2.0, 1, "crash")])
+
+    def test_events_after_leave_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultSchedule([FaultEvent(1.0, 1, "leave"), FaultEvent(2.0, 1, "recover")])
+
+    def test_join_must_come_first(self):
+        with pytest.raises(ConfigError):
+            FaultSchedule([FaultEvent(1.0, 1, "crash"), FaultEvent(2.0, 1, "join")])
+
+    def test_crash_recover_cycles_allowed(self):
+        schedule = FaultSchedule(
+            [
+                FaultEvent(1.0, 1, "crash"),
+                FaultEvent(2.0, 1, "recover"),
+                FaultEvent(3.0, 1, "crash"),
+                FaultEvent(4.0, 1, "recover"),
+            ]
+        )
+        assert len(schedule) == 4
+
+
+class TestIntrospection:
+    def test_initially_down_is_joiners(self):
+        schedule = FaultSchedule(
+            [
+                FaultEvent(1.0, 2, "join"),
+                FaultEvent(2.0, 3, "crash"),
+            ]
+        )
+        assert schedule.initially_down() == frozenset({2})
+
+    def test_downtime_crash_recover(self):
+        schedule = FaultSchedule.crash_recover([1, 2], crash_at=2.0, recover_at=5.0)
+        downtime = schedule.downtime(10.0)
+        assert downtime == {1: pytest.approx(3.0), 2: pytest.approx(3.0)}
+
+    def test_downtime_open_intervals_close_at_duration(self):
+        schedule = FaultSchedule(
+            [FaultEvent(1.0, 1, "join"), FaultEvent(6.0, 2, "leave")]
+        )
+        downtime = schedule.downtime(10.0)
+        assert downtime[1] == pytest.approx(1.0)  # down [0, 1)
+        assert downtime[2] == pytest.approx(4.0)  # down [6, 10)
+
+    def test_max_concurrent_down_overlapping(self):
+        schedule = FaultSchedule(
+            [
+                FaultEvent(1.0, 1, "crash"),
+                FaultEvent(3.0, 1, "recover"),
+                FaultEvent(2.0, 2, "crash"),
+                FaultEvent(4.0, 2, "recover"),
+            ]
+        )
+        assert schedule.max_concurrent_down() == 2
+
+    def test_max_concurrent_down_handover_does_not_overlap(self):
+        # Validator 1 recovers at the instant validator 2 crashes.
+        schedule = FaultSchedule(
+            [
+                FaultEvent(1.0, 1, "crash"),
+                FaultEvent(3.0, 1, "recover"),
+                FaultEvent(3.0, 2, "crash"),
+            ]
+        )
+        assert schedule.max_concurrent_down() == 1
+
+    def test_crash_recover_requires_order(self):
+        with pytest.raises(ConfigError):
+            FaultSchedule.crash_recover([1], crash_at=5.0, recover_at=2.0)
+
+    def test_empty_schedule_is_falsy(self):
+        assert not FaultSchedule()
+        assert FaultSchedule().max_concurrent_down() == 0

@@ -2,8 +2,6 @@
 
 import random
 
-import pytest
-
 from repro.sim.latency import (
     GeoLatencyModel,
     PAPER_REGIONS,

@@ -6,7 +6,7 @@ import pytest
 
 from repro.sim.client import OpenLoopClient, reset_tx_ids
 from repro.sim.events import EventLoop
-from repro.sim.metrics import ExperimentMetrics, LatencySummary
+from repro.sim.metrics import ExperimentMetrics
 
 
 class TestMetrics:
@@ -122,3 +122,68 @@ class TestOpenLoopClient:
         loop.run_until(2.0)
         ids = [tx.tx_id for tx in received]
         assert len(ids) == len(set(ids))
+
+    def test_structured_seeds_do_not_collide(self):
+        """Regression: the harness derives client seeds as
+        (master_seed, authority) tuples.  The old arithmetic derivation
+        seed * 1000 + authority collides for e.g. (1, 1500) and
+        (2, 500); the structured form must not."""
+
+        def arrivals(seed):
+            reset_tx_ids()
+            loop = EventLoop()
+            received = []
+            OpenLoopClient(loop, received.append, rate=100.0, seed=seed).start()
+            loop.run_until(1.0)
+            return [tx.submitted_at for tx in received]
+
+        assert 1 * 1000 + 1500 == 2 * 1000 + 500  # the old collision
+        assert arrivals((1, 1500)) != arrivals((2, 500))
+        # And identical structured seeds still replay identically.
+        assert arrivals((1, 1500)) == arrivals((1, 1500))
+
+    def test_tx_size_mix_samples_hints(self):
+        reset_tx_ids()
+        loop = EventLoop()
+        received = []
+        client = OpenLoopClient(
+            loop,
+            received.append,
+            rate=500.0,
+            seed=3,
+            tx_size_mix=((128, 0.8), (4096, 0.2)),
+        )
+        client.start()
+        loop.run_until(2.0)
+        sizes = {tx.size_hint for tx in received}
+        assert sizes == {128, 4096}
+        small = sum(1 for tx in received if tx.size_hint == 128)
+        assert 0.6 < small / len(received) < 0.95  # ~80%
+
+    def test_uniform_clients_leave_hint_unset(self):
+        reset_tx_ids()
+        loop = EventLoop()
+        received = []
+        OpenLoopClient(loop, received.append, rate=100.0, seed=3).start()
+        loop.run_until(1.0)
+        assert received and all(tx.size_hint is None for tx in received)
+
+
+class TestRecoveryMetrics:
+    def test_recovery_summary(self):
+        metrics = ExperimentMetrics()
+        assert metrics.recovery_summary() == (0, None, None)
+        metrics.record_recovery(3, recovered_at=4.0, resumed_at=4.5)
+        metrics.record_recovery(4, recovered_at=4.0, resumed_at=5.5)
+        count, avg, worst = metrics.recovery_summary()
+        assert count == 2
+        assert avg == pytest.approx(1.0)
+        assert worst == pytest.approx(1.5)
+
+    def test_availability_helper(self):
+        from repro.sim.metrics import availability
+
+        assert availability(0.0, 10, 30.0) == 1.0
+        assert availability(30.0, 10, 30.0) == pytest.approx(0.9)
+        assert availability(1e9, 10, 30.0) == 0.0  # clamped
+        assert availability(5.0, 10, 0.0) == 1.0  # degenerate duration

@@ -6,7 +6,6 @@ from repro.sim.events import EventLoop
 from repro.sim.latency import UniformLatencyModel
 from repro.sim.network import (
     AsyncAdversaryScheduler,
-    Message,
     NetworkConfig,
     SimNetwork,
 )
@@ -111,6 +110,27 @@ class TestAdversary:
         scheduler = AsyncAdversaryScheduler(
             committee_size=10, targets_per_window=3, delay=0.5, window=1.0
         )
-        windows = [scheduler._targets(t) for t in (0.0, 1.5, 2.5, 3.5, 10.5)]
+        windows = [set(scheduler._targets(t)) for t in (0.0, 1.5, 2.5, 3.5, 10.5)]
         assert any(a != b for a, b in zip(windows, windows[1:]))
         assert all(len(w) == 3 for w in windows)
+
+    def test_target_cache_matches_fresh_derivation(self):
+        """The per-epoch cache is behavior-identical to re-deriving the
+        set from a fresh Random per message (the old hot-path cost)."""
+        import random
+
+        scheduler = AsyncAdversaryScheduler(
+            committee_size=10, targets_per_window=3, delay=0.5, window=1.0
+        )
+        for now in (0.0, 0.3, 0.99, 1.0, 1.7, 5.2, 5.8, 42.0):
+            epoch = int(now / 1.0)
+            expected = set(random.Random(repr(("adversary", epoch))).sample(range(10), 3))
+            assert set(scheduler._targets(now)) == expected
+
+    def test_target_cache_stable_within_epoch(self):
+        scheduler = AsyncAdversaryScheduler(
+            committee_size=10, targets_per_window=3, delay=0.5, window=1.0
+        )
+        first = set(scheduler._targets(2.0))
+        for now in (2.1, 2.5, 2.999):
+            assert set(scheduler._targets(now)) == first

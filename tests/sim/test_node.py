@@ -1,4 +1,5 @@
-"""Unit tests for :class:`SimValidator`: pacing, faults, sync, CPU."""
+"""Unit tests for :class:`SimValidator`: pacing, faults, recovery,
+sync, CPU."""
 
 import pytest
 
@@ -14,7 +15,16 @@ from repro.sim.node import CpuConfig, SimValidator
 from repro.transaction import Transaction
 
 
-def make_cluster(n=4, *, delay=0.05, interval=0.0, behaviors=None, certified=False, cpu=None):
+def make_cluster(
+    n=4,
+    *,
+    delay=0.05,
+    interval=0.0,
+    behaviors=None,
+    certified=False,
+    cpu=None,
+    with_core_factory=False,
+):
     committee = Committee.of_size(n)
     coin = FastCoin(seed=b"node-test", n=n, threshold=committee.quorum_threshold)
     config = ProtocolConfig(wave_length=5, leaders_per_round=2)
@@ -23,6 +33,9 @@ def make_cluster(n=4, *, delay=0.05, interval=0.0, behaviors=None, certified=Fal
     nodes = []
     for i in range(n):
         behavior = behaviors.get(i) if behaviors else None
+        factory = None
+        if with_core_factory:
+            factory = lambda i=i: MahiMahiCore(i, committee, config, coin)  # noqa: E731
         nodes.append(
             SimValidator(
                 MahiMahiCore(i, committee, config, coin),
@@ -32,6 +45,7 @@ def make_cluster(n=4, *, delay=0.05, interval=0.0, behaviors=None, certified=Fal
                 behavior=behavior,
                 min_block_interval=interval,
                 cpu=cpu,
+                core_factory=factory,
             )
         )
     return loop, nodes
@@ -103,6 +117,203 @@ class TestFaults:
         sequences = [[b.digest for b in n.core.committed_blocks()] for n in honest]
         shortest = min(len(s) for s in sequences)
         assert all(s[:shortest] == sequences[0][:shortest] for s in sequences)
+
+
+class TestRecovery:
+    def _run_crash_recover(self, *, certified=False):
+        loop, nodes = make_cluster(certified=certified, with_core_factory=True)
+        for node in nodes:
+            node.start()
+        loop.schedule_at(1.0, nodes[3].crash)
+
+        def restart():
+            nodes[3].recover()
+            nodes[3].start()
+
+        loop.schedule_at(2.0, restart)
+        loop.run_until(4.0)
+        return nodes
+
+    def test_recovered_node_resyncs_and_proposes(self):
+        nodes = self._run_crash_recover()
+        recovered = nodes[3]
+        assert not recovered.down
+        # The fresh core re-synced the whole DAG via deep fetches and
+        # rejoined proposing near the live frontier.
+        assert recovered.core.round > 10
+        assert recovered.core.total_proposed > 0
+        assert recovered.core.pending_count == 0
+
+    def test_recovered_node_recommits_same_sequence(self):
+        nodes = self._run_crash_recover()
+        sequences = [[b.digest for b in n.core.committed_blocks()] for n in nodes]
+        reference = max(sequences, key=len)
+        assert min(len(s) for s in sequences) > 0
+        for sequence in sequences:
+            assert sequence == reference[: len(sequence)]
+
+    def test_recovered_node_does_not_equivocate(self):
+        """A restarted validator must not re-propose in rounds it
+        already proposed in before the crash (that would equivocate
+        with its own earlier blocks)."""
+        nodes = self._run_crash_recover()
+        top_round = max(n.core.store.highest_round for n in nodes)
+        for node in nodes:
+            for r in range(1, top_round + 1):
+                assert len(node.core.store.slot_blocks(r, 3)) <= 1
+
+    def test_certified_recovery_resyncs_too(self):
+        nodes = self._run_crash_recover(certified=True)
+        recovered = nodes[3]
+        assert recovered.core.total_proposed > 0
+        assert len(recovered.core.store) > 4  # well past genesis
+
+    def test_crash_drops_queued_cpu_work(self):
+        """Blocks inside the consensus CPU stage at crash time are lost
+        with the rest of the in-memory state (incarnation guard)."""
+        cpu = CpuConfig(block_base_cost=0.5)  # absurdly slow stage
+        loop, nodes = make_cluster(cpu=cpu, with_core_factory=True)
+        for node in nodes:
+            node.start()
+        # Let round-1 blocks arrive and queue up in the slow CPU stage,
+        # then crash before the stage completes.
+        loop.run_until(0.06)
+        nodes[3].crash()
+        nodes[3].recover()
+        loop.run_until(0.8)
+        # The pre-crash blocks were dropped, not ingested into the new
+        # core behind its back: only what arrived after recovery counts.
+        assert len(nodes[3].core.store) >= 4  # genesis always present
+
+    def test_resync_larger_than_one_chunk_progresses(self, monkeypatch):
+        """Regression: when the missing history exceeds one fetch-chunk
+        cap, the sync floor must advance chunk by chunk — a server that
+        keeps re-serving the lowest rounds of the closure would leave
+        the recovering validator syncing forever.  (The cap must exceed
+        the cluster's block-generation rate per fetch round trip, or no
+        amount of chunking can ever catch up; 64 per ~0.1 s round trip
+        vs ~80 blocks/s generated leaves a comfortable margin while the
+        ~90-block backlog still takes several chunks.)"""
+        import repro.sim.node as node_module
+
+        monkeypatch.setattr(node_module, "_SYNC_MAX_BLOCKS", 64)
+        nodes = self._run_crash_recover()
+        recovered = nodes[3]
+        assert not recovered._syncing
+        assert recovered.core.total_proposed > 0
+        assert recovered.core.round > 10
+
+    def test_recovery_callback_reports_resume_time(self):
+        committee = Committee.of_size(4)
+        coin = FastCoin(seed=b"cb", n=4, threshold=committee.quorum_threshold)
+        config = ProtocolConfig(wave_length=5, leaders_per_round=2)
+        loop = EventLoop()
+        network = SimNetwork(loop, UniformLatencyModel(0.05), 4, seed=1)
+        seen = []
+        nodes = []
+        for i in range(4):
+            nodes.append(
+                SimValidator(
+                    MahiMahiCore(i, committee, config, coin),
+                    network,
+                    loop,
+                    core_factory=lambda i=i: MahiMahiCore(i, committee, config, coin),
+                    on_recovery=lambda v, down, up: seen.append((v, down, up)),
+                )
+            )
+        for node in nodes:
+            node.start()
+        loop.schedule_at(1.0, nodes[3].crash)
+
+        def restart():
+            nodes[3].recover()
+            nodes[3].start()
+
+        loop.schedule_at(2.0, restart)
+        loop.run_until(4.0)
+        [(validator, recovered_at, resumed_at)] = seen
+        assert validator == 3
+        assert recovered_at == pytest.approx(2.0)
+        assert resumed_at > recovered_at
+
+    def test_join_from_start_down(self):
+        """A provisioned-but-offline validator (start_down) stays silent
+        until recover(), then syncs and participates."""
+        committee = Committee.of_size(4)
+        coin = FastCoin(seed=b"join", n=4, threshold=committee.quorum_threshold)
+        config = ProtocolConfig(wave_length=5, leaders_per_round=2)
+        loop = EventLoop()
+        network = SimNetwork(loop, UniformLatencyModel(0.05), 4, seed=1)
+        nodes = []
+        for i in range(4):
+            nodes.append(
+                SimValidator(
+                    MahiMahiCore(i, committee, config, coin),
+                    network,
+                    loop,
+                    core_factory=lambda i=i: MahiMahiCore(i, committee, config, coin),
+                    start_down=(i == 3),
+                )
+            )
+        for node in nodes:
+            node.start()
+        loop.run_until(0.5)
+        assert nodes[3].down
+        assert nodes[3].core.round == 0
+
+        def join():
+            nodes[3].recover()
+            nodes[3].start()
+
+        loop.schedule_at(1.0, join)
+        loop.run_until(3.0)
+        assert not nodes[3].down
+        assert nodes[3].core.total_proposed > 0
+
+    def test_retained_core_without_factory(self):
+        """recover() without a core factory resumes with retained state
+        (a pause, not a restart) — the documented unit-test mode: no
+        re-sync gate, no state wipe."""
+        loop, nodes = make_cluster(with_core_factory=False)
+        for node in nodes:
+            node.start()
+        loop.run_until(1.0)
+        round_at_crash = nodes[3].core.round
+        nodes[3].crash()
+        core_before = nodes[3].core
+        nodes[3].recover()
+        assert nodes[3].core is core_before
+        assert nodes[3].core.round == round_at_crash
+        assert not nodes[3]._syncing  # nothing was lost, nothing to re-sync
+        # And the paused validator keeps participating.
+        nodes[3].start()
+        loop.run_until(3.0)
+        assert nodes[3].core.round > round_at_crash
+
+    def test_rapid_double_crash_does_not_equivocate(self):
+        """Regression: a fetch response requested by a previous
+        incarnation must not convince the next incarnation it is caught
+        up — only a cleanly-connecting *live* broadcast ends re-sync, so
+        even a re-crash mid-sync cannot lead to proposals in rounds the
+        validator already used."""
+        loop, nodes = make_cluster(with_core_factory=True)
+        for node in nodes:
+            node.start()
+
+        def restart():
+            nodes[3].recover()
+            nodes[3].start()
+
+        loop.schedule_at(1.0, nodes[3].crash)
+        loop.schedule_at(1.5, restart)
+        loop.schedule_at(1.55, nodes[3].crash)  # re-crash mid-re-sync
+        loop.schedule_at(1.6, restart)
+        loop.run_until(4.0)
+        top_round = max(n.core.store.highest_round for n in nodes)
+        for node in nodes:
+            for r in range(1, top_round + 1):
+                assert len(node.core.store.slot_blocks(r, 3)) <= 1
+        assert nodes[3].core.total_proposed > 0
 
 
 class TestCertifiedMode:

@@ -10,7 +10,14 @@ import math
 import pytest
 
 from repro.errors import ConfigError
-from repro.sim.runner import Experiment, ExperimentConfig, PROTOCOLS
+from repro.sim.faults import FaultEvent
+from repro.sim.runner import (
+    RECOVERY_CRASH_FRAC,
+    RECOVERY_RESTART_FRAC,
+    Experiment,
+    ExperimentConfig,
+    PROTOCOLS,
+)
 
 
 def quick(protocol, **overrides):
@@ -45,6 +52,105 @@ class TestConfigValidation:
     def test_no_batching_below_cap(self):
         config = ExperimentConfig(load_tps=500, max_sim_tx_rate=2_000)
         assert config.batch_weight == 1.0
+
+    def test_recovering_counts_against_fault_budget(self):
+        with pytest.raises(ConfigError):
+            ExperimentConfig(num_validators=10, num_crashed=2, num_recovering=2)
+
+    def test_disjoint_downtime_windows_do_not_stack(self):
+        """The budget counts *concurrent* downtime: three recovering
+        validators (down during the middle of the run) plus a scheduled
+        crash/recover that finishes before they go down is exactly f,
+        not f+1."""
+        config = ExperimentConfig(
+            num_validators=10,
+            num_recovering=3,
+            duration=16.0,
+            fault_schedule=((1.0, 1, "crash"), (2.0, 1, "recover")),
+        )
+        assert config.effective_schedule().max_concurrent_down() == 3
+
+    def test_overlapping_scheduled_downtime_rejected(self):
+        with pytest.raises(ConfigError):
+            ExperimentConfig(
+                num_validators=10,
+                num_recovering=3,
+                duration=16.0,
+                # Down [5, 16) — overlapping the recovering window [4, 8).
+                fault_schedule=((5.0, 1, "crash"),),
+            )
+
+    def test_schedule_counts_against_fault_budget(self):
+        with pytest.raises(ConfigError):
+            ExperimentConfig(
+                num_validators=10,
+                num_crashed=3,
+                fault_schedule=(FaultEvent(1.0, 5, "crash"),),
+            )
+
+    def test_schedule_may_not_target_observer(self):
+        with pytest.raises(ConfigError):
+            ExperimentConfig(fault_schedule=(FaultEvent(1.0, 0, "crash"),))
+
+    def test_schedule_may_not_target_static_fault_indexes(self):
+        with pytest.raises(ConfigError):
+            ExperimentConfig(
+                num_validators=10,
+                num_crashed=2,
+                fault_schedule=(FaultEvent(1.0, 9, "crash"),),
+            )
+
+    def test_schedule_round_trips_through_dicts(self):
+        """Sweep-cache configs arrive with events as JSON dicts."""
+        config = ExperimentConfig(
+            fault_schedule=[{"time": 1.0, "validator": 3, "kind": "crash"}],
+            tx_size_mix=[[128, 0.5], [512, 0.5]],
+        )
+        assert config.fault_schedule == (FaultEvent(1.0, 3, "crash"),)
+        assert config.tx_size_mix == ((128, 0.5), (512, 0.5))
+
+    def test_mean_tx_size_weighted(self):
+        config = ExperimentConfig(tx_size_mix=((100, 3.0), (500, 1.0)))
+        assert config.mean_tx_size == pytest.approx(200.0)
+        assert ExperimentConfig(tx_size=777).mean_tx_size == 777.0
+
+    def test_effective_schedule_generates_recovery_events(self):
+        config = ExperimentConfig(num_validators=10, num_recovering=2, duration=20.0)
+        schedule = config.effective_schedule()
+        crash = [e for e in schedule if e.kind == "crash"]
+        recover = [e for e in schedule if e.kind == "recover"]
+        assert {e.validator for e in crash} == {8, 9}
+        assert all(e.time == pytest.approx(RECOVERY_CRASH_FRAC * 20.0) for e in crash)
+        assert all(e.time == pytest.approx(RECOVERY_RESTART_FRAC * 20.0) for e in recover)
+
+
+class TestFaultPlacement:
+    """Regression pin for fault placement: crashed validators take the
+    highest indexes, recovering ones the block below, equivocators below
+    those, and validator 0 is always the honest observer."""
+
+    def test_crashed_then_recovering_then_equivocators(self):
+        config = ExperimentConfig(
+            num_validators=13, num_crashed=2, num_recovering=1, num_equivocators=1
+        )
+        exp = Experiment(config)
+        behaviors = [exp._behavior(a) for a in range(13)]
+        assert [b.crashed for b in behaviors] == [False] * 11 + [True, True]
+        assert [b.equivocate for b in behaviors] == (
+            [False] * 9 + [True] + [False] * 3
+        )
+        # The recovering validator (index 10) is honest; its lifecycle
+        # comes from the effective schedule.
+        assert not behaviors[10].crashed and not behaviors[10].equivocate
+        assert {e.validator for e in config.effective_schedule()} == {10}
+
+    def test_equivocators_directly_below_crashed_without_recovering(self):
+        config = ExperimentConfig(num_validators=10, num_crashed=2, num_equivocators=1)
+        exp = Experiment(config)
+        assert exp._behavior(9).crashed and exp._behavior(8).crashed
+        assert exp._behavior(7).equivocate
+        assert not exp._behavior(6).equivocate and not exp._behavior(6).crashed
+        assert not exp._behavior(0).crashed and not exp._behavior(0).equivocate
 
 
 @pytest.mark.slow
@@ -117,6 +223,134 @@ class TestPaperShape:
     def test_equivocators_do_not_break_safety(self):
         result = quick("mahi-mahi-5", num_equivocators=3, duration=6.0)
         assert result.blocks_committed > 0  # run() asserts agreement
+
+    def test_crash_recovery_restart_resync_resume(self):
+        """The crash-recovery workload end-to-end: validators crash at a
+        quarter of the run, restart with empty state at the halfway
+        mark, re-sync via fetch, resume proposing, and run() asserts
+        prefix consistency with the recovered validators *included*."""
+        config = ExperimentConfig(
+            protocol="mahi-mahi-5",
+            num_validators=10,
+            load_tps=2_000.0,
+            duration=8.0,
+            warmup=2.0,
+            num_recovering=2,
+            seed=2,
+        )
+        exp = Experiment(config)
+        result = exp.run()  # run() calls assert_safety over all honest nodes
+        assert result.recoveries == 2
+        assert result.recovery_time_s is not None and result.recovery_time_s > 0
+        assert result.recovery_time_max_s >= result.recovery_time_s
+        assert result.availability == pytest.approx(
+            1 - 2 * (RECOVERY_RESTART_FRAC - RECOVERY_CRASH_FRAC) / 10
+        )
+        for authority in (8, 9):
+            recovered = exp.nodes[authority]
+            assert not recovered.down
+            assert recovered.core.total_proposed > 0
+            assert len(recovered.core.committed_blocks()) > 0
+
+    def test_recovered_sequences_checked_by_assert_safety(self):
+        """assert_safety must cover recovered validators: corrupting a
+        recovered node's committed sequence makes it fail."""
+        from repro.errors import SimulationError
+
+        config = ExperimentConfig(
+            protocol="mahi-mahi-5",
+            num_validators=10,
+            load_tps=1_000.0,
+            duration=6.0,
+            warmup=2.0,
+            num_recovering=1,
+            seed=2,
+        )
+        exp = Experiment(config)
+        exp.run()
+        recovered = exp.nodes[9]
+        observations = recovered.core.committed
+        assert observations
+        # Reverse one multi-block linearization in the recovered node's
+        # sequence: the prefix check must notice.
+        target = next(o for o in observations if len(o.linearized) > 1)
+        index = observations.index(target)
+        observations[index] = type(target)(
+            status=target.status, linearized=tuple(reversed(target.linearized))
+        )
+        with pytest.raises(SimulationError):
+            exp.assert_safety()
+
+    def test_reconfiguration_join_and_leave(self):
+        config = ExperimentConfig(
+            protocol="mahi-mahi-5",
+            num_validators=10,
+            load_tps=1_000.0,
+            duration=8.0,
+            warmup=2.0,
+            seed=2,
+            fault_schedule=(
+                FaultEvent(time=2.4, validator=8, kind="join"),
+                FaultEvent(time=4.0, validator=9, kind="leave"),
+            ),
+        )
+        exp = Experiment(config)
+        result = exp.run()
+        assert result.blocks_committed > 0
+        assert result.recoveries == 1  # the join completed
+        joined, left = exp.nodes[8], exp.nodes[9]
+        assert not joined.down and joined.core.total_proposed > 0
+        assert left.down
+        # Availability: 8 down for [0, 2.4), 9 for [4, 8).
+        assert result.availability == pytest.approx(1 - (2.4 + 4.0) / 80)
+
+    def test_clients_retarget_away_from_down_validators(self):
+        """With a schedule, submissions to a down validator land on a
+        live one instead of vanishing: the crashed window produces no
+        dip in unique committed transactions."""
+        base = dict(
+            protocol="mahi-mahi-5",
+            num_validators=10,
+            load_tps=1_000.0,
+            duration=8.0,
+            warmup=2.0,
+            seed=2,
+        )
+        static = Experiment(ExperimentConfig(**base)).run()
+        recovering = Experiment(ExperimentConfig(**base, num_recovering=2)).run()
+        # Retargeting keeps committed throughput within a few percent of
+        # the fault-free run (the transactions just land elsewhere).
+        assert recovering.throughput_tps > 0.9 * static.throughput_tps
+
+    def test_mixed_tx_sizes_shift_bytes(self):
+        base = dict(
+            protocol="mahi-mahi-5",
+            num_validators=10,
+            load_tps=1_000.0,
+            duration=6.0,
+            warmup=2.0,
+            seed=2,
+        )
+        small = Experiment(ExperimentConfig(**base, tx_size_mix=((128, 1.0),))).run()
+        large = Experiment(ExperimentConfig(**base, tx_size_mix=((4096, 1.0),))).run()
+        assert small.bytes_sent < large.bytes_sent
+        assert small.blocks_committed > 0 and large.blocks_committed > 0
+
+    def test_recovery_deterministic_replay(self):
+        config = ExperimentConfig(
+            protocol="mahi-mahi-5",
+            num_validators=10,
+            load_tps=1_000.0,
+            duration=6.0,
+            warmup=2.0,
+            num_recovering=1,
+            seed=4,
+        )
+        a = Experiment(config).run()
+        b = Experiment(config).run()
+        assert a.latency == b.latency
+        assert a.recovery_time_s == b.recovery_time_s
+        assert a.messages_sent == b.messages_sent
 
     def test_uniform_delay_latency_tracks_message_delays(self):
         """With constant one-way delay d and no pacing, leader commit

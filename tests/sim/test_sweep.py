@@ -63,7 +63,7 @@ class TestConfigHash:
         """The serialization is part of the cache contract: if this
         changes, bump SCHEMA_VERSION in sweep.py (old caches must read
         as misses, not as silently wrong hits)."""
-        assert config_hash(ExperimentConfig()) == "dd8b57c7cfcf7042"
+        assert config_hash(ExperimentConfig()) == "6485175d1e28344a"
 
     def test_stable_across_interpreter_instances(self):
         """No PYTHONHASHSEED leakage: a fresh interpreter with a random
@@ -112,6 +112,109 @@ class TestSmokeTransform:
         smoked = spec.smoke()
         assert smoked.name == "test-sweep-smoke"
         assert len(smoked.configs) == 1  # loads collapse onto one point
+
+
+class TestFaultScheduleSerialization:
+    def test_config_with_schedule_round_trips(self):
+        from repro.sim.faults import FaultEvent
+
+        config = tiny_config(
+            num_validators=10,
+            fault_schedule=(
+                FaultEvent(0.4, 3, "crash"),
+                FaultEvent(0.8, 3, "recover"),
+            ),
+            tx_size_mix=((128, 0.5), (512, 0.5)),
+        )
+        restored = config_from_dict(json.loads(json.dumps(config_to_dict(config))))
+        assert restored == config
+        assert config_hash(restored) == config_hash(config)
+        assert isinstance(restored.fault_schedule[0], FaultEvent)
+
+    def test_smoke_rescales_schedule_times(self):
+        from repro.sim.faults import FaultEvent
+
+        config = tiny_config(
+            num_validators=10,
+            duration=20.0,
+            fault_schedule=(
+                FaultEvent(5.0, 3, "crash"),
+                FaultEvent(10.0, 3, "recover"),
+            ),
+        )
+        small = smoke_config(config)
+        # Events keep their position as a fraction of the duration.
+        assert [e.time / small.duration for e in small.fault_schedule] == [
+            pytest.approx(5.0 / 20.0),
+            pytest.approx(10.0 / 20.0),
+        ]
+        assert [e.kind for e in small.fault_schedule] == ["crash", "recover"]
+
+    def test_smoke_clamps_recovering_to_fault_budget(self):
+        config = tiny_config(num_validators=50, duration=20.0, num_recovering=10)
+        small = smoke_config(config)
+        assert small.num_validators == 10
+        assert small.num_recovering == 3  # f for a 10-committee
+
+    def test_event_dicts_and_tuples_hash_identically(self):
+        """Regression: the Mapping and sequence normalization branches
+        must coerce types identically, or equal configs get different
+        sweep-cache keys (spurious misses)."""
+        from_dicts = tiny_config(
+            num_validators=10,
+            fault_schedule=[{"time": 1, "validator": 3, "kind": "crash"}],
+        )
+        from_tuples = tiny_config(num_validators=10, fault_schedule=[(1, 3, "crash")])
+        assert from_dicts == from_tuples
+        assert config_hash(from_dicts) == config_hash(from_tuples)
+
+    def test_smoke_clamps_schedule_concurrency_to_fault_budget(self):
+        """Regression: a schedule valid at full scale (n=50, f=16) must
+        shrink to the smoke committee's budget instead of making
+        smoke_config raise."""
+        from repro.sim.faults import FaultEvent, FaultSchedule
+
+        config = tiny_config(
+            num_validators=50,
+            duration=20.0,
+            fault_schedule=tuple(
+                FaultEvent(t, v, kind)
+                for v in (1, 2, 3, 4, 5)
+                for t, kind in ((5.0, "crash"), (10.0, "recover"))
+            ),
+        )
+        small = smoke_config(config)  # must not raise
+        assert small.num_validators == 10
+        remaining = FaultSchedule(small.fault_schedule)
+        assert remaining.max_concurrent_down() <= 3  # f for 10 validators
+        # Lowest-indexed scheduled validators survive the clamp.
+        assert remaining.validators() == frozenset({1, 2, 3})
+
+    def test_smoke_drops_schedule_validators_outside_committee(self):
+        from repro.sim.faults import FaultEvent
+
+        config = tiny_config(
+            num_validators=50,
+            duration=20.0,
+            fault_schedule=(
+                FaultEvent(5.0, 30, "crash"),
+                FaultEvent(10.0, 30, "recover"),
+                FaultEvent(5.0, 3, "crash"),
+            ),
+        )
+        small = smoke_config(config)
+        assert {e.validator for e in small.fault_schedule} == {3}
+
+    def test_recovery_result_round_trips(self, tmp_path):
+        from repro.sim.sweep import run_point
+
+        config = tiny_config(num_validators=10, num_recovering=1, duration=2.0)
+        result = run_point(config)
+        assert result.recoveries == 1
+        restored = result_from_dict(config, json.loads(json.dumps(result_to_dict(result))))
+        assert restored.recoveries == result.recoveries
+        assert restored.recovery_time_s == result.recovery_time_s
+        assert restored.availability == result.availability
 
 
 class TestResultsStore:

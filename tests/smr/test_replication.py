@@ -103,7 +103,6 @@ def test_transfers_conserve_total_balance():
     cluster.run(30)
     store = cluster.replicas[0].machine
     total = sum(store.balance(a) for a in (b"alice", b"bob", b"carol"))
-    puts_applied = store.applied - store.rejected_transfers
     assert total % 1000 == 0  # every balance unit came from a seed PUT
 
 def test_checkpoints_monotonic():

@@ -99,7 +99,6 @@ class TestTransfers:
         forward, backward = KeyValueStore(), KeyValueStore()
         for store in (forward, backward):
             self.seed(store, b"a", 10)
-        top_up = TransferCommand(source=b"c", dest=b"a", amount=0)
         spend = TransferCommand(source=b"a", dest=b"b", amount=10)
         spend_again = TransferCommand(source=b"a", dest=b"b", amount=10)
         refill = TransferCommand(source=b"b", dest=b"a", amount=10)

@@ -7,7 +7,7 @@ import random
 
 from hypothesis import given, settings, strategies as st
 
-from repro.block import Block, BlockRef, make_genesis
+from repro.block import Block, make_genesis
 from repro.committee import Committee
 from repro.config import ProtocolConfig
 from repro.core.protocol import MahiMahiCore
