@@ -46,6 +46,8 @@ SWEEP_WAVE_LENGTH = SweepSpec(
         x_axis="wave_length_override",
         y_axis="blocks_committed",
         series_key="protocol",
+        x_label="Wave length (rounds)",
+        y_label="Blocks committed",
     ),
     configs=tuple(
         _config(wave_length_override=wave, adversary_targets=3, adversary_delay=0.4)
@@ -60,6 +62,9 @@ SWEEP_DIRECT_SKIP = SweepSpec(
         title="Ablation: direct skip rule (3 crash faults)",
         x_axis="direct_skip",
         series_key="num_crashed",
+        x_label="Direct skip rule",
+        y_label="Average commit latency (s)",
+        series_label="{} crash faults",
     ),
     configs=(
         _config(num_crashed=3),
@@ -72,6 +77,8 @@ SWEEP_OVERLAPPING_WAVES = SweepSpec(
     figure=FigureSpec(
         figure="ablation",
         title="Ablation: overlapping waves vs one wave per 5 rounds",
+        x_label="Offered load (tx/s)",
+        y_label="Average commit latency (s)",
     ),
     configs=(
         _config(),

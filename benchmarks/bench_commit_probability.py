@@ -26,6 +26,8 @@ SWEEP_DIRECT_RATE = SweepSpec(
         figure="appendix-c",
         title="Simulated direct-commit rate vs Lemma 17 (benign network)",
         y_axis="direct_commits",
+        x_label="Offered load (tx/s)",
+        y_label="Directly committed slots",
     ),
     configs=(
         ExperimentConfig(

@@ -29,7 +29,12 @@ _SCALE = bench_scale()
 
 SWEEP_10 = SweepSpec(
     name="fig3-ideal-10",
-    figure=FigureSpec(figure="3", title="Figure 3: 10 validators, ideal conditions"),
+    figure=FigureSpec(
+        figure="3",
+        title="Figure 3: 10 validators, ideal conditions",
+        x_label="Offered load (tx/s)",
+        y_label="Average commit latency (s)",
+    ),
     configs=tuple(
         ExperimentConfig(
             protocol=protocol,
@@ -46,7 +51,12 @@ SWEEP_10 = SweepSpec(
 
 SWEEP_50 = SweepSpec(
     name="fig3-ideal-50",
-    figure=FigureSpec(figure="3", title="Figure 3: 50 validators, ideal conditions"),
+    figure=FigureSpec(
+        figure="3",
+        title="Figure 3: 50 validators, ideal conditions",
+        x_label="Offered load (tx/s)",
+        y_label="Average commit latency (s)",
+    ),
     configs=tuple(
         ExperimentConfig(
             protocol=protocol,
@@ -62,7 +72,12 @@ SWEEP_50 = SweepSpec(
 
 SWEEP_ORDERING = SweepSpec(
     name="fig3-ordering-10",
-    figure=FigureSpec(figure="3", title="Figure 3 ordering: 10 validators @ 20k tx/s"),
+    figure=FigureSpec(
+        figure="3",
+        title="Figure 3 ordering: 10 validators @ 20k tx/s",
+        x_label="Offered load (tx/s)",
+        y_label="Average commit latency (s)",
+    ),
     configs=tuple(
         ExperimentConfig(
             protocol=protocol,

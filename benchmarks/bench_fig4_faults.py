@@ -24,7 +24,12 @@ _SCALE = bench_scale()
 
 SWEEP_FAULTS = SweepSpec(
     name="fig4-faults-10",
-    figure=FigureSpec(figure="4", title="Figure 4: 10 validators, 3 crash faults"),
+    figure=FigureSpec(
+        figure="4",
+        title="Figure 4: 10 validators, 3 crash faults",
+        x_label="Offered load (tx/s)",
+        y_label="Average commit latency (s)",
+    ),
     configs=tuple(
         ExperimentConfig(
             protocol=protocol,
@@ -42,7 +47,12 @@ SWEEP_FAULTS = SweepSpec(
 
 SWEEP_SKIP_MECHANISM = SweepSpec(
     name="fig4-skip-mechanism",
-    figure=FigureSpec(figure="4", title="Figure 4 mechanism: direct skips vs anchors"),
+    figure=FigureSpec(
+        figure="4",
+        title="Figure 4 mechanism: direct skips vs anchors",
+        x_label="Offered load (tx/s)",
+        y_label="Average commit latency (s)",
+    ),
     configs=tuple(
         ExperimentConfig(
             protocol=protocol,

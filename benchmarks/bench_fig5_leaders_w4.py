@@ -34,6 +34,9 @@ def leader_sweep_spec(figure: str, protocol: str, num_crashed: int, seed: int = 
             title=f"Figure {figure}: leader slots per round ({protocol}, {label})",
             x_axis="leaders_per_round",
             series_key="num_crashed",
+            x_label="Leader slots per round",
+            y_label="Average commit latency (s)",
+            series_label="{} crash faults",
         ),
         configs=tuple(
             ExperimentConfig(

@@ -50,6 +50,8 @@ SWEEP_RECOVERY = SweepSpec(
         figure="recovery",
         title="Crash-recovery: restart, re-sync, resume proposing",
         y_axis="recovery_time_s",
+        x_label="Offered load (tx/s)",
+        y_label="Recovery time (s)",
     ),
     configs=tuple(
         ExperimentConfig(
@@ -72,6 +74,8 @@ SWEEP_RECONFIG = SweepSpec(
     figure=FigureSpec(
         figure="reconfig",
         title="Reconfiguration: one validator joins, one leaves",
+        x_label="Offered load (tx/s)",
+        y_label="Average commit latency (s)",
     ),
     configs=tuple(
         ExperimentConfig(
@@ -101,6 +105,8 @@ SWEEP_MIXED_SIZES = SweepSpec(
     figure=FigureSpec(
         figure="mixed-sizes",
         title="Mixed transaction sizes (128 B / 512 B / 4 KiB)",
+        x_label="Offered load (tx/s)",
+        y_label="Average commit latency (s)",
     ),
     configs=tuple(
         ExperimentConfig(

@@ -34,11 +34,10 @@ from .paper_data import FIG3_10_NODES, FIG3_50_NODES, FIG4_FAULTS
 MIN_PAPER_RATIO = 2.0
 
 
-def paper_table_for(result: ExperimentResult) -> dict[str, dict] | None:
-    """The paper reference table matching a result's fault pattern and
+def paper_table_for_config(cfg) -> dict[str, dict] | None:
+    """The paper reference table matching a config's fault pattern and
     committee size, or ``None`` when the paper has no matching figure
     (ablations, adversary sweeps, recovery workloads...)."""
-    cfg = result.config
     if cfg.num_equivocators or cfg.adversary_targets or cfg.num_recovering:
         return None
     if cfg.fault_schedule or cfg.wave_length_override or not cfg.direct_skip:
@@ -48,6 +47,11 @@ def paper_table_for(result: ExperimentResult) -> dict[str, dict] | None:
     if cfg.num_crashed:
         return None
     return FIG3_50_NODES if cfg.num_validators >= 50 else FIG3_10_NODES
+
+
+def paper_table_for(result: ExperimentResult) -> dict[str, dict] | None:
+    """:func:`paper_table_for_config` over a result's config."""
+    return paper_table_for_config(result.config)
 
 
 def group_by_shape(results: Iterable[ExperimentResult]) -> dict[str, dict[str, ExperimentResult]]:

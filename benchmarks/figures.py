@@ -1,125 +1,50 @@
 #!/usr/bin/env python3
-"""Standalone figure regeneration CLI (no pytest needed).
+"""Deprecated alias for :mod:`benchmarks.render`.
 
-Usage::
+This module used to re-run experiments and print paper-vs-measured
+tables to stdout.  Both halves now have better homes:
 
-    python -m benchmarks.figures --figure 3          # one figure
-    python -m benchmarks.figures --figure all        # everything
-    python -m benchmarks.figures --figure 4 --scale 3  # longer runs
+* running sweeps: ``repro-bench [--smoke] [--only figN]`` (the cached,
+  parallel engine in ``benchmarks/run_all.py``);
+* figures and tables: ``python -m benchmarks.render`` renders
+  ``results/figures/*.svg`` and ``results/REPORT.md`` — including the
+  deviation tables this module used to print — from the cached results.
 
-Prints the same paper-vs-measured tables as the pytest-benchmark
-modules; see EXPERIMENTS.md for the recorded comparison.
+See ``benchmarks/README.md`` and ``docs/EXPERIMENTS.md`` for the
+recorded paper-vs-measured comparison workflow.  ``python -m
+benchmarks.figures`` keeps working as an alias for the renderer.
 """
 
 from __future__ import annotations
 
 import argparse
-import os
-import time
+import sys
+
+from .render import main as render_main
 
 
-def _figure3() -> None:
-    from repro.sim.runner import ExperimentConfig, PROTOCOLS, run_load_sweep
-
-    from .bench_fig3_ideal import LOADS_10
-    from .paper_data import FIG3_10_NODES, Row, bench_scale, print_table
-
-    scale = bench_scale()
-    for protocol in PROTOCOLS:
-        base = ExperimentConfig(
-            protocol=protocol,
-            num_validators=10,
-            duration=20.0 * scale,
-            warmup=5.0 * scale,
-            seed=3,
+def main(argv: list[str] | None = None) -> int:
+    # Swallow the old CLI's flags so documented invocations like
+    # `--figure 3 --scale 3` still run (they render everything from the
+    # cache; re-running sweeps is repro-bench's job now).
+    parser = argparse.ArgumentParser(prog="benchmarks.figures", description=__doc__)
+    parser.add_argument("--figure", default="all", help=argparse.SUPPRESS)
+    parser.add_argument("--scale", type=float, default=None, help=argparse.SUPPRESS)
+    args, rest = parser.parse_known_args(argv)
+    print(
+        "benchmarks.figures is deprecated: running `python -m benchmarks.render` "
+        "(run sweeps first with `repro-bench --smoke` or `repro-bench`"
+        + (
+            f"; --figure {args.figure}/--scale no longer re-run sweeps, "
+            "all cached figures are rendered"
+            if args.figure != "all" or args.scale is not None
+            else ""
         )
-        results = run_load_sweep(base, LOADS_10)
-        paper = FIG3_10_NODES[protocol]
-        print_table(
-            f"Figure 3 (10 validators) - {protocol}",
-            [
-                Row(
-                    label=f"@ {r.config.load_tps / 1000:.0f}k tx/s",
-                    paper=f"{paper['latency_s']:.2f}s @ <= {paper['peak_tps'] / 1000:.0f}k",
-                    measured=f"{r.latency.avg:.2f}s, {r.throughput_tps / 1000:.1f}k tx/s",
-                )
-                for r in results
-            ],
-        )
-
-
-def _figure4() -> None:
-    from repro.sim.runner import Experiment, ExperimentConfig, PROTOCOLS
-
-    from .paper_data import FIG4_FAULTS, Row, bench_scale, print_table
-
-    scale = bench_scale()
-    rows = []
-    for protocol in PROTOCOLS:
-        config = ExperimentConfig(
-            protocol=protocol,
-            num_validators=10,
-            num_crashed=3,
-            load_tps=10_000,
-            duration=12.0 * scale,
-            warmup=4.0 * scale,
-            seed=5,
-        )
-        result = Experiment(config).run()
-        rows.append(
-            Row(
-                label=protocol,
-                paper=f"{FIG4_FAULTS[protocol]['latency_s']:.2f}s",
-                measured=(
-                    f"{result.latency.avg:.2f}s, skips "
-                    f"{result.direct_skips}/{result.indirect_skips}"
-                ),
-            )
-        )
-    print_table("Figure 4 (10 validators, 3 crash faults)", rows)
-
-
-def _leader_sweep(figure: str, protocol: str) -> None:
-    from .bench_fig5_leaders_w4 import report, run_leader_sweep
-
-    for crashed in (0, 3):
-        report(protocol, crashed, run_leader_sweep(protocol, crashed, figure=figure))
-
-
-def _figure5() -> None:
-    _leader_sweep("5", "mahi-mahi-4")
-
-
-def _figure7() -> None:
-    _leader_sweep("7", "mahi-mahi-5")
-
-
-FIGURES = {"3": _figure3, "4": _figure4, "5": _figure5, "7": _figure7}
-
-
-def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--figure",
-        choices=[*FIGURES, "all"],
-        default="all",
-        help="which paper figure to regenerate",
+        + ")",
+        file=sys.stderr,
     )
-    parser.add_argument(
-        "--scale",
-        type=float,
-        default=None,
-        help="duration multiplier (sets REPRO_BENCH_SCALE)",
-    )
-    args = parser.parse_args()
-    if args.scale is not None:
-        os.environ["REPRO_BENCH_SCALE"] = str(args.scale)
-    targets = FIGURES.values() if args.figure == "all" else [FIGURES[args.figure]]
-    for target in targets:
-        started = time.time()
-        target()
-        print(f"\n[{target.__name__.lstrip('_')} done in {time.time() - started:.0f}s]")
+    return render_main(rest)
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

@@ -99,6 +99,16 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="duration multiplier for full (non-smoke) sweeps (sets REPRO_BENCH_SCALE)",
     )
+    parser.add_argument(
+        "--render",
+        action="store_true",
+        help="after the sweeps, render results/figures/*.svg + results/REPORT.md",
+    )
+    parser.add_argument(
+        "--png",
+        action="store_true",
+        help="with --render: also write PNGs when matplotlib is importable",
+    )
     args = parser.parse_args(argv)
 
     if args.scale is not None:
@@ -189,6 +199,17 @@ def main(argv: list[str] | None = None) -> int:
         f"repro-bench: {executed} points run, {cached} cached in {wall:.1f}s "
         f"({sim_events:,} sim events; {committed:,} blocks committed)"
     )
+
+    if args.render:
+        # Render before the gates: a failing gate still leaves figures
+        # and REPORT.md on disk for the CI artifact / post-mortem.
+        from benchmarks.render import render_report
+
+        outputs = render_report(store.root, png=args.png)
+        print(
+            f"repro-bench: rendered {len(outputs['figures'])} figures -> "
+            f"{store.root}/figures/, report -> {outputs['report']}"
+        )
 
     # The smoke gate: every sweep must actually commit blocks somewhere
     # (the wave-3 adversary ablation legitimately stalls individual

@@ -9,7 +9,8 @@ Public API overview:
 * :mod:`repro.baselines` — Tusk and Cordial Miners on the same substrates;
 * :mod:`repro.sim` — deterministic WAN simulator and experiment harness;
 * :mod:`repro.runtime` — asyncio networked runtime with WAL and sync;
-* :mod:`repro.analysis` — closed-form commit-probability and latency models.
+* :mod:`repro.analysis` — closed-form commit-probability and latency
+  models, plus SVG figure rendering and the reproduction report.
 
 Quickstart::
 

@@ -1,11 +1,19 @@
-"""Analytical models from the paper's Appendices C and D.
+"""Analytical models (Appendices C and D) and results reporting.
 
 * :mod:`repro.analysis.commit_probability` — closed-form direct-commit
   probabilities (Lemmas 13 and 16) and the random-network vote bound
   (Lemma 17), with Monte-Carlo checks;
 * :mod:`repro.analysis.latency_model` — expected commit latency in
   message delays for Mahi-Mahi, Cordial Miners and Tusk, used to sanity-
-  check the simulator's output.
+  check the simulator's output;
+* :mod:`repro.analysis.dag_stats` — measured DAG shape statistics
+  (common-core coverage, round reachability) from live stores;
+* :mod:`repro.analysis.plotting` — dependency-free SVG line charts
+  (log/linear axes, legends, fixed colorblind-validated palette), with
+  an optional matplotlib PNG backend behind a gated import;
+* :mod:`repro.analysis.report` — loads ``results/*.json`` sweep
+  summaries, renders one figure per paper figure id, and emits the
+  ``results/REPORT.md`` reproduction report.
 """
 
 from .commit_probability import (
@@ -16,6 +24,8 @@ from .commit_probability import (
 )
 from .latency_model import expected_commit_delays, LatencyModelResult
 from .dag_stats import CommonCoreReport, DagShape, common_core_report, round_reachability
+from .plotting import Panel, Series, matplotlib_available, render_figure, render_figure_png
+from .report import DeviationRow, LoadedSweep, ReportError, SweepPoint, generate_report
 
 __all__ = [
     "direct_commit_probability_w5",
@@ -28,4 +38,14 @@ __all__ = [
     "DagShape",
     "common_core_report",
     "round_reachability",
+    "Panel",
+    "Series",
+    "matplotlib_available",
+    "render_figure",
+    "render_figure_png",
+    "DeviationRow",
+    "LoadedSweep",
+    "ReportError",
+    "SweepPoint",
+    "generate_report",
 ]

@@ -4,7 +4,10 @@ This package replaces the paper's AWS testbed (Section 5.1): validators
 exchange blocks over a simulated network with the geo-latency profile of
 the paper's five regions, open-loop clients inject load, and the
 experiment harness sweeps load to produce the throughput/latency curves
-of Figures 3-5 and 7.
+of Figures 3-5 and 7.  :mod:`repro.sim.faults` replays per-validator
+``crash``/``recover``/``join``/``leave`` schedules for the recovery and
+reconfiguration workloads; :mod:`repro.sim.sweep` executes whole figure
+sweeps in parallel with a content-addressed, resumable point cache.
 
 Everything is seeded and event-ordered, so experiments replay
 bit-identically.

@@ -111,6 +111,15 @@ class FigureSpec:
             ``throughput_tps``).
         series_key: Config field that separates curves (``protocol``,
             ``leaders_per_round``, ...).
+        x_label: Human-readable x-axis label with units (rendering
+            falls back to ``x_axis`` when empty).
+        y_label: Human-readable y-axis label with units (rendering
+            falls back to ``y_axis`` when empty).
+        x_scale: ``"linear"`` or ``"log"``.
+        y_scale: ``"linear"`` or ``"log"``.
+        series_label: Legend-entry template: a ``str.format`` pattern
+            applied to each series value (e.g. ``"{} crash faults"``);
+            empty means ``str(value)`` verbatim.
     """
 
     figure: str
@@ -118,6 +127,22 @@ class FigureSpec:
     x_axis: str = "load_tps"
     y_axis: str = "latency_avg_s"
     series_key: str = "protocol"
+    x_label: str = ""
+    y_label: str = ""
+    x_scale: str = "linear"
+    y_scale: str = "linear"
+    series_label: str = ""
+
+    def __post_init__(self) -> None:
+        for name, scale in (("x_scale", self.x_scale), ("y_scale", self.y_scale)):
+            if scale not in ("linear", "log"):
+                raise ValueError(f"{name} must be 'linear' or 'log', got {scale!r}")
+
+    def format_series(self, value) -> str:
+        """The legend label for one series value."""
+        if self.series_label:
+            return self.series_label.format(value)
+        return str(value)
 
 
 #: Smoke-mode shape: seconds-long deployments that still commit blocks.

@@ -1,0 +1,40 @@
+"""Every declared sweep must carry renderable figure metadata.
+
+The report renders straight from ``FigureSpec``; a sweep added without
+axis labels would fall back to raw field names in the figure.  This
+test keeps the bar: every ``SWEEPS`` entry across the benchmark modules
+declares human-readable axis labels and valid scales.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.run_all import discover_sweeps
+
+
+def _all_sweeps():
+    sweeps = discover_sweeps()
+    assert sweeps, "no sweeps discovered"
+    return sweeps
+
+
+@pytest.mark.parametrize("sweep", _all_sweeps(), ids=lambda sweep: sweep.name)
+def test_figure_spec_is_renderable(sweep):
+    spec = sweep.figure
+    assert spec.x_label, f"{sweep.name}: x_label missing"
+    assert spec.y_label, f"{sweep.name}: y_label missing"
+    assert spec.x_scale in ("linear", "log")
+    assert spec.y_scale in ("linear", "log")
+    assert spec.title
+    # The series template must format every series value in the sweep.
+    for config in sweep.configs:
+        label = spec.format_series(getattr(config, spec.series_key))
+        assert label
+
+
+def test_invalid_scale_is_rejected():
+    from repro.sim.sweep import FigureSpec
+
+    with pytest.raises(ValueError):
+        FigureSpec(figure="3", title="t", x_scale="sqrt")

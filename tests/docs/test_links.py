@@ -1,0 +1,34 @@
+"""The docs link checker gates the repo: every relative Markdown link
+must resolve (CI runs ``tools/check_doc_links.py``; this test runs the
+same check so the failure is local and immediate)."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+from check_doc_links import check_file, check_links  # noqa: E402
+
+
+def test_no_dangling_relative_links_in_repo_markdown():
+    assert check_links(REPO_ROOT) == []
+
+
+def test_checker_flags_a_dangling_link(tmp_path):
+    doc = tmp_path / "doc.md"
+    doc.write_text("see [the plan](missing/plan.md) and [ok](doc.md)")
+    violations = check_file(doc, tmp_path)
+    assert len(violations) == 1
+    assert "missing/plan.md" in violations[0]
+
+
+def test_checker_ignores_external_links_and_anchors(tmp_path):
+    doc = tmp_path / "doc.md"
+    doc.write_text(
+        "[a](https://example.com) [b](#section) [c](mailto:x@y.z) "
+        "[d](doc.md#anchor)"
+    )
+    assert check_file(doc, tmp_path) == []

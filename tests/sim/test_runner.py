@@ -181,7 +181,7 @@ class TestPaperShape:
     def test_latency_ordering_matches_figure_3(self):
         """MM-4 < MM-5 < {CM, Tusk} under ideal conditions (claims
         C1/C5).  Tusk-vs-CM absolute ordering at short durations is
-        noisy in the simulator (see EXPERIMENTS.md); the robust paper
+        noisy in the simulator (see docs/EXPERIMENTS.md); the robust paper
         property is that both Mahi-Mahi variants beat both baselines."""
         results = {p: quick(p).latency.avg for p in PROTOCOLS}
         assert results["mahi-mahi-4"] < results["mahi-mahi-5"]

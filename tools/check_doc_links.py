@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Docs link checker: every relative link in the repo's Markdown must
+resolve to a file or directory that exists.
+
+Scans ``*.md`` under the repo root (skipping VCS/cache directories and
+the verbatim-excerpt files listed in :data:`EXCLUDE_FILES`), extracts
+inline Markdown links and images, and checks the ones that point into
+the repo.  External links (``http(s)://``, ``mailto:``) and pure
+in-page anchors (``#section``) are out of scope; an anchor suffix on a
+relative link is stripped before the existence check.
+
+Exit status 1 lists every dangling reference — CI runs this so a doc
+pointing at a file that was never written (or later renamed) fails the
+build instead of shipping.  Also importable: :func:`check_links`
+returns the violations, which `tests/docs/test_links.py` asserts empty.
+
+Usage::
+
+    python tools/check_doc_links.py [root]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Directory names never descended into.
+EXCLUDE_DIRS = {
+    ".git",
+    "__pycache__",
+    ".pytest_cache",
+    ".hypothesis",
+    ".benchmarks",
+    "build",
+    "dist",
+    "node_modules",
+}
+
+#: Files whose links are quoted verbatim from *other* repositories
+#: (retrieval artifacts) — their relative links point into repos that
+#: are not checked out here, so they are not ours to fix.
+EXCLUDE_FILES = {"PAPERS.md", "SNIPPETS.md"}
+
+#: Inline Markdown links/images: ``[text](target)`` / ``![alt](target)``.
+#: Targets with spaces-then-quote are titles: ``[x](y "title")``.
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: Schemes that make a link external (not a repo path).
+_EXTERNAL = re.compile(r"^(https?|ftp|mailto|data):", re.IGNORECASE)
+
+
+def iter_markdown_files(root: Path):
+    for path in sorted(root.rglob("*.md")):
+        if any(part in EXCLUDE_DIRS for part in path.relative_to(root).parts):
+            continue
+        if path.name in EXCLUDE_FILES:
+            continue
+        yield path
+
+
+def check_file(path: Path, root: Path) -> list[str]:
+    violations = []
+    text = path.read_text(encoding="utf-8", errors="replace")
+    for match in _LINK_RE.finditer(text):
+        target = match.group(1)
+        if _EXTERNAL.match(target) or target.startswith("#"):
+            continue
+        plain = target.split("#", 1)[0]  # strip in-page anchors
+        if not plain:
+            continue
+        if plain.startswith("/"):  # repo-absolute: resolve from root
+            resolved = root / plain.lstrip("/")
+        else:
+            resolved = path.parent / plain
+        if not resolved.exists():
+            line = text.count("\n", 0, match.start()) + 1
+            violations.append(
+                f"{path.relative_to(root)}:{line}: dangling link -> {target}"
+            )
+    return violations
+
+
+def check_links(root: Path | str = ".") -> list[str]:
+    """All dangling relative links under ``root`` (empty = clean)."""
+    root = Path(root).resolve()
+    violations = []
+    for path in iter_markdown_files(root):
+        violations.extend(check_file(path, root))
+    return violations
+
+
+def main(argv: list[str] | None = None) -> int:
+    root = Path((argv or sys.argv[1:])[0]) if (argv or sys.argv[1:]) else Path(".")
+    violations = check_links(root)
+    for violation in violations:
+        print(violation)
+    if violations:
+        print(f"check_doc_links: {len(violations)} dangling link(s)", file=sys.stderr)
+        return 1
+    print("check_doc_links: all relative Markdown links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
