@@ -215,6 +215,77 @@ class TestEventLoop:
         benchmark.extra_info["sim_events_per_s"] = rate
 
 
+class TestWireSizes:
+    """The block wire-size memoization (ROADMAP profiler peak): a
+    block's simulated size is asked for once per recipient per
+    broadcast and once per fetch served, but computed once."""
+
+    @staticmethod
+    def _make_validator():
+        from repro.committee import Committee
+        from repro.config import ProtocolConfig
+        from repro.core.protocol import MahiMahiCore
+        from repro.sim.events import EventLoop
+        from repro.sim.latency import UniformLatencyModel
+        from repro.sim.network import SimNetwork
+        from repro.sim.node import SimValidator
+
+        committee = Committee.of_size(4)
+        coin = FastCoin(seed=b"wire", n=4, threshold=committee.quorum_threshold)
+        loop = EventLoop()
+        network = SimNetwork(loop, UniformLatencyModel(0.05), 4, seed=1)
+        core = MahiMahiCore(0, committee, ProtocolConfig(), coin)
+        return SimValidator(core, network, loop, mixed_tx_sizes=True)
+
+    def test_block_wire_size_memoized(self, benchmark):
+        node = self._make_validator()
+        block = Block(
+            author=1,
+            round=1,
+            parents=tuple(b.reference for b in make_genesis(10)),
+            transactions=tuple(
+                Transaction(tx_id=i, size_hint=128 if i % 2 else 4096) for i in range(256)
+            ),
+        )
+
+        def uncached():
+            block.__dict__.pop("_sim_wire_size", None)
+            return node._block_wire_size(block)
+
+        cold = benchmark.pedantic(uncached, rounds=200, iterations=1)
+
+        def run_memoized():
+            for _ in range(1000):
+                node._block_wire_size(block)
+
+        started = time.perf_counter()
+        run_memoized()
+        per_hit = (time.perf_counter() - started) / 1000
+        started = time.perf_counter()
+        for _ in range(200):
+            uncached()
+        per_miss = (time.perf_counter() - started) / 200
+        print_table(
+            "Block wire-size accounting (256 mixed-size txs)",
+            [
+                Row(
+                    label="recompute per send (seed)",
+                    paper="-",
+                    measured=f"{per_miss * 1e6:.2f} us",
+                ),
+                Row(
+                    label="memoized on block",
+                    paper="cheaper than recompute",
+                    measured=f"{per_hit * 1e6:.3f} us ({per_miss / max(per_hit, 1e-12):.0f}x)",
+                ),
+            ],
+        )
+        benchmark.extra_info["recompute_us"] = per_miss * 1e6
+        benchmark.extra_info["memoized_us"] = per_hit * 1e6
+        assert cold == node._block_wire_size(block)
+        assert per_hit < per_miss
+
+
 class TestWal:
     def test_append(self, benchmark, tmp_path):
         payload = sample_block().encode()

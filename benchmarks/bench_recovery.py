@@ -1,36 +1,58 @@
-"""Crash-recovery and reconfiguration workloads.
+"""Crash-recovery, state-transfer and reconfiguration workloads.
 
 The paper evaluates crash faults as the production-relevant failure
 mode (Section 5.3) but only as validators going silent forever.  These
 sweeps exercise the other half of production reality: a crashed
-validator *restarts* with an empty in-memory state, re-syncs the DAG
-behind the commit frontier through the fetch path, and rejoins
-proposing — plus reconfiguration (validators joining and leaving
-mid-run) and mixed transaction-size workloads.
+validator *restarts* with an empty in-memory state, re-syncs, and
+rejoins proposing — via three recovery paths (cold refetch, warm WAL
+replay, checkpoint state transfer), plus reconfiguration (validators
+joining and leaving mid-run) and mixed transaction-size workloads.
 
-Three sweeps:
+Five sweeps:
 
 * ``recovery-crash-restart`` — ``num_recovering`` validators crash a
   quarter into the run and restart at the halfway mark; the figure
   tracks the recovery time (restart -> first post-restart proposal) per
   protocol.  Certified DAGs pay more: the restarted validator re-syncs
-  certificates, not bare blocks.
+  certificates, not bare blocks.  Runs with garbage collection *on*
+  (``gc_depth=64``): the restarted validator adopts a quorum-attested
+  checkpoint (``repro.statesync``) and fetches only the suffix above
+  its floor, so nothing behind the peers' pruning horizon is needed.
+* ``recovery-modes`` — cold vs warm vs checkpoint recovery time as the
+  run (and hence the history a cold restart must refetch) grows.  The
+  headline curve shape: cold-to-genesis grows with history length,
+  checkpoint state transfer stays ~flat, and warm WAL replay is the
+  cheapest throughout — it also grows with history (replay touches the
+  whole log) but at a fraction of cold's per-block cost, since replay
+  is local CPU work instead of network round trips.  Enforced (at full
+  scale, where the duration axis survives smoke shrinking) by
+  ``benchmarks/curve_checks.check_recovery_curves``.
+* ``recovery-gc-horizon`` — crash-recovery with an aggressive
+  ``gc_depth=20``: by restart time the peers have pruned the history a
+  cold restart would need (the sim raises a diagnostic for that
+  combination — see ``test_cold_restart_past_gc_horizon_diagnoses``);
+  warm replays its own WAL and fetches the delta, checkpoint adopts and
+  suffix-fetches.  This is the long-run regime the paper's fault
+  experiments assume away.
 * ``reconfig-join-leave`` — one validator joins mid-run (provisioned
-  but silent until then) and another leaves permanently; the figure
-  tracks end-to-end latency across the membership change.
+  but silent until then, syncing in via checkpoint state transfer) and
+  another leaves permanently; the figure tracks end-to-end latency
+  across the membership change.
 * ``mixed-tx-sizes`` — clients draw transaction sizes from a skewed
   distribution (mostly small, a heavy tail of large) instead of the
   uniform 512 B of Section 5.1.
 
-Recovery sweeps disable garbage collection (``gc_depth=0``): a
-restarted validator re-syncs from genesis, so the full causal history
-must remain fetchable at any duration/scale.
+Recovery sweeps bound each deep-fetch response (``sync_chunk_blocks``)
+like a real synchronizer's request batches, so re-sync cost scales with
+the history actually fetched rather than collapsing into one oversized
+response.
 """
 
 from __future__ import annotations
 
 import pytest
 
+from repro.errors import SimulationError
 from repro.sim.faults import FaultEvent
 from repro.sim.runner import ExperimentConfig
 from repro.sim.sweep import FigureSpec, SweepSpec, run_configs
@@ -44,11 +66,22 @@ _WARMUP = 4.0 * _SCALE
 RECOVERY_PROTOCOLS = ("mahi-mahi-5", "cordial-miners", "tusk")
 LOADS = [5_000, 20_000]
 
+#: Crash/recover points for the mode-comparison sweeps, as fractions of
+#: the duration: crash with most of the run's history accumulated,
+#: restart shortly after so the warm delta stays small — smoke-mode
+#: shrinking rescales the absolute times and keeps the shape.
+MODE_CRASH_FRAC = 0.6
+MODE_RECOVER_FRAC = 0.7
+
+#: Bounded deep-fetch responses for the recovery-mode sweeps (must stay
+#: above the cluster's block production per fetch round trip).
+SYNC_CHUNK = 24
+
 SWEEP_RECOVERY = SweepSpec(
     name="recovery-crash-restart",
     figure=FigureSpec(
         figure="recovery",
-        title="Crash-recovery: restart, re-sync, resume proposing",
+        title="Crash-recovery with GC: restart, checkpoint adoption, resume",
         y_axis="recovery_time_s",
         x_label="Offered load (tx/s)",
         y_label="Recovery time (s)",
@@ -61,10 +94,80 @@ SWEEP_RECOVERY = SweepSpec(
             load_tps=load,
             duration=_DURATION,
             warmup=_WARMUP,
-            gc_depth=0,
+            gc_depth=64,
+            recover_mode="checkpoint",
+            checkpoint_interval=1,
             seed=7,
         )
         for protocol in RECOVERY_PROTOCOLS
+        for load in LOADS
+    ),
+)
+
+
+def _mode_config(mode: str, duration: float, **overrides) -> ExperimentConfig:
+    defaults = dict(
+        protocol="mahi-mahi-5",
+        num_validators=10,
+        load_tps=5_000,
+        duration=duration,
+        warmup=duration / 4,
+        gc_depth=0,
+        recover_mode=mode,
+        checkpoint_interval=2 if mode == "checkpoint" else 0,
+        sync_chunk_blocks=SYNC_CHUNK,
+        fault_schedule=(
+            FaultEvent(time=MODE_CRASH_FRAC * duration, validator=9, kind="crash"),
+            FaultEvent(time=MODE_RECOVER_FRAC * duration, validator=9, kind="recover"),
+        ),
+        seed=7,
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+#: History lengths for the warm-vs-cold-vs-checkpoint comparison.
+MODE_DURATIONS = tuple(d * _SCALE for d in (8.0, 16.0, 32.0))
+
+SWEEP_RECOVERY_MODES = SweepSpec(
+    name="recovery-modes",
+    figure=FigureSpec(
+        figure="recovery-modes",
+        title="Recovery modes: cold refetch vs warm WAL replay vs checkpoint transfer",
+        x_axis="duration",
+        y_axis="recovery_time_s",
+        series_key="recover_mode",
+        x_label="Run duration before restart window (s)",
+        y_label="Recovery time (s)",
+        series_label="{} restart",
+    ),
+    configs=tuple(
+        _mode_config(mode, duration)
+        for mode in ("cold", "warm", "checkpoint")
+        for duration in MODE_DURATIONS
+    ),
+)
+
+SWEEP_RECOVERY_GC = SweepSpec(
+    name="recovery-gc-horizon",
+    figure=FigureSpec(
+        figure="recovery-gc",
+        title="Recovery past the GC horizon (gc_depth=20): WAL replay & state transfer",
+        y_axis="recovery_time_s",
+        series_key="recover_mode",
+        x_label="Offered load (tx/s)",
+        y_label="Recovery time (s)",
+        series_label="{} restart",
+    ),
+    configs=tuple(
+        _mode_config(
+            mode,
+            _DURATION,
+            load_tps=load,
+            gc_depth=20,
+            sync_chunk_blocks=4096,
+        )
+        for mode in ("warm", "checkpoint")
         for load in LOADS
     ),
 )
@@ -73,7 +176,7 @@ SWEEP_RECONFIG = SweepSpec(
     name="reconfig-join-leave",
     figure=FigureSpec(
         figure="reconfig",
-        title="Reconfiguration: one validator joins, one leaves",
+        title="Reconfiguration: one validator joins (state transfer), one leaves",
         x_label="Offered load (tx/s)",
         y_label="Average commit latency (s)",
     ),
@@ -84,7 +187,9 @@ SWEEP_RECONFIG = SweepSpec(
             load_tps=load,
             duration=_DURATION,
             warmup=_WARMUP,
-            gc_depth=0,
+            gc_depth=64,
+            recover_mode="checkpoint",
+            checkpoint_interval=1,
             fault_schedule=(
                 FaultEvent(time=0.3 * _DURATION, validator=8, kind="join"),
                 FaultEvent(time=0.6 * _DURATION, validator=9, kind="leave"),
@@ -122,20 +227,29 @@ SWEEP_MIXED_SIZES = SweepSpec(
     ),
 )
 
-SWEEPS = (SWEEP_RECOVERY, SWEEP_RECONFIG, SWEEP_MIXED_SIZES)
+SWEEPS = (
+    SWEEP_RECOVERY,
+    SWEEP_RECOVERY_MODES,
+    SWEEP_RECOVERY_GC,
+    SWEEP_RECONFIG,
+    SWEEP_MIXED_SIZES,
+)
 
 
 @pytest.mark.parametrize("protocol", RECOVERY_PROTOCOLS)
 def test_recovery_restart_and_resync(benchmark, protocol):
-    """A crashed validator restarts, re-syncs via fetch, resumes
-    proposing, and the safety check covers it (run() asserts prefix
-    consistency with the recovered validator included)."""
+    """A crashed validator restarts with GC enabled, adopts a
+    quorum-attested checkpoint, suffix-fetches, resumes proposing, and
+    the safety check covers it (run() verifies the recovered sequence
+    aligns with the reference through the adopted state digest)."""
     configs = [c for c in SWEEP_RECOVERY.configs if c.protocol == protocol]
     results = benchmark.pedantic(run_configs, args=(configs,), rounds=1, iterations=1)
     rows = []
     for r in results:
         assert r.recoveries == r.config.num_recovering
         assert r.recovery_time_s is not None and r.recovery_time_s > 0
+        assert r.checkpoint_adoptions >= r.config.num_recovering
+        assert r.checkpoints_captured > 0
         assert r.availability < 1.0
         rows.append(
             Row(
@@ -144,12 +258,13 @@ def test_recovery_restart_and_resync(benchmark, protocol):
                 measured=(
                     f"recovery {r.recovery_time_s:.3f}s avg "
                     f"(max {r.recovery_time_max_s:.3f}s), "
+                    f"{r.checkpoint_adoptions} checkpoint adoptions, "
                     f"availability {r.availability:.3f}, "
                     f"latency {r.latency.avg:.2f}s"
                 ),
             )
         )
-    print_table(f"Crash-recovery - {protocol}", rows)
+    print_table(f"Crash-recovery (gc_depth=64) - {protocol}", rows)
     benchmark.extra_info["recovery_time_s"] = results[0].recovery_time_s
 
 
@@ -176,6 +291,71 @@ def test_recovery_certified_resync_costs_more(benchmark):
         ],
     )
     assert mahi.recovery_time_s < tusk.recovery_time_s
+
+
+def test_recovery_mode_ordering(benchmark):
+    """On the same schedule, a warm (WAL-replay) restart is strictly
+    faster than a cold (refetch-to-genesis) one, and all three modes
+    report their path in the per-mode metric split."""
+
+    def run_modes():
+        configs = [
+            c for c in SWEEP_RECOVERY_MODES.configs if c.duration == MODE_DURATIONS[0]
+        ]
+        return {r.config.recover_mode: r for r in run_configs(configs)}
+
+    results = benchmark.pedantic(run_modes, rounds=1, iterations=1)
+    rows = []
+    for mode in ("cold", "warm", "checkpoint"):
+        r = results[mode]
+        assert r.recoveries == 1
+        assert r.recovery_time_s is not None
+        assert list(r.recovery_time_by_mode) == [mode]
+        rows.append(
+            Row(
+                label=f"{mode} restart",
+                paper="(new workload)",
+                measured=f"recovery {r.recovery_time_s:.3f}s",
+            )
+        )
+    print_table("Recovery modes at matched history", rows)
+    assert results["warm"].recovery_time_s < results["cold"].recovery_time_s
+    assert results["checkpoint"].checkpoint_adoptions == 1
+
+
+def test_recovery_past_gc_horizon(benchmark):
+    """With gc_depth=20 the peers prune the history a restart needs;
+    warm replay and checkpoint transfer both still complete."""
+
+    def run_gc():
+        configs = [c for c in SWEEP_RECOVERY_GC.configs if c.load_tps == LOADS[0]]
+        return {r.config.recover_mode: r for r in run_configs(configs)}
+
+    results = benchmark.pedantic(run_gc, rounds=1, iterations=1)
+    rows = []
+    for mode, r in sorted(results.items()):
+        assert r.config.gc_depth == 20
+        assert r.recoveries == 1
+        assert r.recovery_time_s is not None
+        rows.append(
+            Row(
+                label=f"{mode} restart, gc_depth=20",
+                paper="(new workload)",
+                measured=f"recovery {r.recovery_time_s:.3f}s",
+            )
+        )
+    print_table("Recovery past the GC horizon", rows)
+    assert results["checkpoint"].checkpoint_adoptions == 1
+
+
+def test_cold_restart_past_gc_horizon_diagnoses():
+    """A cold restart whose needed history is behind the peers' GC
+    horizon fails with a clear diagnostic instead of livelocking."""
+    config = _mode_config(
+        "cold", _DURATION, gc_depth=20, sync_chunk_blocks=4096
+    )
+    with pytest.raises(SimulationError, match="garbage-collection horizon"):
+        run_configs([config])
 
 
 def test_reconfiguration_preserves_liveness(benchmark):

@@ -15,6 +15,14 @@ Figure 3) is far outside smoke-run noise; sub-2x gaps (Cordial Miners
 vs Mahi-Mahi-5 under faults) are deliberately not enforced at smoke
 durations.
 
+Beyond protocol orderings, :func:`check_recovery_curves` enforces the
+recovery-mode shape claims: a warm (WAL-replay) restart must be
+strictly faster than a cold (refetch-to-genesis) one on the same
+schedule, and — when a sweep varies the run duration — cold recovery
+must grow with history length while checkpoint state transfer stays
+~flat (the whole point of recovering from a committed frontier instead
+of genesis).
+
 Used by ``run_all.py`` after every run and by the regression tests in
 ``tests/benchmarks/test_curve_shapes.py``.
 """
@@ -32,6 +40,10 @@ from .paper_data import FIG3_10_NODES, FIG3_50_NODES, FIG4_FAULTS
 
 #: Only enforce orderings the paper separates by at least this factor.
 MIN_PAPER_RATIO = 2.0
+
+#: Checkpoint recovery must stay within this factor of itself across
+#: the duration axis ("~flat"), while cold-to-genesis grows.
+CHECKPOINT_FLAT_FACTOR = 3.0
 
 
 def paper_table_for_config(cfg) -> dict[str, dict] | None:
@@ -66,6 +78,97 @@ def group_by_shape(results: Iterable[ExperimentResult]) -> dict[str, dict[str, E
         key = config_hash(replace(result.config, protocol="mahi-mahi-5"))
         groups.setdefault(key, {})[result.config.protocol] = result
     return groups
+
+
+def _mode_group_key(cfg) -> str:
+    """Hash of a config with the recovery mode neutralized: results in
+    the same group differ only in how the restart re-syncs."""
+    return config_hash(replace(cfg, recover_mode="cold", checkpoint_interval=0))
+
+
+def _scaling_group_key(cfg) -> tuple:
+    """Results in the same group differ only in recovery mode and run
+    duration (schedule event times are normalized to duration
+    fractions, since they scale with it)."""
+    return (
+        cfg.protocol,
+        cfg.num_validators,
+        cfg.load_tps,
+        cfg.gc_depth,
+        cfg.sync_chunk_blocks,
+        cfg.seed,
+        tuple(
+            (round(e.time / cfg.duration, 6), e.validator, e.kind)
+            for e in cfg.fault_schedule
+        ),
+        cfg.num_recovering,
+    )
+
+
+def check_recovery_curves(results: Iterable[ExperimentResult]) -> list[str]:
+    """Enforce the recovery-mode shape claims (module docstring).
+
+    * warm < cold on the same schedule (any scale, smoke included);
+    * over a duration axis: cold grows with history, checkpoint stays
+      within :data:`CHECKPOINT_FLAT_FACTOR` of itself and beats cold at
+      the longest history.
+    """
+    violations = []
+    results = [
+        r
+        for r in results
+        if r.recovery_time_s is not None and r.config.recover_mode
+    ]
+    # (1) warm strictly below cold at matched schedule.
+    by_schedule: dict[str, dict[str, ExperimentResult]] = {}
+    for result in results:
+        by_schedule.setdefault(_mode_group_key(result.config), {})[
+            result.config.recover_mode
+        ] = result
+    for group in by_schedule.values():
+        cold, warm = group.get("cold"), group.get("warm")
+        if cold is None or warm is None:
+            continue
+        if warm.recovery_time_s >= cold.recovery_time_s:
+            cfg = warm.config
+            violations.append(
+                f"warm (WAL) restart should beat cold restart on the same schedule but "
+                f"measured {warm.recovery_time_s:.3f}s vs {cold.recovery_time_s:.3f}s "
+                f"(duration={cfg.duration:.0f}s, load={cfg.load_tps:.0f})"
+            )
+    # (2) shape over the duration axis.
+    by_shape: dict[tuple, dict[str, dict[float, float]]] = {}
+    for result in results:
+        modes = by_shape.setdefault(_scaling_group_key(result.config), {})
+        modes.setdefault(result.config.recover_mode, {})[
+            result.config.duration
+        ] = result.recovery_time_s
+    for modes in by_shape.values():
+        cold = modes.get("cold", {})
+        checkpoint = modes.get("checkpoint", {})
+        if len(cold) >= 2 and cold[max(cold)] <= cold[min(cold)]:
+            violations.append(
+                f"cold-to-genesis recovery should grow with history length but measured "
+                f"{cold[min(cold)]:.3f}s at {min(cold):.0f}s vs "
+                f"{cold[max(cold)]:.3f}s at {max(cold):.0f}s"
+            )
+        if len(checkpoint) >= 2:
+            low, high = checkpoint[min(checkpoint)], checkpoint[max(checkpoint)]
+            if high > CHECKPOINT_FLAT_FACTOR * low:
+                violations.append(
+                    f"checkpoint recovery should stay ~flat as history grows but measured "
+                    f"{low:.3f}s at {min(checkpoint):.0f}s vs {high:.3f}s at "
+                    f"{max(checkpoint):.0f}s (> {CHECKPOINT_FLAT_FACTOR}x)"
+                )
+        if len(cold) >= 2 and len(checkpoint) >= 2:
+            top = max(cold)
+            if top in checkpoint and checkpoint[top] >= cold[top]:
+                violations.append(
+                    f"checkpoint recovery should beat cold-to-genesis at the longest "
+                    f"history ({top:.0f}s) but measured {checkpoint[top]:.3f}s vs "
+                    f"{cold[top]:.3f}s"
+                )
+    return violations
 
 
 def check_curve_shapes(results: Iterable[ExperimentResult]) -> list[str]:

@@ -55,6 +55,8 @@ _GROUP_TITLES = {
     "ablation": "Design ablations",
     "appendix-c": "Appendix C: commit probability",
     "recovery": "Crash-recovery",
+    "recovery-modes": "Recovery modes: cold vs warm vs checkpoint",
+    "recovery-gc": "Recovery past the GC horizon",
     "reconfig": "Reconfiguration",
     "mixed-sizes": "Mixed transaction sizes",
 }
@@ -68,6 +70,7 @@ _AXIS_LABELS = {
     "leaders_per_round": "Leader slots per round",
     "blocks_committed": "Blocks committed",
     "direct_commits": "Directly committed slots",
+    "duration": "Run duration (s)",
     "recovery_time_s": "Recovery time (s)",
     "wave_length_override": "Wave length",
     "direct_skip": "Direct skip rule",
@@ -360,9 +363,11 @@ def _recovery_lines(group: list[LoadedSweep]) -> list[str]:
                     sweep.name,
                     str(point.series),
                     _format_value(point.x),
+                    str(config.get("recover_mode", "cold")),
                     _format_value(result.get("recoveries", "n/a")),
                     _format_value(result.get("recovery_time_s")),
                     _format_value(result.get("recovery_time_max_s")),
+                    _format_value(result.get("checkpoint_adoptions", 0)),
                     _format_value(result.get("availability"), digits=4),
                 ]
             )
@@ -373,8 +378,8 @@ def _recovery_lines(group: list[LoadedSweep]) -> list[str]:
         "**Recovery and availability** (restart -> first post-restart proposal):",
         "",
         *_md_table(
-            ["sweep", "series", "x", "recoveries", "recovery avg (s)",
-             "recovery max (s)", "availability"],
+            ["sweep", "series", "x", "mode", "recoveries", "recovery avg (s)",
+             "recovery max (s)", "ckpt adoptions", "availability"],
             rows,
         ),
     ]

@@ -31,6 +31,9 @@ def make_cordial_miners_committer(
     committee: Committee,
     coin: CommonCoin,
     wave_length: int = 5,
+    *,
+    checkpoint_interval: int = 0,
+    garbage_collection_depth: int = 0,
 ) -> Committer:
     """Build a Cordial-Miners committer over ``store``.
 
@@ -41,8 +44,17 @@ def make_cordial_miners_committer(
         wave_length: Rounds per wave; the paper describes the 5-round
             variant ("Cordial Miners can commit at most one leader block
             every five rounds").
+        checkpoint_interval: State-transfer checkpoint cadence in
+            finalized rounds (0 disables capture).
+        garbage_collection_depth: The deployment's GC depth, so the
+            checkpoint horizon follows the pruning horizon.
     """
-    config = ProtocolConfig(wave_length=wave_length, leaders_per_round=1)
+    config = ProtocolConfig(
+        wave_length=wave_length,
+        leaders_per_round=1,
+        garbage_collection_depth=garbage_collection_depth,
+        checkpoint_interval_rounds=checkpoint_interval,
+    )
     return Committer(
         store,
         committee,

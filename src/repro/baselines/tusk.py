@@ -31,6 +31,8 @@ from ..crypto.coin import CommonCoin
 from ..crypto.hashing import Digest
 from ..dag.store import DagStore
 from ..dag.traversal import DagTraversal
+from ..errors import ReproError
+from ..statesync import DEFAULT_CHECKPOINT_LAG, Checkpoint, CommitLedger
 
 #: Rounds per Tusk wave (leader round + support round).
 TUSK_WAVE = 2
@@ -48,6 +50,8 @@ class TuskCommitter:
         coin: CommonCoin,
         *,
         first_leader_round: int = FIRST_LEADER_ROUND,
+        checkpoint_interval: int = 0,
+        checkpoint_lag: int = DEFAULT_CHECKPOINT_LAG,
     ) -> None:
         self._store = store
         self._committee = committee
@@ -59,6 +63,9 @@ class TuskCommitter:
         self._output: set[Digest] = set()
         self.stats = CommitterStats()
         self.committed_sequence_length = 0
+        self.ledger = CommitLedger(
+            store, committee.size, interval=checkpoint_interval, lag=checkpoint_lag
+        )
 
     # ------------------------------------------------------------------
     # Wave geometry
@@ -174,7 +181,20 @@ class TuskCommitter:
             observations.append(CommitObservation(status=status, linearized=linearized))
             self._decided.pop(self._cursor_round, None)
             self._cursor_round += TUSK_WAVE
+            self.ledger.extend(linearized)
+            self.ledger.maybe_capture(self.last_finalized_round, (self._cursor_round, 0))
         return observations
+
+    def adopt_checkpoint(self, checkpoint: Checkpoint) -> None:
+        """Restore commit state from a quorum-attested checkpoint (same
+        contract as :meth:`repro.core.committer.Committer.adopt_checkpoint`)."""
+        if self.committed_sequence_length or self._output:
+            raise ReproError("only a fresh committer may adopt a checkpoint")
+        self._cursor_round = checkpoint.next_slot[0]
+        self._decided.clear()
+        self._output = {ref.digest for ref in checkpoint.linearized}
+        self.committed_sequence_length = checkpoint.sequence_length
+        self.ledger.adopt(checkpoint)
 
     @property
     def last_finalized_round(self) -> int:
@@ -183,7 +203,18 @@ class TuskCommitter:
 
 
 def make_tusk_committer(
-    store: DagStore, committee: Committee, coin: CommonCoin
+    store: DagStore,
+    committee: Committee,
+    coin: CommonCoin,
+    *,
+    checkpoint_interval: int = 0,
+    checkpoint_lag: int = DEFAULT_CHECKPOINT_LAG,
 ) -> TuskCommitter:
     """Build a Tusk committer over ``store`` (factory used by the sim)."""
-    return TuskCommitter(store, committee, coin)
+    return TuskCommitter(
+        store,
+        committee,
+        coin,
+        checkpoint_interval=checkpoint_interval,
+        checkpoint_lag=checkpoint_lag,
+    )

@@ -39,6 +39,11 @@ class ProtocolConfig:
         garbage_collection_depth: Rounds of history retained behind the
             last committed round before the DAG store may prune (0 keeps
             everything; useful for long simulations).
+        checkpoint_interval_rounds: Capture a state-transfer checkpoint
+            (:mod:`repro.statesync`) every this many finalized rounds
+            (0 disables capture).  Must not exceed the GC depth when
+            both are set, or a freshly captured checkpoint could already
+            sit behind a peer's pruning horizon.
     """
 
     wave_length: int = 5
@@ -46,6 +51,7 @@ class ProtocolConfig:
     max_block_transactions: int = 10_000
     max_block_parents: int = 0
     garbage_collection_depth: int = 0
+    checkpoint_interval_rounds: int = 0
 
     def __post_init__(self) -> None:
         if not MIN_WAVE_LENGTH <= self.wave_length <= MAX_WAVE_LENGTH:
@@ -63,6 +69,18 @@ class ProtocolConfig:
             raise ConfigError("max_block_parents must be >= 0")
         if self.garbage_collection_depth < 0:
             raise ConfigError("garbage_collection_depth must be >= 0")
+        if self.checkpoint_interval_rounds < 0:
+            raise ConfigError("checkpoint_interval_rounds must be >= 0")
+        if (
+            self.checkpoint_interval_rounds
+            and self.garbage_collection_depth
+            and self.checkpoint_interval_rounds > self.garbage_collection_depth
+        ):
+            raise ConfigError(
+                f"checkpoint_interval_rounds ({self.checkpoint_interval_rounds}) must not "
+                f"exceed garbage_collection_depth ({self.garbage_collection_depth}): a "
+                "checkpoint older than the GC horizon cannot anchor a suffix fetch"
+            )
 
     @property
     def is_live(self) -> bool:

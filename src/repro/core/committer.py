@@ -25,6 +25,8 @@ from ..crypto.coin import CommonCoin
 from ..crypto.hashing import Digest
 from ..dag.store import DagStore
 from ..dag.traversal import DagTraversal
+from ..errors import ReproError
+from ..statesync import DEFAULT_CHECKPOINT_LAG, Checkpoint, CommitLedger
 from .decider import Decider, LeaderElector
 from .slots import Decision, LeaderSlot, SlotStatus
 
@@ -124,6 +126,16 @@ class Committer:
         self._output: set[Digest] = set()
         self.stats = CommitterStats()
         self.committed_sequence_length = 0
+        # Commit-chain digest + periodic checkpoint capture (state
+        # transfer, repro.statesync).  The capture horizon follows the
+        # GC depth so the two "history below this is settled" lines
+        # coincide; without GC a fixed default lag applies.
+        self.ledger = CommitLedger(
+            store,
+            committee.size,
+            interval=config.checkpoint_interval_rounds,
+            lag=config.garbage_collection_depth or DEFAULT_CHECKPOINT_LAG,
+        )
 
     # ------------------------------------------------------------------
     # Slot geometry
@@ -208,8 +220,34 @@ class Committer:
             tx_count = sum(len(b.transactions) for b in linearized)
             self.stats.record(status, len(linearized), tx_count)
             observations.append(CommitObservation(status=status, linearized=linearized))
+            self.ledger.extend(linearized)
             self._advance_cursor()
+            # Capture is checked after *every* single-slot advance, so a
+            # validator that finalizes ten slots in one batch captures
+            # the same checkpoints as one that walked them one by one.
+            self.ledger.maybe_capture(
+                self.last_finalized_round, (self._cursor_round, self._cursor_offset)
+            )
         return observations
+
+    def adopt_checkpoint(self, checkpoint: Checkpoint) -> None:
+        """Restore commit state from a quorum-attested checkpoint.
+
+        Only a pristine committer (fresh validator core, nothing
+        committed) may adopt: the cursor jumps to the checkpoint's
+        ``next_slot``, the already-linearized set is seeded from its
+        references, and the commit chain continues from its state
+        digest.  The caller is responsible for flooring the DAG store
+        (:meth:`~repro.dag.store.DagStore.adopt_floor`) so the suffix
+        above the checkpoint can be fetched without its pruned history.
+        """
+        if self.committed_sequence_length or self._output:
+            raise ReproError("only a fresh committer may adopt a checkpoint")
+        self._cursor_round, self._cursor_offset = checkpoint.next_slot
+        self._decided.clear()
+        self._output = {ref.digest for ref in checkpoint.linearized}
+        self.committed_sequence_length = checkpoint.sequence_length
+        self.ledger.adopt(checkpoint)
 
     def _advance_cursor(self) -> None:
         self._decided.pop((self._cursor_round, self._cursor_offset), None)

@@ -27,6 +27,7 @@ from ..crypto.hashing import Digest
 from ..dag.store import DagStore
 from ..dag.validation import BlockVerifier
 from ..errors import BlockValidationError, DuplicateBlockError
+from ..statesync import Checkpoint
 from ..transaction import Transaction
 from .committer import Committer, CommitObservation
 
@@ -127,11 +128,63 @@ class MahiMahiCore:
         validator fetches exactly this set to pull the next chunk of
         history."""
         refs: dict[Digest, BlockRef] = {}
+        floor = self.store.sync_floor
         for block in self._pending.values():
             for ref in block.parents:
-                if ref.digest not in self.store and ref.digest not in self._pending:
+                if (
+                    ref.round >= floor
+                    and ref.digest not in self.store
+                    and ref.digest not in self._pending
+                ):
                     refs[ref.digest] = ref
         return tuple(refs.values())
+
+    # ------------------------------------------------------------------
+    # State transfer
+    # ------------------------------------------------------------------
+    def adopt_checkpoint(self, checkpoint: Checkpoint) -> None:
+        """Fast-forward a fresh core to a quorum-attested checkpoint.
+
+        The DAG store adopts the checkpoint's floor (parents below it
+        count as present — their sub-DAGs are summarized by the
+        checkpoint), the committer resumes the commit sequence from the
+        checkpoint's cursor with its already-linearized set seeded, and
+        the proposal round is floored at the checkpoint round so the
+        validator can never re-propose in a round its pre-crash
+        incarnation used below the adopted frontier.  The host then
+        deep-fetches only the suffix at or above the floor.
+        """
+        self.store.adopt_floor(checkpoint.floor)
+        self.committer.adopt_checkpoint(checkpoint)
+        self.round = max(self.round, checkpoint.round)
+
+    def raise_sync_floor(self, round_number: int) -> list[Block]:
+        """Raise the state-transfer floor mid-recovery.
+
+        Used when a sync peer reports that history inside the adopted
+        span is already behind its pruning horizon: pruning happens only
+        ``gc_depth`` rounds behind finality, so that span is globally
+        settled and this validator may treat it as such too.  Pending
+        blocks that were only waiting on now-floored parents are
+        re-flowed into the DAG; returns the blocks accepted that way.
+        """
+        self.store.adopt_floor(round_number)
+        self.committer.traversal.forget_below(round_number)
+        accepted: list[Block] = []
+        progress = True
+        while progress:
+            progress = False
+            for digest, block in list(self._pending.items()):
+                if digest not in self._pending:
+                    continue  # flushed as a waiter of an earlier reflow
+                if self.store.missing_parents(block):
+                    continue
+                if any(ref.digest in self._pending for ref in block.parents):
+                    continue
+                del self._pending[digest]
+                accepted.extend(self._insert(block))
+                progress = True
+        return accepted
 
     # ------------------------------------------------------------------
     # Block ingestion
@@ -244,6 +297,24 @@ class MahiMahiCore:
         self._own_last_ref = block.reference
         return block
 
+    def restore_own_position(self) -> None:
+        """Recompute the proposal round and own-block reference from the
+        store after a recovery re-sync (WAL replay, deep fetch, or
+        checkpoint adoption plus suffix fetch).
+
+        A freshly restarted core's ``_own_last_ref`` points at its
+        genesis block, which garbage collection may have pruned
+        everywhere — proposals must lead with the newest *visible*
+        own-authored block instead, and never re-use one of its rounds.
+        """
+        store = self.store
+        for round_number in range(store.highest_round, max(0, store.lowest_round) - 1, -1):
+            blocks = store.slot_blocks(round_number, self.authority)
+            if blocks:
+                self._own_last_ref = blocks[0].reference
+                self.round = max(self.round, round_number)
+                return
+
     def _select_parents(self, next_round: int) -> tuple[BlockRef, ...]:
         """Pick parent references for a round-``next_round`` proposal.
 
@@ -252,12 +323,15 @@ class MahiMahiCore:
         condition, and first-seen only so we never endorse equivocating
         siblings), plus every older DAG tip so late blocks still get
         swept into a causal history.  Our own previous block leads the
-        list (Section 2.3).
+        list (Section 2.3) — unless it is no longer in the store (a
+        restarted validator whose pre-crash blocks sit behind the GC or
+        state-transfer horizon): referencing a pruned block would leave
+        every peer unable to complete the causal history.
         """
         previous = next_round - 1
         own = self._own_last_ref
-        parents: list[BlockRef] = [own]
-        seen: set[Digest] = {own.digest}
+        parents: list[BlockRef] = [own] if own.digest in self.store else []
+        seen: set[Digest] = {own.digest} if parents else set()
         for author in sorted(self.store.authors_at_round(previous)):
             ref = self.store.slot_blocks(previous, author)[0].reference
             if ref.digest not in seen:

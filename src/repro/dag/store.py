@@ -31,6 +31,10 @@ class DagStore:
         self._authors_by_round: dict[int, set[int]] = {}
         self._highest_round = -1
         self._lowest_round = 0
+        # State-transfer horizon: parents below this round count as
+        # present (the committed history they anchor was adopted from a
+        # checkpoint rather than fetched).  0 = normal operation.
+        self._sync_floor = 0
 
     # ------------------------------------------------------------------
     # Insertion
@@ -65,8 +69,17 @@ class DagStore:
             self.add(block)
 
     def missing_parents(self, block: Block) -> list[BlockRef]:
-        """Parent references not present in the store."""
-        return [ref for ref in block.parents if ref.digest not in self._by_digest]
+        """Parent references not present in the store.
+
+        References below the state-transfer floor (see
+        :meth:`adopt_floor`) are treated as present: their sub-DAGs are
+        summarized by the adopted checkpoint and will never be fetched.
+        """
+        return [
+            ref
+            for ref in block.parents
+            if ref.digest not in self._by_digest and ref.round >= self._sync_floor
+        ]
 
     # ------------------------------------------------------------------
     # Lookup
@@ -124,6 +137,28 @@ class DagStore:
 
     def __iter__(self) -> Iterator[Block]:
         return iter(self._by_digest.values())
+
+    # ------------------------------------------------------------------
+    # State transfer
+    # ------------------------------------------------------------------
+    @property
+    def sync_floor(self) -> int:
+        """The adopted state-transfer horizon (0 when none)."""
+        return self._sync_floor
+
+    def adopt_floor(self, round_number: int) -> None:
+        """Adopt a state-transfer horizon: causal completeness is only
+        enforced from ``round_number`` up.
+
+        Used when restoring from a checkpoint: the history below the
+        committed frontier is represented by the checkpoint's digests
+        instead of actual blocks, so blocks whose parents are below the
+        floor are accepted without them.  Monotonic (a later, higher
+        horizon — e.g. learned from a peer's GC horizon — may replace a
+        lower one, never the reverse).
+        """
+        self._sync_floor = max(self._sync_floor, round_number)
+        self._lowest_round = max(self._lowest_round, round_number)
 
     # ------------------------------------------------------------------
     # Garbage collection

@@ -60,6 +60,11 @@ class WriteAheadLog:
         self._sync = sync
         self._file = open(self._path, "ab")
 
+    @property
+    def path(self) -> Path:
+        """The log file's location (replay reads it independently)."""
+        return self._path
+
     # ------------------------------------------------------------------
     # Appending
     # ------------------------------------------------------------------

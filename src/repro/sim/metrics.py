@@ -45,10 +45,13 @@ class ExperimentMetrics:
         self.committed_weight = 0.0
         self.committed_unique = 0
         self.duplicate_commits = 0
-        #: Seconds from each restart (``recover``/``join`` event) to the
-        #: validator's first own proposal afterwards: restart + DAG
-        #: re-sync + rejoining the proposing quorum.
-        self.recovery_times: list[float] = []
+        #: ``(mode, seconds)`` per completed restart (``recover``/
+        #: ``join`` event): seconds from restart to the validator's
+        #: first own proposal afterwards — restart + WAL replay or
+        #: checkpoint adoption + DAG re-sync + rejoining the proposing
+        #: quorum.  ``mode`` is the recovery path actually taken
+        #: (``cold``, ``warm`` or ``checkpoint``).
+        self.recovery_times: list[tuple[str, float]] = []
 
     # ------------------------------------------------------------------
     # Recording
@@ -73,10 +76,13 @@ class ExperimentMetrics:
             self._first_commit_time = time
         self._last_commit_time = time
 
-    def record_recovery(self, validator: int, recovered_at: float, resumed_at: float) -> None:
+    def record_recovery(
+        self, validator: int, recovered_at: float, resumed_at: float, mode: str = "cold"
+    ) -> None:
         """Validator ``validator`` restarted at ``recovered_at`` and
-        proposed its first post-restart block at ``resumed_at``."""
-        self.recovery_times.append(resumed_at - recovered_at)
+        proposed its first post-restart block at ``resumed_at``, having
+        recovered via ``mode``."""
+        self.recovery_times.append((mode, resumed_at - recovered_at))
 
     # ------------------------------------------------------------------
     # Reporting
@@ -124,10 +130,17 @@ class ExperimentMetrics:
     def recovery_summary(self) -> tuple[int, float | None, float | None]:
         """``(recoveries, avg_seconds, max_seconds)`` over completed
         recoveries (restarts that resumed proposing)."""
-        times = self.recovery_times
+        times = [seconds for _, seconds in self.recovery_times]
         if not times:
             return 0, None, None
         return len(times), sum(times) / len(times), max(times)
+
+    def recovery_by_mode(self) -> dict[str, float]:
+        """Average recovery seconds per recovery mode actually taken."""
+        by_mode: dict[str, list[float]] = {}
+        for mode, seconds in self.recovery_times:
+            by_mode.setdefault(mode, []).append(seconds)
+        return {mode: sum(times) / len(times) for mode, times in sorted(by_mode.items())}
 
 
 def availability(total_downtime: float, num_validators: int, duration: float) -> float:

@@ -37,7 +37,9 @@ class Message:
         src: Sending validator.
         dst: Receiving validator.
         kind: Application-level type tag (``block``, ``ack``, ``cert``,
-            ``fetch_req``, ``fetch_resp``).
+            ``fetch_req``, ``fetch_resp``, ``sync_resp`` — a deep-fetch
+            response carrying blocks plus pruned-reference flags — and
+            the state-transfer pair ``ckpt_req``/``ckpt_resp``).
         payload: Opaque content handed to the receiver.
         size: Wire size in bytes (drives the bandwidth model).
     """

@@ -17,11 +17,27 @@ synchronizer sub-component the liveness proofs rely on (Lemma 8).
 Crash-recovery rides the same path: :meth:`SimValidator.crash` silences
 the validator and discards whatever it was processing; a later
 :meth:`SimValidator.recover` restarts it with an **empty in-memory
-state** (a fresh core holding only genesis).  The first block it then
-hears triggers a *deep* fetch — the peer serves the block's whole
-available ancestor closure, lowest rounds first — so the validator
-re-syncs the DAG behind the commit frontier, recommits deterministically
-from genesis, and resumes proposing.
+state** (a fresh core holding only genesis) and re-syncs by one of
+three modes:
+
+* **cold** — the first block it hears triggers a *deep* fetch (the peer
+  serves the block's whole available ancestor closure, lowest rounds
+  first); the validator re-syncs the DAG behind the commit frontier,
+  recommits deterministically from genesis, and resumes proposing.
+* **warm** — the validator first replays its own write-ahead log (own
+  blocks, peer blocks — restoring most of the DAG and its proposal
+  round locally), then deep-fetches only the delta accumulated while it
+  was down.
+* **checkpoint** — when the needed history sits behind the peers'
+  garbage-collection horizon (or refetching to genesis is simply too
+  expensive), the validator adopts a quorum-attested state-transfer
+  checkpoint (``ckpt_req``/``ckpt_resp``, 2f+1 matching responses; see
+  :mod:`repro.sim.checkpoint`) and deep-fetches only the suffix above
+  the checkpoint's floor.
+
+A cold or warm re-sync that *needs* pruned history fails with a clear
+diagnostic instead of livelocking: peers flag requested-but-pruned
+references in their ``sync_resp``.
 """
 
 from __future__ import annotations
@@ -32,10 +48,17 @@ from typing import Callable
 from ..block import Block, BlockRef
 from ..core.protocol import MahiMahiCore
 from ..crypto.hashing import Digest
+from ..errors import SimulationError
+from ..runtime.wal import WriteAheadLog
+from ..statesync import Checkpoint
 from ..transaction import Transaction
+from .checkpoint import CheckpointVotes, replay_cost, replay_wal
 from .events import EventLoop
 from .faults import NodeBehavior, make_equivocating_sibling
 from .network import Message, SimNetwork
+
+#: Recovery modes a restarted validator may use.
+RECOVER_MODES = ("cold", "warm", "checkpoint")
 
 
 @dataclass(frozen=True, slots=True)
@@ -76,6 +99,12 @@ _FETCH_RETRY = 1.0
 #: rebuilds the DAG ground-up and re-requests the rest as later blocks
 #: name them.
 _SYNC_MAX_BLOCKS = 4096
+#: How long a checkpoint-mode recoverer waits before re-broadcasting
+#: ``ckpt_req`` when no quorum of matching responses has formed yet
+#: (e.g. it restarted before peers finalized the first boundary).
+_CKPT_RETRY = 0.25
+#: Wire bytes of a checkpoint request (a bare tagged message).
+_CKPT_REQ_SIZE = 16
 
 
 class SimValidator:
@@ -116,6 +145,13 @@ class SimValidator:
         "_recovered_at",
         "_on_recovery",
         "_mixed_tx_sizes",
+        "_recover_mode",
+        "_wal",
+        "_sync_chunk",
+        "_ckpt_votes",
+        "_ckpt_adopted",
+        "_recovery_mode_used",
+        "checkpoint_adoptions",
     )
 
     def __init__(
@@ -133,8 +169,11 @@ class SimValidator:
         on_commit: Callable[[Transaction, float], None] | None = None,
         core_factory: Callable[[], MahiMahiCore] | None = None,
         start_down: bool = False,
-        on_recovery: Callable[[int, float, float], None] | None = None,
+        on_recovery: Callable[[int, float, float, str], None] | None = None,
         mixed_tx_sizes: bool = False,
+        recover_mode: str = "cold",
+        wal: WriteAheadLog | None = None,
+        sync_chunk_blocks: int = _SYNC_MAX_BLOCKS,
     ) -> None:
         """Args:
         core: The protocol state machine (already holding genesis).
@@ -160,11 +199,22 @@ class SimValidator:
             resumes with the retained core (a process *pause* rather
             than a restart; unit tests use this).
         start_down: Begin offline (a validator that ``join``\\ s later).
-        on_recovery: Called as ``(authority, recovered_at, resumed_at)``
-            when the validator proposes its first block after a restart
-            — the recovery-time metric hook.
+        on_recovery: Called as ``(authority, recovered_at, resumed_at,
+            mode)`` when the validator proposes its first block after a
+            restart — the recovery-time metric hook.  ``mode`` is the
+            path the recovery *actually* took (a warm restart with an
+            empty WAL degenerates to, and reports, ``cold``).
         mixed_tx_sizes: Account block wire sizes per transaction (each
             may carry a ``size_hint``) instead of the uniform fast path.
+        recover_mode: Restart path, one of :data:`RECOVER_MODES`.
+        wal: Write-ahead log backing warm restarts: own blocks, peer
+            blocks, and commit marks are appended during operation and
+            replayed on ``recover`` when ``recover_mode`` is ``warm``.
+        sync_chunk_blocks: Most blocks this validator serves in one
+            deep-fetch response (bounded batches, like a real
+            synchronizer's request cap).  Must exceed the cluster's
+            block production per fetch round trip or a re-sync can
+            never catch up.
         """
         self.core = core
         self.authority = core.authority
@@ -204,6 +254,15 @@ class SimValidator:
         self._recovered_at: float | None = None
         self._on_recovery = on_recovery
         self._mixed_tx_sizes = mixed_tx_sizes
+        if recover_mode not in RECOVER_MODES:
+            raise ValueError(f"unknown recover_mode {recover_mode!r}; pick one of {RECOVER_MODES}")
+        self._recover_mode = recover_mode
+        self._wal = wal
+        self._sync_chunk = sync_chunk_blocks
+        self._ckpt_votes = CheckpointVotes(core.committee.quorum_threshold)
+        self._ckpt_adopted = False
+        self._recovery_mode_used = "cold"
+        self.checkpoint_adoptions = 0
         if self.behavior.crash_at is not None and self.behavior.crash_at > loop.now:
             loop.schedule_at(self.behavior.crash_at, self.crash)
         network.register(self.authority, self.on_message)
@@ -243,9 +302,12 @@ class SimValidator:
 
         With a ``core_factory`` the validator restarts from an **empty
         in-memory state**: a fresh core holding only genesis, empty
-        mempool, no certification or fetch state.  It then re-syncs the
-        DAG via deep fetches (see :meth:`_request_missing`) and resumes
-        proposing once the frontier quorum is causally complete.
+        mempool, no certification or fetch state.  Depending on
+        ``recover_mode`` it then replays its WAL (warm), requests a
+        state-transfer checkpoint (checkpoint), or goes straight to
+        deep fetches from genesis (cold) — see the module docstring —
+        and resumes proposing once the frontier quorum is causally
+        complete.
         """
         if not self._down:
             return
@@ -267,6 +329,76 @@ class SimValidator:
         self._consensus_free = 0.0
         self._syncing = True
         self._recovered_at = self._loop.now
+        self._ckpt_votes = CheckpointVotes(self.core.committee.quorum_threshold)
+        self._ckpt_adopted = False
+        self._recovery_mode_used = "cold"
+        if self._recover_mode == "warm" and self._wal is not None:
+            self._replay_wal()
+        elif self._recover_mode == "checkpoint":
+            self._request_checkpoints()
+
+    def _replay_wal(self) -> None:
+        """Warm restart: rebuild the DAG (and the proposal-round floor)
+        from the local write-ahead log before syncing the delta."""
+        replay = replay_wal(self.core, self._wal.path)
+        if not replay.blocks:
+            return  # empty log (e.g. first start): plain cold restart
+        self._recovery_mode_used = "warm"
+        if self._cpu is not None:
+            # Replay is local CPU work, not network round trips: charge
+            # the consensus stage so post-restart messages queue behind
+            # it, exactly like a real validator re-indexing its log.
+            cost = replay_cost(replay, self._cpu, self._tx_weight)
+            self._consensus_free = max(self._loop.now, self._consensus_free) + cost
+
+    # ------------------------------------------------------------------
+    # Checkpoint adoption (state transfer)
+    # ------------------------------------------------------------------
+    def _request_checkpoints(self) -> None:
+        """Broadcast ``ckpt_req`` and arm a retry: peers may not have
+        finalized (and hence captured) anything yet."""
+        self._ckpt_votes.clear()
+        self._network.broadcast(self.authority, "ckpt_req", None, _CKPT_REQ_SIZE)
+        self._loop.schedule(_CKPT_RETRY, self._ckpt_retry, self._incarnation)
+
+    def _ckpt_retry(self, incarnation: int) -> None:
+        if incarnation != self._incarnation or self._down:
+            return
+        if not self._syncing or self._ckpt_adopted:
+            return
+        self._request_checkpoints()
+
+    def _serve_checkpoints(self, src: int) -> None:
+        ledger = getattr(self.core.committer, "ledger", None)
+        checkpoints = tuple(ledger.checkpoints) if ledger is not None else ()
+        size = sum(c.wire_size for c in checkpoints) + _CKPT_REQ_SIZE
+        self._network.send(self.authority, src, "ckpt_resp", checkpoints, size)
+
+    def _on_ckpt_resp(self, checkpoints: tuple[Checkpoint, ...], src: int) -> None:
+        if not self._syncing or self._ckpt_adopted:
+            return
+        best = self._ckpt_votes.add(src, checkpoints)
+        if best is not None:
+            self._adopt_checkpoint(best)
+
+    def _adopt_checkpoint(self, checkpoint: Checkpoint) -> None:
+        """2f+1 matching responses arrived: fast-forward the fresh core
+        to the checkpoint and kick the suffix fetch at an attester."""
+        attesters = self._ckpt_votes.attesters(checkpoint)
+        self._ckpt_adopted = True
+        self._recovery_mode_used = "checkpoint"
+        self.checkpoint_adoptions += 1
+        self.core.adopt_checkpoint(checkpoint)
+        self._ckpt_votes.clear()
+        refs = checkpoint.frontier
+        if refs and not self._sync_inflight:
+            now = self._loop.now
+            for ref in refs:
+                self._fetching[ref.digest] = now
+            # The first responder is the nearest attester — fetch the
+            # suffix from it rather than an arbitrary (possibly
+            # cross-continent) quorum member.
+            self._send_sync_request(attesters[0], refs)
 
     def submit(self, tx: Transaction) -> None:
         """Client entry point; transactions pass the ingress CPU stage
@@ -311,8 +443,12 @@ class SimValidator:
             blocks = [message.payload]
         elif message.kind == "fetch_resp":
             blocks = list(message.payload)
+        elif message.kind == "sync_resp":
+            blocks = list(message.payload[0])
         else:
-            return 20e-6  # acks and fetch requests are cheap
+            # Acks, fetch/checkpoint requests and checkpoint responses
+            # are cheap (a checkpoint is digests, not blocks).
+            return 20e-6
         multiplier = self._cpu.certified_multiplier if self._certified else 1.0
         if self._certified and message.kind == "block":
             # Header of a yet-uncertified block: buffered and acked only.
@@ -336,20 +472,56 @@ class SimValidator:
         elif message.kind == "cert":
             self._ingest(message.payload, message.src)
         elif message.kind == "fetch_req":
-            refs, sync_floor = message.payload
-            self._on_fetch_request(refs, message.src, sync_floor)
+            refs, sync_floor, token = message.payload
+            self._on_fetch_request(refs, message.src, sync_floor, token)
         elif message.kind == "fetch_resp":
-            self._sync_inflight = 0
-            if not message.payload:
-                # The peer had nothing for us (e.g. it is re-syncing
-                # too).  The next live message re-triggers the chain at
-                # a peer that can serve — continuing here would just
-                # re-ask the same empty-handed peer forever.
-                return
             for block in message.payload:
                 self._ingest(block, message.src, live=False)
-            if self._syncing:
+        elif message.kind == "sync_resp":
+            self._on_sync_response(message)
+        elif message.kind == "ckpt_req":
+            self._serve_checkpoints(message.src)
+        elif message.kind == "ckpt_resp":
+            self._on_ckpt_resp(message.payload, message.src)
+
+    def _on_sync_response(self, message: Message) -> None:
+        blocks, pruned, token = message.payload
+        # Only the response to the sync request currently in flight may
+        # drive the chain (or declare it finished): a stale response —
+        # e.g. one a previous incarnation requested before a re-crash —
+        # still contributes blocks but proves nothing.
+        current = bool(token) and token == self._sync_inflight
+        if current:
+            self._sync_inflight = 0
+        if pruned and self._syncing and current:
+            self._absorb_pruned_history(pruned)  # raises when unrecoverable
+        if not blocks:
+            if pruned and self._syncing and current:
+                # The whole request sat behind the (absorbed) pruning
+                # horizon; ask for whatever the frontier still misses.
                 self._continue_sync(message.src)
+                return
+            # The peer had nothing for us (e.g. it is re-syncing too).
+            # The next live message re-triggers the chain at a peer that
+            # can serve — continuing here would just re-ask the same
+            # empty-handed peer forever.
+            return
+        for block in blocks:
+            self._ingest(block, message.src, live=False)
+        if not (self._syncing and current):
+            return
+        if self.core.pending_count == 0 and len(blocks) < self._chunk_cap():
+            # A short chunk: the serving peer transferred its whole
+            # closure, frontier included — we are as caught up as an
+            # honest peer was a round trip ago.  Finish instead of
+            # idling until the next round's broadcasts arrive.
+            self._finish_sync()
+            self._step()
+        else:
+            self._continue_sync(message.src)
+
+    def _chunk_cap(self) -> int:
+        return min(self._sync_chunk, _SYNC_MAX_BLOCKS)
 
     # ------------------------------------------------------------------
     # Certified (Tusk) round structure
@@ -376,6 +548,9 @@ class SimValidator:
         result = self.core.add_block(block)
         if result.missing:
             self._request_missing(sender, result.missing)
+        if result.accepted and self._wal is not None:
+            for accepted in result.accepted:
+                self._wal.append_peer_block(accepted)
         if result.accepted:
             if self._syncing and live and not self.core.pending_count:
                 # Caught up: a *freshly broadcast* block connected with
@@ -392,21 +567,23 @@ class SimValidator:
         # Never propose in a round the pre-crash incarnation already
         # proposed in (that would equivocate with our own old blocks):
         # floor the proposal round at the highest own-authored block
-        # visible in the re-synced DAG.  (Residual assumption: our last
-        # pre-crash block reached the sync peer before the fetch — true
-        # whenever the down time exceeds a network round trip, which
-        # every schedule workload satisfies; real deployments persist
-        # the round in a WAL.)
-        store = self.core.store
-        own_rounds = [
-            r
-            for r in range(max(1, store.lowest_round), store.highest_round + 1)
-            if self.authority in store.authors_at_round(r)
-        ]
-        if own_rounds:
-            self.core.round = max(self.core.round, max(own_rounds))
+        # visible in the re-synced DAG, and lead future proposals with
+        # it rather than the (possibly pruned-everywhere) genesis block.
+        # (Residual assumption for cold restarts: our last pre-crash
+        # block reached the sync peer before the fetch — true whenever
+        # the down time exceeds a network round trip, which every
+        # schedule workload satisfies; warm restarts restore the round
+        # from the WAL and checkpoint restarts floor it at the adopted
+        # frontier, closing the gap properly.)
+        self.core.restore_own_position()
 
     def _request_missing(self, peer: int, refs: tuple[BlockRef, ...]) -> None:
+        if self._syncing and self._recover_mode == "checkpoint" and not self._ckpt_adopted:
+            # State transfer first: fetching from genesis would fight
+            # the checkpoint adoption (and fail anyway once peers have
+            # garbage-collected).  Incoming blocks buffer as pending and
+            # connect once the suffix above the adopted floor arrives.
+            return
         if self._syncing and self._sync_inflight:
             # One outstanding re-sync chain at a time: the in-flight
             # deep fetch (or its continuation off the response) will
@@ -431,7 +608,7 @@ class SimValidator:
             self.authority,
             peer,
             "fetch_req",
-            (tuple(wanted), -1),
+            (tuple(wanted), -1, 0),
             _REF_WIRE_SIZE * len(wanted) + 4,
         )
 
@@ -443,11 +620,17 @@ class SimValidator:
         self._sync_token += 1
         self._sync_inflight = self._sync_token
         self._loop.schedule(_FETCH_RETRY, self._sync_request_timeout, self._sync_token)
+        # The advertised floor is the highest round already covered:
+        # everything accepted so far, or — right after a checkpoint
+        # adoption, when the store holds only genesis — the adopted
+        # state-transfer floor (history below it is never fetched).
+        store = self.core.store
+        floor = max(store.highest_round, store.sync_floor - 1)
         self._network.send(
             self.authority,
             peer,
             "fetch_req",
-            (refs, self.core.store.highest_round),
+            (refs, floor, self._sync_token),
             _REF_WIRE_SIZE * len(refs) + 4,
         )
 
@@ -475,7 +658,7 @@ class SimValidator:
         self._send_sync_request(peer, refs)
 
     def _on_fetch_request(
-        self, refs: tuple[BlockRef, ...], src: int, sync_floor: int = -1
+        self, refs: tuple[BlockRef, ...], src: int, sync_floor: int = -1, token: int = 0
     ) -> None:
         store = self.core.store
         available = [store.get(ref.digest) for ref in refs if ref.digest in store]
@@ -485,15 +668,66 @@ class SimValidator:
             for ref in refs
             if ref.digest not in store and ref.digest in self._headers
         )
-        if sync_floor >= 0:
-            available = self._ancestor_closure(available, sync_floor)
-        if not available and sync_floor < 0:
+        if sync_floor < 0:
+            if not available:
+                return
+            size = sum(self._block_wire_size(b) for b in available)
+            self._network.send(self.authority, src, "fetch_resp", tuple(available), size)
             return
         # Sync requests always get a response — an empty one tells the
         # re-syncing requester to unblock and try elsewhere instead of
-        # sitting on its retry timeout.
-        size = sum(self._block_wire_size(b) for b in available)
-        self._network.send(self.authority, src, "fetch_resp", tuple(available), size)
+        # sitting on its retry timeout — and requested references this
+        # peer has already garbage-collected are flagged, so a re-sync
+        # that *needs* pruned history fails fast instead of livelocking.
+        pruned = tuple(
+            ref
+            for ref in refs
+            if ref.digest not in store
+            and ref.digest not in self._headers
+            and 0 < ref.round < store.lowest_round
+        )
+        served = tuple(self._ancestor_closure(available, sync_floor))
+        size = sum(self._block_wire_size(b) for b in served) + _REF_WIRE_SIZE * len(pruned)
+        self._network.send(self.authority, src, "sync_resp", (served, pruned, token), size)
+
+    def _absorb_pruned_history(self, pruned: tuple[BlockRef, ...]) -> None:
+        """A sync peer garbage-collected history this re-sync asked for.
+
+        After a checkpoint adoption this is expected: peers keep
+        committing while the recovery runs, so their pruning horizon
+        slides past the adopted floor.  Pruning only happens ``gc_depth``
+        rounds behind finality, so everything at the flagged rounds is
+        globally settled — the floor is raised past them and the sync
+        continues with the remaining suffix.  Outside the adopted span
+        (or without a checkpoint at all) the needed history is simply
+        unrecoverable, and raising a clear diagnostic beats the silent
+        livelock of re-requesting pruned blocks forever.
+        """
+        if self._recover_mode == "checkpoint" and not self._ckpt_adopted:
+            return  # state transfer pending; it will bypass the pruned span
+        ledger = getattr(self.core.committer, "ledger", None)
+        base = ledger.adopted_base if ledger is not None else None
+        if (
+            self._ckpt_adopted
+            and base is not None
+            and all(ref.round <= base.round for ref in pruned)
+        ):
+            floor = max(ref.round for ref in pruned) + 1
+            for block in self.core.raise_sync_floor(floor):
+                if self._wal is not None:
+                    self._wal.append_peer_block(block)
+            return
+        detail = (
+            "the adopted checkpoint went stale mid-recovery (peers pruned past its round); "
+            "lower checkpoint_interval or raise gc_depth"
+            if self._ckpt_adopted
+            else "recovery past the GC horizon needs recover_mode='checkpoint' "
+            "(state transfer) or a larger gc_depth"
+        )
+        raise SimulationError(
+            f"validator {self.authority}: re-sync needs {len(pruned)} block(s) behind a "
+            f"peer's garbage-collection horizon (first: {pruned[0]!r}); {detail}"
+        )
 
     def _ancestor_closure(self, blocks: list[Block], floor: int) -> list[Block]:
         """The requested blocks plus their stored ancestors above round
@@ -527,7 +761,7 @@ class SimValidator:
                     if ref.digest in store:
                         frontier.append(store.get(ref.digest))
         ordered = sorted(closure.values(), key=lambda b: (b.round, b.author))
-        return ordered[:_SYNC_MAX_BLOCKS]
+        return ordered[: min(self._sync_chunk, _SYNC_MAX_BLOCKS)]
 
     def _step(self) -> None:
         self._try_propose()
@@ -558,7 +792,9 @@ class SimValidator:
             if self._recovered_at is not None:
                 # First proposal after a restart: recovery is complete.
                 if self._on_recovery is not None:
-                    self._on_recovery(self.authority, self._recovered_at, now)
+                    self._on_recovery(
+                        self.authority, self._recovered_at, now, self._recovery_mode_used
+                    )
                 self._recovered_at = None
             self._dispatch_own(block)
 
@@ -570,6 +806,11 @@ class SimValidator:
         self._commit()
 
     def _dispatch_own(self, block: Block) -> None:
+        if self._wal is not None:
+            # Own proposals are durable *before* broadcast: a warm
+            # restart replays them and never signs a second block for a
+            # round it already used.
+            self._wal.append_own_block(block)
         size = self._block_wire_size(block)
         if self._certified:
             self._headers[block.digest] = block
@@ -593,6 +834,8 @@ class SimValidator:
 
     def _commit(self) -> None:
         observations = self.core.try_commit()
+        if observations and self._wal is not None:
+            self._wal.append_commit_mark(self.core.committer.last_finalized_round)
         if self._on_commit is None:
             return
         now = self._loop.now
@@ -606,11 +849,26 @@ class SimValidator:
     # Wire sizes
     # ------------------------------------------------------------------
     def _block_wire_size(self, block: Block) -> int:
-        if self._mixed_tx_sizes:
-            tx_bytes = sum(
-                self._tx_weight * tx.size_hint if tx.size_hint is not None else self._tx_wire_size
-                for tx in block.transactions
-            )
-        else:
-            tx_bytes = self._tx_wire_size * len(block.transactions)
-        return int(_BLOCK_HEADER_SIZE + _REF_WIRE_SIZE * len(block.parents) + tx_bytes)
+        """The block's simulated wire size, memoized on the block.
+
+        A block's size is asked for once per recipient on broadcast and
+        once per fetch served (a ROADMAP profiler peak, dominated by the
+        per-transaction sum of mixed-size workloads), yet it never
+        changes: blocks are immutable and every validator in a
+        deployment shares the same size parameters.  The first
+        computation is cached on the (shared) block object itself.
+        """
+        size = block.__dict__.get("_sim_wire_size")
+        if size is None:
+            if self._mixed_tx_sizes:
+                tx_bytes = sum(
+                    self._tx_weight * tx.size_hint
+                    if tx.size_hint is not None
+                    else self._tx_wire_size
+                    for tx in block.transactions
+                )
+            else:
+                tx_bytes = self._tx_wire_size * len(block.transactions)
+            size = int(_BLOCK_HEADER_SIZE + _REF_WIRE_SIZE * len(block.parents) + tx_bytes)
+            object.__setattr__(block, "_sim_wire_size", size)
+        return size

@@ -9,7 +9,9 @@ modules sweep load over a list of experiments to regenerate each curve.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, replace
+import tempfile
+from dataclasses import dataclass, field, replace
+from pathlib import Path
 
 from ..committee import Committee
 from ..config import ProtocolConfig
@@ -18,13 +20,15 @@ from ..baselines.cordial_miners import make_cordial_miners_committer
 from ..baselines.tusk import make_tusk_committer
 from ..crypto.coin import FastCoin
 from ..errors import ConfigError, SimulationError
+from ..runtime.wal import WriteAheadLog
+from ..statesync import GENESIS_STATE, chain_digest
 from .client import OpenLoopClient, reset_tx_ids
 from .events import EventLoop
 from .faults import FaultEvent, FaultSchedule, NodeBehavior, normalize_events
 from .latency import GeoLatencyModel, LatencyModel, UniformLatencyModel
 from .metrics import ExperimentMetrics, LatencySummary, availability
 from .network import AsyncAdversaryScheduler, MessageScheduler, NetworkConfig, SimNetwork
-from .node import CpuConfig, SimValidator
+from .node import RECOVER_MODES, CpuConfig, SimValidator
 from ..transaction import Transaction
 
 #: Protocols the harness knows how to deploy, as named in the paper's
@@ -94,6 +98,20 @@ class ExperimentConfig:
             second; higher loads are represented by batching.
         max_block_transactions: Real transactions a block may carry.
         gc_depth: Rounds of DAG history kept behind the commit frontier.
+        recover_mode: How restarted validators re-sync (one of
+            :data:`~repro.sim.node.RECOVER_MODES`): ``cold`` refetches
+            the DAG from genesis, ``warm`` replays the validator's WAL
+            first and fetches only the delta, ``checkpoint`` adopts a
+            quorum-attested state-transfer checkpoint and fetches only
+            the suffix above it — the only mode that recovers past the
+            peers' GC horizon (requires ``checkpoint_interval > 0``).
+        checkpoint_interval: Capture a state-transfer checkpoint every
+            this many finalized rounds (0 disables capture).
+        sync_chunk_blocks: Most blocks a validator serves in one
+            deep-fetch response (a real synchronizer's bounded request
+            batches).  Recovery workloads lower it so re-sync cost
+            scales with the history actually fetched; it must stay
+            above the cluster's block production per fetch round trip.
         seed: Master seed; every run with the same config is identical.
     """
 
@@ -119,6 +137,9 @@ class ExperimentConfig:
     max_sim_tx_rate: float = 2_000.0
     max_block_transactions: int = 100_000
     gc_depth: int = 64
+    recover_mode: str = "cold"
+    checkpoint_interval: int = 0
+    sync_chunk_blocks: int = 4096
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -139,6 +160,25 @@ class ExperimentConfig:
                 raise ConfigError(
                     f"tx_size_mix entries need positive size/weight, got {(size, share)}"
                 )
+        if self.recover_mode not in RECOVER_MODES:
+            raise ConfigError(
+                f"unknown recover_mode {self.recover_mode!r}; pick one of {RECOVER_MODES}"
+            )
+        if self.checkpoint_interval < 0:
+            raise ConfigError("checkpoint_interval must be >= 0")
+        if self.sync_chunk_blocks < 1:
+            raise ConfigError("sync_chunk_blocks must be >= 1")
+        if self.recover_mode == "checkpoint" and self.checkpoint_interval < 1:
+            raise ConfigError(
+                "recover_mode='checkpoint' needs checkpoint_interval >= 1: adoption "
+                "requires peers to have captured checkpoints to attest"
+            )
+        if self.checkpoint_interval and self.gc_depth and self.checkpoint_interval > self.gc_depth:
+            raise ConfigError(
+                f"checkpoint_interval ({self.checkpoint_interval}) must not exceed "
+                f"gc_depth ({self.gc_depth}): a checkpoint older than the GC horizon "
+                "cannot anchor a suffix fetch"
+            )
         schedule = FaultSchedule(self.fault_schedule)  # validates lifecycles
         faults_tolerated = (self.num_validators - 1) // 3
         static_faults = self.num_crashed + self.num_recovering + self.num_equivocators
@@ -234,6 +274,13 @@ class ExperimentResult:
     recovery_time_s: float | None = None
     #: Worst single recovery in this run.
     recovery_time_max_s: float | None = None
+    #: Average recovery seconds keyed by the recovery path actually
+    #: taken (``cold`` / ``warm`` / ``checkpoint``).
+    recovery_time_by_mode: dict = field(default_factory=dict)
+    #: State-transfer checkpoints the observer captured.
+    checkpoints_captured: int = 0
+    #: Quorum-attested checkpoint adoptions across all validators.
+    checkpoint_adoptions: int = 0
     #: Fraction of validator-seconds in service (1.0 = no downtime).
     availability: float = 1.0
 
@@ -274,6 +321,20 @@ class Experiment:
         )
         self._schedule = config.effective_schedule()
         self._initially_down = self._schedule.initially_down()
+        # Warm restarts need a write-ahead log per validator that will
+        # restart; everyone else skips the append cost entirely.
+        self._wal_dir: tempfile.TemporaryDirectory | None = None
+        self._wals: dict[int, WriteAheadLog] = {}
+        if config.recover_mode == "warm":
+            warm = sorted(e.validator for e in self._schedule if e.kind == "recover")
+            if warm:
+                self._wal_dir = tempfile.TemporaryDirectory(prefix="repro-sim-wal-")
+                self._wals = {
+                    authority: WriteAheadLog(
+                        Path(self._wal_dir.name) / f"validator-{authority}.wal"
+                    )
+                    for authority in warm
+                }
         self.nodes = [self._make_node(i) for i in range(config.num_validators)]
         self._clients = self._make_clients()
 
@@ -304,6 +365,7 @@ class Experiment:
                 leaders_per_round=cfg.leaders_per_round,
                 max_block_transactions=sim_block_cap,
                 garbage_collection_depth=cfg.gc_depth,
+                checkpoint_interval_rounds=cfg.checkpoint_interval,
             )
         if cfg.protocol == "cordial-miners":
             return ProtocolConfig(
@@ -311,6 +373,7 @@ class Experiment:
                 leaders_per_round=1,
                 max_block_transactions=sim_block_cap,
                 garbage_collection_depth=cfg.gc_depth,
+                checkpoint_interval_rounds=cfg.checkpoint_interval,
             )
         # Tusk: the committer owns its 2-round wave geometry; wave_length
         # here only has to satisfy the config invariant.
@@ -319,6 +382,7 @@ class Experiment:
             leaders_per_round=1,
             max_block_transactions=sim_block_cap,
             garbage_collection_depth=cfg.gc_depth,
+            checkpoint_interval_rounds=cfg.checkpoint_interval,
         )
 
     def _make_core(self, authority: int) -> MahiMahiCore:
@@ -336,11 +400,22 @@ class Experiment:
             )
         elif self.config.protocol == "cordial-miners":
             factory = lambda store: make_cordial_miners_committer(  # noqa: E731
-                store, self._committee, self._coin
+                store,
+                self._committee,
+                self._coin,
+                checkpoint_interval=self.config.checkpoint_interval,
+                garbage_collection_depth=self.config.gc_depth,
             )
         elif self.config.protocol == "tusk":
+            from ..statesync import DEFAULT_CHECKPOINT_LAG
+
             factory = lambda store: make_tusk_committer(  # noqa: E731
-                store, self._committee, self._coin
+                store,
+                self._committee,
+                self._coin,
+                checkpoint_interval=self.config.checkpoint_interval,
+                # The capture horizon follows the pruning horizon.
+                checkpoint_lag=self.config.gc_depth or DEFAULT_CHECKPOINT_LAG,
             )
         return MahiMahiCore(
             authority,
@@ -385,6 +460,9 @@ class Experiment:
             start_down=authority in self._initially_down,
             on_recovery=self._metrics.record_recovery,
             mixed_tx_sizes=bool(self.config.tx_size_mix),
+            recover_mode=self.config.recover_mode,
+            wal=self._wals.get(authority),
+            sync_chunk_blocks=self.config.sync_chunk_blocks,
         )
 
     def _make_clients(self) -> list[OpenLoopClient]:
@@ -445,16 +523,22 @@ class Experiment:
                 across all live validators before reporting (Theorem 1).
         """
         reset_tx_ids()
-        for event in self._schedule:
-            self._loop.schedule_at(event.time, self._apply_fault_event, event)
-        for node in self.nodes:
-            node.start()  # no-op for validators that are down at t=0
-        for client in self._clients:
-            client.start()
-        self._loop.run_until(self.config.duration, max_events=200_000_000)
-        if check_safety:
-            self.assert_safety()
-        return self._result()
+        try:
+            for event in self._schedule:
+                self._loop.schedule_at(event.time, self._apply_fault_event, event)
+            for node in self.nodes:
+                node.start()  # no-op for validators that are down at t=0
+            for client in self._clients:
+                client.start()
+            self._loop.run_until(self.config.duration, max_events=200_000_000)
+            if check_safety:
+                self.assert_safety()
+            return self._result()
+        finally:
+            for wal in self._wals.values():
+                wal.close()
+            if self._wal_dir is not None:
+                self._wal_dir.cleanup()
 
     def _apply_fault_event(self, event) -> None:
         node = self.nodes[event.validator]
@@ -472,23 +556,67 @@ class Experiment:
         *included*: an honest validator that went down mid-run holds a
         shorter prefix, and a recovered one re-synced the DAG and
         deterministically recommitted the same sequence from genesis.
-        Only equivocators are excluded (Byzantine, no honest sequence to
-        check)."""
-        sequences = []
+        A validator restored from a **checkpoint** committed only a
+        suffix; its alignment is verified through the adopted state
+        digest: replaying the reference sequence up to the checkpoint's
+        length must reproduce the adopted commit chain, and the
+        validator's own sequence must continue the reference from
+        exactly there.  Checkpoints themselves are cross-checked — every
+        honest validator must have captured identical checkpoints at
+        each boundary.  Only equivocators are excluded (Byzantine, no
+        honest sequence to check)."""
+        full: list[list[bytes]] = []
+        adopted: list[tuple[object, list[bytes]]] = []
+        checkpoints_by_round: dict[int, set[bytes]] = {}
         for node in self.nodes:
             if node.behavior.equivocate:
                 continue
-            sequences.append([b.digest for b in node.core.committed_blocks()])
-        reference = max(sequences, key=len)
-        for sequence in sequences:
+            sequence = [b.digest for b in node.core.committed_blocks()]
+            ledger = getattr(node.core.committer, "ledger", None)
+            base = ledger.adopted_base if ledger is not None else None
+            if base is None:
+                full.append(sequence)
+            else:
+                adopted.append((base, sequence))
+            if ledger is not None:
+                for checkpoint in ledger.checkpoints:
+                    checkpoints_by_round.setdefault(checkpoint.round, set()).add(
+                        checkpoint.checkpoint_id
+                    )
+        for round_number, ids in checkpoints_by_round.items():
+            if len(ids) > 1:
+                raise SimulationError(
+                    f"honest validators captured diverging checkpoints at round {round_number}"
+                )
+        reference = max(full, key=len)
+        for sequence in full:
             if sequence != reference[: len(sequence)]:
                 raise SimulationError("commit sequences diverged across validators")
+        for base, sequence in adopted:
+            start = base.sequence_length
+            if start > len(reference):
+                continue  # the recovered validator ran ahead of every full one
+            chain = GENESIS_STATE
+            for digest in reference[:start]:
+                chain = chain_digest(chain, digest)
+            if chain != base.chain:
+                raise SimulationError(
+                    "adopted checkpoint's state digest does not match the reference "
+                    f"commit sequence at length {start}"
+                )
+            overlap = reference[start : start + len(sequence)]
+            if sequence[: len(overlap)] != overlap:
+                raise SimulationError(
+                    "a checkpoint-recovered validator's commit sequence diverged from "
+                    "the reference suffix after its adopted frontier"
+                )
 
     def _result(self) -> ExperimentResult:
         observer = self.nodes[0]
         stats = observer.core.committer.stats
         measured = max(1e-9, self.config.duration - self.config.warmup)
         recoveries, recovery_avg, recovery_max = self._metrics.recovery_summary()
+        observer_ledger = getattr(observer.core.committer, "ledger", None)
         downtime = self.config.num_crashed * self.config.duration + sum(
             self._schedule.downtime(self.config.duration).values()
         )
@@ -509,6 +637,11 @@ class Experiment:
             recoveries=recoveries,
             recovery_time_s=recovery_avg,
             recovery_time_max_s=recovery_max,
+            recovery_time_by_mode=self._metrics.recovery_by_mode(),
+            checkpoints_captured=(
+                observer_ledger.captured_total if observer_ledger is not None else 0
+            ),
+            checkpoint_adoptions=sum(node.checkpoint_adoptions for node in self.nodes),
             availability=availability(
                 downtime, self.config.num_validators, self.config.duration
             ),

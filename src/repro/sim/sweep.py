@@ -44,7 +44,10 @@ from .runner import Experiment, ExperimentConfig, ExperimentResult
 #: result fields, simulator semantics) to invalidate old caches.
 #: v3: fault-schedule subsystem (crash-recovery/reconfiguration fields,
 #: recovery/availability result metrics, structured client RNG seeds).
-SCHEMA_VERSION = 3
+#: v4: checkpoint & state-transfer subsystem (recover_mode /
+#: checkpoint_interval config keys, per-mode recovery metrics,
+#: checkpoint capture/adoption counters).
+SCHEMA_VERSION = 4
 
 #: Default on-disk location of the results store, relative to CWD.
 DEFAULT_RESULTS_DIR = "results"

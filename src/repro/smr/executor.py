@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from ..core.committer import CommitObservation
 from ..crypto.hashing import Digest
+from ..statesync import digest_executor_state
 from .state_machine import StateMachine
 
 
@@ -48,6 +49,15 @@ class ReplicatedStateMachine:
     def state_root(self) -> Digest:
         """Current state root."""
         return self.machine.state_root()
+
+    def state_summary(self) -> Digest:
+        """The executor's contribution to a state-transfer checkpoint:
+        a content digest of ``(applied index, state root)``
+        (:func:`repro.statesync.digest_executor_state`).  Replicas with
+        equal applied prefixes produce equal summaries, so ``2f + 1``
+        matching summaries attest an executor state the same way
+        matching commit chains attest a commit sequence."""
+        return digest_executor_state(self.applied_index, self.machine.state_root())
 
     def checkpoint_at(self, applied_index: int) -> Digest | None:
         """The recorded root at a given applied index, if checkpointed."""

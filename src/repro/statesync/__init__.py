@@ -1,0 +1,38 @@
+"""State synchronization: checkpoints and state transfer.
+
+Validators periodically capture a **checkpoint** of their committed
+state — the committed frontier (round + block digests), a running
+digest of the commit sequence, and the committee view — at
+deterministic points of the commit-sequence walk, so every honest
+validator captures byte-identical checkpoints (Theorem 1 makes the
+commit sequence itself identical).  A recovering validator that cannot
+refetch the DAG back to genesis (the needed history is behind its
+peers' garbage-collection horizon) adopts a quorum-attested checkpoint
+instead and deep-fetches only the suffix above it.
+
+This package is transport-agnostic: the simulator
+(:mod:`repro.sim.checkpoint`, :class:`repro.sim.node.SimValidator`)
+exchanges checkpoints over ``ckpt_req``/``ckpt_resp`` messages, and the
+SMR executor contributes its state digest via
+:func:`digest_executor_state`.
+"""
+
+from .checkpoint import (
+    DEFAULT_CHECKPOINT_LAG,
+    GENESIS_STATE,
+    Checkpoint,
+    CommitLedger,
+    best_attested,
+    chain_digest,
+    digest_executor_state,
+)
+
+__all__ = [
+    "DEFAULT_CHECKPOINT_LAG",
+    "GENESIS_STATE",
+    "Checkpoint",
+    "CommitLedger",
+    "best_attested",
+    "chain_digest",
+    "digest_executor_state",
+]

@@ -17,10 +17,16 @@ from repro.sim.sweep import ResultsStore, run_sweep
 
 from benchmarks.bench_fig3_ideal import SWEEPS as FIG3_SWEEPS
 from benchmarks.bench_fig4_faults import SWEEP_FAULTS
-from benchmarks.bench_recovery import SWEEP_RECOVERY, SWEEP_RECONFIG
+from benchmarks.bench_recovery import (
+    SWEEP_RECONFIG,
+    SWEEP_RECOVERY,
+    SWEEP_RECOVERY_GC,
+    SWEEP_RECOVERY_MODES,
+)
 from benchmarks.curve_checks import (
     MIN_PAPER_RATIO,
     check_curve_shapes,
+    check_recovery_curves,
     group_by_shape,
     paper_table_for,
 )
@@ -87,18 +93,37 @@ class TestRecoverySweepAcceptance:
         results = smoke_results(SWEEP_RECOVERY, store)  # run_sweep asserts safety
         assert results
         for r in results:
-            # Every point completes at least one restart within the
-            # smoke window and reports its recovery time.  Certified
-            # re-sync (tusk) is legitimately slower — a restarted
-            # validator re-syncs certificates over WAN round trips — so
-            # its second recovery may still be in flight when a
-            # 2-second smoke run ends; uncertified protocols finish all.
-            assert 1 <= r.recoveries <= r.config.num_recovering
-            if r.config.protocol != "tusk":
-                assert r.recoveries == r.config.num_recovering
+            # Every point restarts with GC on, adopts a quorum-attested
+            # checkpoint, suffix-fetches, resumes proposing within the
+            # smoke window, and reports its recovery time.
+            assert r.config.gc_depth > 0
+            assert r.recoveries == r.config.num_recovering
+            assert r.checkpoint_adoptions == r.config.num_recovering
+            assert r.checkpoints_captured > 0
             assert r.recovery_time_s is not None and r.recovery_time_s > 0
+            assert set(r.recovery_time_by_mode) == {"checkpoint"}
             assert r.availability < 1.0
             assert r.blocks_committed > 0
+
+    def test_smoke_recovery_mode_curves_hold(self, store):
+        """The acceptance pair at smoke size: warm (WAL) strictly below
+        cold on the same schedule, GC-enabled warm restart completes,
+        and the recovery curve checker finds nothing to flag."""
+        results = smoke_results(SWEEP_RECOVERY_MODES, store)
+        results += smoke_results(SWEEP_RECOVERY_GC, store)
+        by_mode = {
+            r.config.recover_mode: r for r in results if r.config.gc_depth == 0
+        }
+        assert by_mode["warm"].recovery_time_s < by_mode["cold"].recovery_time_s
+        warm_gc = [
+            r
+            for r in results
+            if r.config.recover_mode == "warm" and r.config.gc_depth > 0
+        ]
+        assert warm_gc and all(
+            r.recoveries == 1 and r.recovery_time_s is not None for r in warm_gc
+        )
+        assert check_recovery_curves(results) == []
 
     def test_smoke_reconfig_points_complete_join(self, store):
         results = smoke_results(SWEEP_RECONFIG, store)
@@ -106,6 +131,7 @@ class TestRecoverySweepAcceptance:
         for r in results:
             assert any(e.kind == "join" for e in r.config.fault_schedule)
             assert r.recoveries >= 1
+            assert r.checkpoint_adoptions >= 1  # the joiner state-transferred in
             assert r.blocks_committed > 0
 
     def test_recovery_points_have_no_paper_reference(self):
@@ -148,3 +174,74 @@ class TestGrouping:
         assert len(groups) == 2
         sizes = sorted(len(g) for g in groups.values())
         assert sizes == [1, 2]
+
+
+class TestRecoveryCurveChecker:
+    """Unit-level checks of check_recovery_curves over fabricated
+    results (the smoke-level integration runs in
+    TestRecoverySweepAcceptance)."""
+
+    @staticmethod
+    def fake(mode, duration, recovery_time, interval=0):
+        from repro.sim.metrics import LatencySummary
+        from repro.sim.runner import ExperimentConfig, ExperimentResult
+
+        return ExperimentResult(
+            config=ExperimentConfig(
+                recover_mode=mode,
+                checkpoint_interval=interval,
+                duration=duration,
+                warmup=duration / 4,
+                num_recovering=1,
+            ),
+            latency=LatencySummary(1, 1.0, 1.0, 1.0, 1.0, 1.0),
+            throughput_tps=1.0,
+            rounds_reached=1,
+            blocks_committed=1,
+            direct_commits=1,
+            indirect_commits=0,
+            direct_skips=0,
+            indirect_skips=0,
+            messages_sent=1,
+            bytes_sent=1,
+            pending_transactions=0,
+            recoveries=1,
+            recovery_time_s=recovery_time,
+        )
+
+    def test_accepts_expected_shape(self):
+        results = [
+            self.fake("cold", 8.0, 0.10),
+            self.fake("cold", 32.0, 0.40),
+            self.fake("warm", 8.0, 0.02),
+            self.fake("warm", 32.0, 0.05),
+            self.fake("checkpoint", 8.0, 0.18, interval=2),
+            self.fake("checkpoint", 32.0, 0.20, interval=2),
+        ]
+        assert check_recovery_curves(results) == []
+
+    def test_flags_warm_not_beating_cold(self):
+        results = [self.fake("cold", 8.0, 0.05), self.fake("warm", 8.0, 0.05)]
+        violations = check_recovery_curves(results)
+        assert len(violations) == 1
+        assert "warm" in violations[0]
+
+    def test_flags_flat_cold_and_growing_checkpoint(self):
+        results = [
+            self.fake("cold", 8.0, 0.30),
+            self.fake("cold", 32.0, 0.30),  # cold should grow
+            self.fake("checkpoint", 8.0, 0.05, interval=2),
+            self.fake("checkpoint", 32.0, 0.50, interval=2),  # ckpt should stay flat
+        ]
+        violations = check_recovery_curves(results)
+        assert len(violations) == 3  # flat cold, non-flat ckpt, ckpt >= cold at max
+        assert any("grow with history" in v for v in violations)
+        assert any("~flat" in v for v in violations)
+        assert any("longest" in v for v in violations)
+
+    def test_skips_incomplete_recoveries(self):
+        results = [
+            self.fake("cold", 8.0, None),
+            self.fake("warm", 8.0, 0.02),
+        ]
+        assert check_recovery_curves(results) == []

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.block import make_genesis
+from repro.block import Block, make_genesis
 from repro.errors import WalCorruptionError
 from repro.runtime.wal import (
     RECORD_OWN_BLOCK,
@@ -10,6 +10,7 @@ from repro.runtime.wal import (
     WalRecord,
     WriteAheadLog,
 )
+from repro.transaction import Transaction
 
 
 class TestAppendAndRead:
@@ -107,3 +108,94 @@ class TestCrashTolerance:
             handle.write(b"\x05\x00")  # 2 bytes of a 9-byte header
         records = list(WriteAheadLog.read_records(path))
         assert [r.payload for r in records] == [b"complete"]
+
+    def test_mid_file_corruption_discards_the_rest(self, tmp_path):
+        """Non-strict reads stop at the first bad record even when valid
+        bytes follow: everything after an unreadable record is
+        unreachable (record boundaries cannot be re-synchronized)."""
+        path = tmp_path / "mid.wal"
+        with WriteAheadLog(path) as wal:
+            wal.append(RECORD_OWN_BLOCK, b"first")
+            wal.append(RECORD_PEER_BLOCK, b"second")
+            wal.append(RECORD_PEER_BLOCK, b"third")
+        data = bytearray(path.read_bytes())
+        # Flip a byte inside the *second* record's payload.
+        offset = data.index(b"second")
+        data[offset] ^= 0xFF
+        path.write_bytes(bytes(data))
+        records = list(WriteAheadLog.read_records(path))
+        assert [r.payload for r in records] == [b"first"]
+        with pytest.raises(WalCorruptionError, match="CRC mismatch"):
+            list(WriteAheadLog.read_records(path, strict=True))
+
+    def test_strict_reports_offset_of_damage(self, tmp_path):
+        path = tmp_path / "offsets.wal"
+        with WriteAheadLog(path) as wal:
+            wal.append(RECORD_OWN_BLOCK, b"x" * 10)
+        intact = path.read_bytes()
+        path.write_bytes(intact[:-3])
+        with pytest.raises(WalCorruptionError, match="truncated record at offset 0"):
+            list(WriteAheadLog.read_records(path, strict=True))
+
+    def test_strict_accepts_clean_log(self, tmp_path):
+        path = tmp_path / "clean.wal"
+        with WriteAheadLog(path) as wal:
+            wal.append(RECORD_OWN_BLOCK, b"a")
+            wal.append(RECORD_PEER_BLOCK, b"b")
+        records = list(WriteAheadLog.read_records(path, strict=True))
+        assert [r.payload for r in records] == [b"a", b"b"]
+
+
+class TestRecoverMixedSizes:
+    def mixed_block(self, author, round_number, parents):
+        """A block carrying the tx_size_mix shape: mostly-small payloads
+        with a heavy tail, like the mixed-workload sweeps produce."""
+        sizes = (128, 128, 512, 4096)
+        return Block(
+            author=author,
+            round=round_number,
+            parents=parents,
+            transactions=tuple(
+                Transaction.dummy(tx_id=round_number * 10 + i, size=size)
+                for i, size in enumerate(sizes)
+            ),
+        )
+
+    def test_recover_roundtrips_mixed_size_blocks(self, tmp_path):
+        genesis = make_genesis(4)
+        parents = tuple(b.reference for b in genesis)
+        own = self.mixed_block(0, 1, parents)
+        peers = [self.mixed_block(author, 1, parents) for author in (1, 2)]
+        path = tmp_path / "mixed.wal"
+        with WriteAheadLog(path) as wal:
+            wal.append_own_block(own)
+            for block in peers:
+                wal.append_peer_block(block)
+            wal.append_commit_mark(1)
+        recovered_own, recovered_peers, commit = WriteAheadLog.recover(path)
+        assert recovered_own == [own]
+        assert recovered_peers == peers
+        assert commit == 1
+        # Digests (and hence DAG identity) survive the round trip, and
+        # so do the heterogeneous payload sizes.
+        assert [b.digest for b in recovered_peers] == [b.digest for b in peers]
+        for original, replayed in zip([own, *peers], recovered_own + recovered_peers):
+            assert [t.size for t in replayed.transactions] == [
+                t.size for t in original.transactions
+            ]
+
+    def test_recover_tolerates_torn_mixed_tail(self, tmp_path):
+        genesis = make_genesis(4)
+        parents = tuple(b.reference for b in genesis)
+        intact = self.mixed_block(0, 1, parents)
+        doomed = self.mixed_block(1, 1, parents)
+        path = tmp_path / "torn-mixed.wal"
+        with WriteAheadLog(path) as wal:
+            wal.append_own_block(intact)
+            wal.append_peer_block(doomed)
+        data = path.read_bytes()
+        path.write_bytes(data[:-100])  # tear mid-way through the tail block
+        own, peers, commit = WriteAheadLog.recover(path)
+        assert own == [intact]
+        assert peers == []
+        assert commit == -1

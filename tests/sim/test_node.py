@@ -218,7 +218,7 @@ class TestRecovery:
                     network,
                     loop,
                     core_factory=lambda i=i: MahiMahiCore(i, committee, config, coin),
-                    on_recovery=lambda v, down, up: seen.append((v, down, up)),
+                    on_recovery=lambda v, down, up, mode: seen.append((v, down, up, mode)),
                 )
             )
         for node in nodes:
@@ -231,10 +231,11 @@ class TestRecovery:
 
         loop.schedule_at(2.0, restart)
         loop.run_until(4.0)
-        [(validator, recovered_at, resumed_at)] = seen
+        [(validator, recovered_at, resumed_at, mode)] = seen
         assert validator == 3
         assert recovered_at == pytest.approx(2.0)
         assert resumed_at > recovered_at
+        assert mode == "cold"
 
     def test_join_from_start_down(self):
         """A provisioned-but-offline validator (start_down) stays silent

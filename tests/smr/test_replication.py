@@ -123,3 +123,21 @@ def test_snapshot_transfer_bootstraps_fresh_replica():
     fresh = KeyValueStore()
     fresh.restore(full.machine.snapshot())
     assert fresh.state_root() == full.machine.state_root()
+
+
+def test_state_summary_attests_equal_prefixes():
+    """Replicas at the same applied index produce the same state
+    summary (the executor's contribution to a state-transfer
+    checkpoint), and the summary changes as soon as state diverges."""
+    cluster = SmrCluster(n=4, wave=5, leaders=2, seed=5)
+    cluster.run(25)
+    replicas = list(cluster.replicas.values())
+    reference = replicas[0]
+    for other in replicas[1:]:
+        if other.applied_index == reference.applied_index:
+            assert other.state_summary() == reference.state_summary()
+    # Advancing a replica's state changes its summary.
+    before = reference.state_summary()
+    reference.machine.apply(PutCommand(key=b"fork", value=b"x").encode())
+    reference.applied_index += 1
+    assert reference.state_summary() != before

@@ -1,0 +1,180 @@
+"""Unit tests for the state-sync checkpoint primitives."""
+
+import pytest
+
+from repro.block import BlockRef, make_genesis
+from repro.committee import Committee
+from repro.config import ProtocolConfig
+from repro.core.protocol import MahiMahiCore
+from repro.crypto.coin import FastCoin
+from repro.crypto.hashing import hash_bytes
+from repro.errors import ConfigError, ReproError
+from repro.statesync import (
+    GENESIS_STATE,
+    Checkpoint,
+    CommitLedger,
+    best_attested,
+    chain_digest,
+    digest_executor_state,
+)
+
+
+def make_checkpoint(round_number=8, floor=0, refs=(), chain=GENESIS_STATE, length=12):
+    return Checkpoint(
+        round=round_number,
+        floor=floor,
+        next_slot=(round_number + 1, 0),
+        chain=chain,
+        sequence_length=length,
+        committee_size=10,
+        linearized=tuple(refs),
+    )
+
+
+def ref(author, round_number, tag=b"r"):
+    return BlockRef(
+        author=author,
+        round=round_number,
+        digest=hash_bytes(tag + bytes([author, round_number])),
+    )
+
+
+class TestCheckpointCodec:
+    def test_encode_decode_roundtrip(self):
+        refs = (ref(0, 7), ref(3, 8))
+        checkpoint = make_checkpoint(refs=refs)
+        decoded, offset = Checkpoint.decode(checkpoint.encode())
+        assert decoded == checkpoint
+        assert offset == len(checkpoint.encode())
+        assert decoded.checkpoint_id == checkpoint.checkpoint_id
+
+    def test_content_address_changes_with_content(self):
+        a = make_checkpoint(round_number=8)
+        b = make_checkpoint(round_number=10)
+        c = make_checkpoint(round_number=8, chain=hash_bytes(b"other"))
+        assert a.checkpoint_id != b.checkpoint_id
+        assert a.checkpoint_id != c.checkpoint_id
+        assert a.checkpoint_id == make_checkpoint(round_number=8).checkpoint_id
+
+    def test_wire_size_is_encoded_length(self):
+        checkpoint = make_checkpoint(refs=(ref(0, 8),))
+        assert checkpoint.wire_size == len(checkpoint.encode())
+
+    def test_frontier_is_highest_round_refs(self):
+        refs = (ref(0, 6), ref(1, 8), ref(2, 8), ref(3, 7))
+        checkpoint = make_checkpoint(refs=refs)
+        assert set(checkpoint.frontier) == {refs[1], refs[2]}
+        assert make_checkpoint(refs=()).frontier == ()
+
+
+class TestChainDigest:
+    def test_chain_is_order_sensitive(self):
+        a, b = hash_bytes(b"a"), hash_bytes(b"b")
+        ab = chain_digest(chain_digest(GENESIS_STATE, a), b)
+        ba = chain_digest(chain_digest(GENESIS_STATE, b), a)
+        assert ab != ba
+
+    def test_executor_digest_binds_index_and_root(self):
+        root = hash_bytes(b"root")
+        assert digest_executor_state(1, root) != digest_executor_state(2, root)
+        assert digest_executor_state(1, root) != digest_executor_state(1, hash_bytes(b"x"))
+        assert digest_executor_state(3, root) == digest_executor_state(3, root)
+
+
+class TestBestAttested:
+    def test_requires_quorum(self):
+        checkpoint = make_checkpoint()
+        votes = {checkpoint.checkpoint_id: (checkpoint, {1, 2})}
+        assert best_attested(votes, quorum=3) is None
+        votes[checkpoint.checkpoint_id][1].add(3)
+        assert best_attested(votes, quorum=3) == checkpoint
+
+    def test_highest_attested_round_wins(self):
+        low, high = make_checkpoint(round_number=4), make_checkpoint(round_number=8)
+        votes = {
+            low.checkpoint_id: (low, {1, 2, 3, 4}),
+            high.checkpoint_id: (high, {2, 3, 4}),
+        }
+        assert best_attested(votes, quorum=3) == high
+        # A higher round attested below quorum does not win.
+        higher = make_checkpoint(round_number=12)
+        votes[higher.checkpoint_id] = (higher, {5})
+        assert best_attested(votes, quorum=3) == high
+
+
+def make_core(authority=0, n=4, interval=0, gc=0):
+    committee = Committee.of_size(n)
+    coin = FastCoin(seed=b"ckpt-test", n=n, threshold=committee.quorum_threshold)
+    config = ProtocolConfig(
+        wave_length=5,
+        leaders_per_round=2,
+        garbage_collection_depth=gc,
+        checkpoint_interval_rounds=interval,
+    )
+    return MahiMahiCore(authority, committee, config, coin)
+
+
+def drive_rounds(cores, rounds):
+    """Propose lockstep rounds across all cores, committing as we go."""
+    for _ in range(rounds):
+        blocks = [core.maybe_propose() for core in cores]
+        for core in cores:
+            for block in blocks:
+                if block is not None and block.author != core.authority:
+                    core.add_block(block)
+            core.try_commit()
+
+
+class TestLedgerCapture:
+    def test_disabled_ledger_still_chains(self):
+        cores = [make_core(i) for i in range(4)]
+        drive_rounds(cores, 12)
+        ledgers = [core.committer.ledger for core in cores]
+        assert all(ledger.captured_total == 0 for ledger in ledgers)
+        assert ledgers[0].sequence_length > 0
+        assert ledgers[0].chain != GENESIS_STATE
+        assert len({ledger.chain for ledger in ledgers}) == 1
+
+    def test_capture_is_identical_across_validators(self):
+        cores = [make_core(i, interval=2) for i in range(4)]
+        drive_rounds(cores, 14)
+        ledgers = [core.committer.ledger for core in cores]
+        assert ledgers[0].captured_total >= 2
+        ids = [[c.checkpoint_id for c in ledger.checkpoints] for ledger in ledgers]
+        assert all(seq == ids[0] for seq in ids)
+        rounds = [c.round for c in ledgers[0].checkpoints]
+        assert rounds == sorted(rounds)
+
+    def test_retention_bounds_served_list(self):
+        cores = [make_core(i, interval=1) for i in range(4)]
+        drive_rounds(cores, 20)
+        ledger = cores[0].committer.ledger
+        assert ledger.captured_total > ledger.retain
+        assert len(ledger.checkpoints) == ledger.retain
+
+    def test_config_rejects_interval_beyond_gc_depth(self):
+        with pytest.raises(ConfigError):
+            ProtocolConfig(garbage_collection_depth=4, checkpoint_interval_rounds=8)
+
+
+class TestAdoption:
+    def test_fresh_core_adopts_and_continues(self):
+        cores = [make_core(i, interval=2) for i in range(4)]
+        drive_rounds(cores, 14)
+        checkpoint = cores[0].committer.ledger.checkpoints[-1]
+
+        fresh = make_core(3, interval=2)
+        fresh.adopt_checkpoint(checkpoint)
+        assert fresh.store.sync_floor == checkpoint.floor
+        assert fresh.round >= checkpoint.round
+        assert fresh.committer.ledger.adopted_base == checkpoint
+        assert fresh.committer.ledger.chain == checkpoint.chain
+        # The adopted checkpoint is itself served to later recoverers.
+        assert checkpoint in fresh.committer.ledger.checkpoints
+
+    def test_non_fresh_core_refuses(self):
+        cores = [make_core(i, interval=2) for i in range(4)]
+        drive_rounds(cores, 14)
+        checkpoint = cores[0].committer.ledger.checkpoints[-1]
+        with pytest.raises(ReproError):
+            cores[1].adopt_checkpoint(checkpoint)
