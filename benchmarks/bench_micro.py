@@ -215,6 +215,129 @@ class TestEventLoop:
         benchmark.extra_info["sim_events_per_s"] = rate
 
 
+class _PerMessageNetwork:
+    """The pre-batching delivery path, kept as the *before* side of the
+    comparison: every message schedules its own event-loop entry (the
+    per-message ``schedule_at`` chain the ROADMAP named as the remaining
+    profiler peak).  Wire/latency arithmetic matches
+    :class:`repro.sim.network.SimNetwork`."""
+
+    def __init__(self, loop, latency, num_validators, seed=0):
+        import random
+
+        from repro.sim.network import NetworkConfig
+
+        self._loop = loop
+        self._config = NetworkConfig()
+        self._rng = random.Random(repr(("network", seed)))
+        self._sample_delay = latency.make_sampler(self._rng)
+        self._handlers = {}
+        self._egress_free = [0.0] * num_validators
+        self._last_delivery = {}
+        self._n = num_validators
+
+    def register(self, validator, handler):
+        self._handlers[validator] = handler
+
+    def send(self, src, dst, kind, payload, size):
+        from repro.sim.network import Message
+
+        message = Message(src=src, dst=dst, kind=kind, payload=payload, size=size)
+        wire_size = size + self._config.message_overhead
+        now = self._loop.now
+        start = max(self._egress_free[src], now)
+        egress_done = start + wire_size / self._config.bandwidth
+        self._egress_free[src] = egress_done
+        arrival = egress_done + self._sample_delay(src, dst)
+        link = (src, dst)
+        last = self._last_delivery.get(link, 0.0) + 1e-9
+        if last > arrival:
+            arrival = last
+        self._last_delivery[link] = arrival
+        self._loop.schedule_at(arrival, self._deliver, message)
+
+    def broadcast(self, src, kind, payload, size):
+        for dst in range(self._n):
+            if dst != src:
+                self.send(src, dst, kind, payload, size)
+
+    def _deliver(self, message):
+        handler = self._handlers.get(message.dst)
+        if handler is not None:
+            handler(message)
+
+
+class TestNetworkDelivery:
+    """Batched per-link delivery (one armed flush event per link) vs the
+    per-message scheduling chain it replaced."""
+
+    N = 10
+    BROADCASTS = 400
+
+    def _drive(self, network_cls):
+        from repro.sim.latency import UniformLatencyModel
+        from repro.sim.network import NetworkConfig, SimNetwork
+
+        loop = EventLoop()
+        latency = UniformLatencyModel(0.05)
+        if network_cls is SimNetwork:
+            network = SimNetwork(
+                loop, latency, self.N, config=NetworkConfig(), seed=1
+            )
+        else:
+            network = network_cls(loop, latency, self.N, seed=1)
+        received = [0]
+
+        def on_message(message):
+            received[0] += 1
+
+        for validator in range(self.N):
+            network.register(validator, on_message)
+        started = time.perf_counter()
+        # Burst shape: every validator broadcasts repeatedly, so each
+        # link accumulates several in-flight messages — the case the
+        # per-link batching collapses.
+        for round_number in range(self.BROADCASTS):
+            src = round_number % self.N
+            network.broadcast(src, "block", None, 4096)
+        loop.run_to_completion()
+        elapsed = time.perf_counter() - started
+        expected = self.BROADCASTS * (self.N - 1)
+        assert received[0] == expected
+        return loop.events_processed, expected / elapsed
+
+    def test_batched_delivery_vs_per_message(self, benchmark):
+        from repro.sim.network import SimNetwork
+
+        baseline_events, baseline_rate = self._drive(_PerMessageNetwork)
+        batched_events, batched_rate = self._drive(SimNetwork)
+        print_table(
+            f"Network delivery ({self.BROADCASTS} broadcasts, n={self.N})",
+            [
+                Row(
+                    label="per-message schedule_at (seed)",
+                    paper="-",
+                    measured=f"{baseline_events:,} loop events, "
+                    f"{baseline_rate:,.0f} msgs/s",
+                ),
+                Row(
+                    label="batched per (src, dst) link",
+                    paper="fewer loop events",
+                    measured=f"{batched_events:,} loop events "
+                    f"({baseline_events / batched_events:.1f}x fewer), "
+                    f"{batched_rate:,.0f} msgs/s",
+                ),
+            ],
+        )
+        benchmark.extra_info["per_message_events"] = baseline_events
+        benchmark.extra_info["batched_events"] = batched_events
+        benchmark.extra_info["event_reduction"] = baseline_events / batched_events
+        benchmark.pedantic(self._drive, args=(SimNetwork,), rounds=1, iterations=1)
+        # The point of the batching: strictly fewer event-loop entries
+        # for the same delivered messages.
+        assert batched_events < baseline_events
+
+
 class TestWireSizes:
     """The block wire-size memoization (ROADMAP profiler peak): a
     block's simulated size is asked for once per recipient per

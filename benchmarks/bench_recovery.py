@@ -8,7 +8,7 @@ rejoins proposing — via three recovery paths (cold refetch, warm WAL
 replay, checkpoint state transfer), plus reconfiguration (validators
 joining and leaving mid-run) and mixed transaction-size workloads.
 
-Five sweeps:
+Six sweeps:
 
 * ``recovery-crash-restart`` — ``num_recovering`` validators crash a
   quarter into the run and restart at the halfway mark; the figure
@@ -37,7 +37,15 @@ Five sweeps:
 * ``reconfig-join-leave`` — one validator joins mid-run (provisioned
   but silent until then, syncing in via checkpoint state transfer) and
   another leaves permanently; the figure tracks end-to-end latency
-  across the membership change.
+  across the membership change.  Quorum thresholds stay static (the
+  legacy behaviour this sweep pins down).
+* ``reconfig-epoch-resize`` — *true* committee reconfiguration: with
+  ``epoch_reconfig`` on, join/leave events submit committed membership
+  commands and ``n`` itself resizes 4 -> 7 -> 5 mid-run
+  (:class:`repro.committee.CommitteeSchedule`), quorum thresholds
+  following the active epoch; joiners state-transfer in, leavers exit
+  when their excluding epoch activates, and the per-epoch attribution
+  (``epoch_summary``) splits latency and availability by committee.
 * ``mixed-tx-sizes`` — clients draw transaction sizes from a skewed
   distribution (mostly small, a heavy tail of large) instead of the
   uniform 512 B of Section 5.1.
@@ -201,6 +209,51 @@ SWEEP_RECONFIG = SweepSpec(
     ),
 )
 
+#: The epoch-resize membership timeline, as ``(time fraction, validator,
+#: kind)``: the committee grows 4 -> 5 -> 6 -> 7 through three staggered
+#: state-transfer joins, then shrinks 7 -> 6 -> 5 through two committed
+#: leaves.  Joins land early so every epoch activates even at smoke
+#: durations; the leaves need the full-scale run to activate (enforced
+#: by ``curve_checks.check_epoch_curves`` above the smoke horizon).
+EPOCH_RESIZE_TIMELINE = (
+    (0.08, 4, "join"),
+    (0.16, 5, "join"),
+    (0.24, 6, "join"),
+    (0.50, 6, "leave"),
+    (0.62, 5, "leave"),
+)
+
+SWEEP_EPOCH_RESIZE = SweepSpec(
+    name="reconfig-epoch-resize",
+    figure=FigureSpec(
+        figure="epoch-resize",
+        title="Epoch reconfiguration: n resizes 4 -> 7 -> 5 mid-run",
+        y_axis="latency_avg_s",
+        x_label="Offered load (tx/s)",
+        y_label="Average commit latency (s)",
+    ),
+    configs=tuple(
+        ExperimentConfig(
+            protocol="mahi-mahi-5",
+            num_validators=7,
+            initial_committee_size=4,
+            epoch_reconfig=True,
+            load_tps=load,
+            duration=_DURATION,
+            warmup=_WARMUP,
+            gc_depth=64,
+            recover_mode="checkpoint",
+            checkpoint_interval=2,
+            fault_schedule=tuple(
+                FaultEvent(time=frac * _DURATION, validator=validator, kind=kind)
+                for frac, validator, kind in EPOCH_RESIZE_TIMELINE
+            ),
+            seed=7,
+        )
+        for load in LOADS
+    ),
+)
+
 #: Mostly-small transactions with a heavy tail: 70% 128 B, 25% 512 B,
 #: 5% 4 KiB (a payment-plus-contract-deployment style mix).
 TX_SIZE_MIX = ((128, 0.70), (512, 0.25), (4096, 0.05))
@@ -232,6 +285,7 @@ SWEEPS = (
     SWEEP_RECOVERY_MODES,
     SWEEP_RECOVERY_GC,
     SWEEP_RECONFIG,
+    SWEEP_EPOCH_RESIZE,
     SWEEP_MIXED_SIZES,
 )
 
@@ -377,6 +431,43 @@ def test_reconfiguration_preserves_liveness(benchmark):
             )
         )
     print_table("Reconfiguration: join + leave", rows)
+
+
+def test_epoch_resize_thresholds_follow_committee(benchmark):
+    """The tentpole workload: n resizes 4 -> 7 -> 5 through committed
+    join/leave commands; every epoch activates at the same round on
+    every honest validator (asserted by run()'s safety check), joiners
+    sync in via state transfer and propose once active, leavers exit at
+    their excluding epoch, and the per-epoch attribution carries the
+    committee sizes."""
+    results = benchmark.pedantic(
+        run_configs, args=(SWEEP_EPOCH_RESIZE.configs,), rounds=1, iterations=1
+    )
+    rows = []
+    for r in results:
+        assert r.config.epoch_reconfig
+        # All five commands committed and activated: 4->5->6->7->6->5.
+        assert r.epoch_transitions == 5
+        assert r.final_committee_size == 5
+        sizes = [row["size"] for row in r.epoch_summary]
+        assert sizes == [4, 5, 6, 7, 6, 5]
+        assert r.recoveries >= 3  # each joiner synced and proposed
+        assert r.checkpoint_adoptions >= 3
+        # Availability recovers once leavers stop counting against the
+        # (shrunken) committee: the final epoch's member set is fully up.
+        assert r.epoch_summary[-1]["availability"] == 1.0
+        rows.append(
+            Row(
+                label=f"epoch resize @ {r.config.load_tps / 1000:.0f}k tx/s",
+                paper="(new workload)",
+                measured=(
+                    f"{r.epoch_transitions} epochs, n {sizes[0]}->{max(sizes)}->"
+                    f"{sizes[-1]}, join sync {r.recovery_time_s:.3f}s, "
+                    f"latency {r.latency.avg:.2f}s"
+                ),
+            )
+        )
+    print_table("Epoch reconfiguration: committee resize", rows)
 
 
 def test_mixed_tx_sizes_account_bytes(benchmark):

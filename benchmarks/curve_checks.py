@@ -45,6 +45,12 @@ MIN_PAPER_RATIO = 2.0
 #: the duration axis ("~flat"), while cold-to-genesis grows.
 CHECKPOINT_FLAT_FACTOR = 3.0
 
+#: Epoch-reconfiguration points at or above this duration must show the
+#: *whole* membership timeline activated (growth and shrink); shorter
+#: (smoke-shrunk) runs only have time for the early joins to commit and
+#: activate, so they are held to growth alone.
+EPOCH_FULL_DURATION = 8.0
+
 
 def paper_table_for_config(cfg) -> dict[str, dict] | None:
     """The paper reference table matching a config's fault pattern and
@@ -167,6 +173,54 @@ def check_recovery_curves(results: Iterable[ExperimentResult]) -> list[str]:
                     f"checkpoint recovery should beat cold-to-genesis at the longest "
                     f"history ({top:.0f}s) but measured {checkpoint[top]:.3f}s vs "
                     f"{cold[top]:.3f}s"
+                )
+    return violations
+
+
+def check_epoch_curves(results: Iterable[ExperimentResult]) -> list[str]:
+    """Enforce the epoch-reconfiguration shape claims.
+
+    Every ``epoch_reconfig`` point must show ``n`` genuinely changing
+    mid-run: at least one epoch transition activated, and the committee
+    grown past its initial size (thresholds follow the active epoch —
+    the quorum arithmetic itself is regression-tested in
+    ``tests/sim/test_epoch_reconfig.py``; this gate checks the sweep
+    exercised it).  Full-scale points must additionally complete the
+    shrink half of the timeline and end with a fully-available final
+    committee (a departed validator must stop counting against
+    availability once its excluding epoch activates).
+    """
+    violations = []
+    for result in results:
+        cfg = result.config
+        if not getattr(cfg, "epoch_reconfig", False):
+            continue
+        initial = cfg.initial_committee_size or cfg.num_validators
+        label = f"(n={cfg.num_validators}, load={cfg.load_tps:.0f}, duration={cfg.duration:.0f}s)"
+        if result.epoch_transitions < 1:
+            violations.append(
+                f"epoch-reconfig point activated no epoch transition {label}"
+            )
+            continue
+        sizes = [row["size"] for row in result.epoch_summary]
+        if not sizes or max(sizes) <= initial:
+            violations.append(
+                f"epoch-reconfig point never grew the committee past its initial "
+                f"n={initial} {label}"
+            )
+            continue
+        if cfg.duration >= EPOCH_FULL_DURATION:
+            if result.final_committee_size >= max(sizes):
+                violations.append(
+                    f"full-scale epoch-reconfig point should shrink the committee "
+                    f"after its peak (max n={max(sizes)}) but ended at "
+                    f"n={result.final_committee_size} {label}"
+                )
+            if result.epoch_summary[-1]["availability"] < 1.0:
+                violations.append(
+                    f"final epoch's member set should be fully available once "
+                    f"leavers stop counting, got "
+                    f"{result.epoch_summary[-1]['availability']:.3f} {label}"
                 )
     return violations
 

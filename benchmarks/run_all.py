@@ -127,14 +127,30 @@ def main(argv: list[str] | None = None) -> int:
             parser.error(f"no sweep name contains {args.only!r}")
 
     total_points = sum(len(sweep.configs) for sweep in sweeps)
-    if args.list:
-        for sweep in sweeps:
-            print(f"{sweep.name:<40} {len(sweep.configs):>3} points  ({sweep.figure.title})")
-        print(f"{'total':<40} {total_points:>3} points")
-        return 0
-
     results_dir = args.results or os.environ.get("REPRO_RESULTS_DIR") or "results"
     store = ResultsStore(results_dir)
+    if args.list:
+        # Enumerate without running anything: per sweep, the paper
+        # figure id, the point count, and how many points the
+        # content-addressed cache already holds.
+        total_cached = 0
+        header = f"{'sweep':<28} {'figure':<14} {'points':>6} {'cached':>9}  title"
+        print(header)
+        print("-" * len(header))
+        for sweep in sweeps:
+            cached = sum(1 for config in sweep.configs if store.get(config) is not None)
+            total_cached += cached
+            print(
+                f"{sweep.name:<28} {sweep.figure.figure:<14} "
+                f"{len(sweep.configs):>6} {f'{cached}/{len(sweep.configs)}':>9}  "
+                f"{sweep.figure.title}"
+            )
+        print("-" * len(header))
+        print(
+            f"{'total':<28} {'':<14} {total_points:>6} "
+            f"{f'{total_cached}/{total_points}':>9}  (cache: {store.root}/points/)"
+        )
+        return 0
     workers = args.workers if args.workers is not None else default_workers()
     mode = "smoke" if args.smoke else "full"
     print(
@@ -274,13 +290,31 @@ def main(argv: list[str] | None = None) -> int:
         print("repro-bench: FAIL - no checkpoint adoption in any checkpoint-mode point")
         return 1
 
-    # Curve shapes: the robust protocol orderings the paper's claims
-    # rest on, plus the recovery-mode shape claims (warm < cold,
-    # checkpoint ~flat vs cold growing with history) — see
-    # benchmarks/curve_checks.py.  Enforced at any scale, smoke included.
-    from benchmarks.curve_checks import check_curve_shapes, check_recovery_curves
+    # The epoch-reconfiguration gate: a full run must declare at least
+    # one point where the committee itself resizes mid-run (n varying
+    # through committed join/leave commands); check_epoch_curves below
+    # verifies every declared point actually changed n.
+    if not any(r.config.epoch_reconfig for r in all_results) and not args.only:
+        print("repro-bench: FAIL - no epoch-reconfiguration point declared")
+        return 1
 
-    violations = check_curve_shapes(all_results) + check_recovery_curves(all_results)
+    # Curve shapes: the robust protocol orderings the paper's claims
+    # rest on, the recovery-mode shape claims (warm < cold, checkpoint
+    # ~flat vs cold growing with history), and the epoch-reconfiguration
+    # claims (n actually resizes; thresholds and availability follow the
+    # active epoch) — see benchmarks/curve_checks.py.  Enforced at any
+    # scale, smoke included.
+    from benchmarks.curve_checks import (
+        check_curve_shapes,
+        check_epoch_curves,
+        check_recovery_curves,
+    )
+
+    violations = (
+        check_curve_shapes(all_results)
+        + check_recovery_curves(all_results)
+        + check_epoch_curves(all_results)
+    )
     for violation in violations:
         print(f"repro-bench: curve-shape violation - {violation}")
     if violations:

@@ -19,7 +19,7 @@ both systems on the same components (Section 4).
 
 from __future__ import annotations
 
-from ..committee import Committee
+from ..committee import Committee, CommitteeSchedule
 from ..config import ProtocolConfig
 from ..core.committer import Committer, FIRST_LEADER_ROUND
 from ..crypto.coin import CommonCoin
@@ -28,18 +28,21 @@ from ..dag.store import DagStore
 
 def make_cordial_miners_committer(
     store: DagStore,
-    committee: Committee,
+    committee: "Committee | CommitteeSchedule",
     coin: CommonCoin,
     wave_length: int = 5,
     *,
     checkpoint_interval: int = 0,
     garbage_collection_depth: int = 0,
+    reconfig_activation_lag: int = 0,
 ) -> Committer:
     """Build a Cordial-Miners committer over ``store``.
 
     Args:
         store: The validator's DAG (shared with its protocol core).
-        committee: Validator set.
+        committee: Validator set (static committee or epoch-versioned
+            schedule — the shared :class:`~repro.core.Committer`
+            machinery resolves thresholds per round either way).
         coin: Common coin.
         wave_length: Rounds per wave; the paper describes the 5-round
             variant ("Cordial Miners can commit at most one leader block
@@ -48,12 +51,15 @@ def make_cordial_miners_committer(
             finalized rounds (0 disables capture).
         garbage_collection_depth: The deployment's GC depth, so the
             checkpoint horizon follows the pruning horizon.
+        reconfig_activation_lag: Epoch activation lag in rounds (0
+            disables reconfiguration-command scanning).
     """
     config = ProtocolConfig(
         wave_length=wave_length,
         leaders_per_round=1,
         garbage_collection_depth=garbage_collection_depth,
         checkpoint_interval_rounds=checkpoint_interval,
+        reconfig_activation_lag=reconfig_activation_lag,
     )
     return Committer(
         store,

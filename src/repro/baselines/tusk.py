@@ -23,7 +23,7 @@ Tusk (Sections 1 and 2.2).
 from __future__ import annotations
 
 from ..block import Block
-from ..committee import Committee
+from ..committee import Committee, CommitteeSchedule, reconfig_commands_in
 from ..core.committer import CommitObservation, CommitterStats, FIRST_LEADER_ROUND
 from ..core.decider import LeaderElector, UNKNOWN_AUTHORITY
 from ..core.slots import Decision, LeaderSlot, SlotStatus
@@ -46,26 +46,36 @@ class TuskCommitter:
     def __init__(
         self,
         store: DagStore,
-        committee: Committee,
+        committee: "Committee | CommitteeSchedule",
         coin: CommonCoin,
         *,
         first_leader_round: int = FIRST_LEADER_ROUND,
         checkpoint_interval: int = 0,
         checkpoint_lag: int = DEFAULT_CHECKPOINT_LAG,
+        reconfig_activation_lag: int = 0,
     ) -> None:
         self._store = store
-        self._committee = committee
+        self.schedule = CommitteeSchedule.ensure(committee)
         self._first_leader_round = first_leader_round
-        self.traversal = DagTraversal(store, committee.quorum_threshold)
-        self._elector = LeaderElector(store, committee, coin)
+        self.traversal = DagTraversal(
+            store,
+            self.schedule.quorum_threshold,
+            membership=self.schedule.committee_at,
+        )
+        self._elector = LeaderElector(store, self.schedule, coin)
         self._decided: dict[int, SlotStatus] = {}
         self._cursor_round = first_leader_round
         self._output: set[Digest] = set()
         self.stats = CommitterStats()
         self.committed_sequence_length = 0
         self.ledger = CommitLedger(
-            store, committee.size, interval=checkpoint_interval, lag=checkpoint_lag
+            store,
+            self.schedule.genesis_committee.size,
+            interval=checkpoint_interval,
+            lag=checkpoint_lag,
+            schedule=self.schedule,
         )
+        self._reconfig_lag = reconfig_activation_lag
 
     # ------------------------------------------------------------------
     # Wave geometry
@@ -84,24 +94,27 @@ class TuskCommitter:
     # Decision rules
     # ------------------------------------------------------------------
     def _direct_decide(self, leader_round: int) -> SlotStatus:
-        authority = self._elector.leader(self.coin_round(leader_round), 0)
+        authority = self._elector.leader(self.coin_round(leader_round), 0, leader_round)
         slot = LeaderSlot(round=leader_round, offset=0, authority=authority)
         if authority == UNKNOWN_AUTHORITY:
             return SlotStatus(slot=slot, decision=Decision.UNDECIDED)
         candidates = self._store.slot_blocks(leader_round, authority)
+        validity = self.schedule.validity_threshold(leader_round)
         for candidate in sorted(candidates, key=lambda b: b.digest):
-            if self._support(candidate) >= self._committee.validity_threshold:
+            if self._support(candidate) >= validity:
                 return SlotStatus(
                     slot=slot, decision=Decision.COMMIT, block=candidate, direct=True
                 )
         return SlotStatus(slot=slot, decision=Decision.UNDECIDED)
 
     def _support(self, leader: Block) -> int:
-        """Distinct round-``r+1`` authors whose block references ``leader``
-        directly (certified DAG: references are unequivocal votes)."""
+        """Distinct round-``r+1`` authors (members of the wave's epoch)
+        whose block references ``leader`` directly (certified DAG:
+        references are unequivocal votes)."""
+        committee = self.schedule.committee_at(leader.round)
         supporters: set[int] = set()
         for block in self._store.round_blocks(leader.round + 1):
-            if block.author in supporters:
+            if block.author in supporters or not committee.is_member(block.author):
                 continue
             if any(ref.digest == leader.digest for ref in block.parents):
                 supporters.add(block.author)
@@ -110,7 +123,7 @@ class TuskCommitter:
     def _indirect_decide(
         self, leader_round: int, higher: list[SlotStatus]
     ) -> SlotStatus:
-        authority = self._elector.leader(self.coin_round(leader_round), 0)
+        authority = self._elector.leader(self.coin_round(leader_round), 0, leader_round)
         slot = LeaderSlot(round=leader_round, offset=0, authority=authority)
         if authority == UNKNOWN_AUTHORITY:
             return SlotStatus(slot=slot, decision=Decision.UNDECIDED)
@@ -180,10 +193,36 @@ class TuskCommitter:
             self.stats.record(status, len(linearized), tx_count)
             observations.append(CommitObservation(status=status, linearized=linearized))
             self._decided.pop(self._cursor_round, None)
+            slot_round = self._cursor_round
             self._cursor_round += TUSK_WAVE
             self.ledger.extend(linearized)
+            epoch_scheduled = False
+            if self._reconfig_lag and linearized:
+                epoch_scheduled = self._apply_reconfig(linearized, slot_round)
             self.ledger.maybe_capture(self.last_finalized_round, (self._cursor_round, 0))
+            if epoch_scheduled:
+                # Remaining pre-computed statuses used the pre-epoch
+                # schedule; restart the walk (same contract as the
+                # Mahi-Mahi committer).
+                observations.extend(self.extend_commit_sequence())
+                break
         return observations
+
+    def _apply_reconfig(self, linearized: tuple[Block, ...], slot_round: int) -> bool:
+        """Activate committed join/leave commands at the deterministic
+        commit-walk point ``slot_round + reconfig_activation_lag`` (see
+        :meth:`repro.core.committer.Committer._apply_reconfig` — the
+        same resolution rules keep the baseline comparison
+        apples-to-apples)."""
+        scheduled = False
+        for command in reconfig_commands_in(linearized):
+            epoch = self.schedule.apply_command(command, slot_round + self._reconfig_lag)
+            scheduled = scheduled or epoch is not None
+        if scheduled:
+            self._decided.clear()
+            self.traversal.invalidate_certs()
+            self._elector.invalidate()
+        return scheduled
 
     def adopt_checkpoint(self, checkpoint: Checkpoint) -> None:
         """Restore commit state from a quorum-attested checkpoint (same
@@ -204,11 +243,12 @@ class TuskCommitter:
 
 def make_tusk_committer(
     store: DagStore,
-    committee: Committee,
+    committee: "Committee | CommitteeSchedule",
     coin: CommonCoin,
     *,
     checkpoint_interval: int = 0,
     checkpoint_lag: int = DEFAULT_CHECKPOINT_LAG,
+    reconfig_activation_lag: int = 0,
 ) -> TuskCommitter:
     """Build a Tusk committer over ``store`` (factory used by the sim)."""
     return TuskCommitter(
@@ -217,4 +257,5 @@ def make_tusk_committer(
         coin,
         checkpoint_interval=checkpoint_interval,
         checkpoint_lag=checkpoint_lag,
+        reconfig_activation_lag=reconfig_activation_lag,
     )

@@ -44,6 +44,14 @@ class ProtocolConfig:
             (0 disables capture).  Must not exceed the GC depth when
             both are set, or a freshly captured checkpoint could already
             sit behind a peer's pruning horizon.
+        reconfig_activation_lag: Rounds between a reconfiguration
+            command finalizing in the commit walk and its epoch
+            activating (0 disables reconfiguration entirely — the commit
+            walk then never scans transactions for commands).  Any lag
+            >= 1 is safe: activation always lands strictly above every
+            finalized slot, so no decided slot ever changes committee.
+            A few rounds of slack give in-flight proposals time to land
+            before thresholds move.
     """
 
     wave_length: int = 5
@@ -52,6 +60,7 @@ class ProtocolConfig:
     max_block_parents: int = 0
     garbage_collection_depth: int = 0
     checkpoint_interval_rounds: int = 0
+    reconfig_activation_lag: int = 0
 
     def __post_init__(self) -> None:
         if not MIN_WAVE_LENGTH <= self.wave_length <= MAX_WAVE_LENGTH:
@@ -71,6 +80,8 @@ class ProtocolConfig:
             raise ConfigError("garbage_collection_depth must be >= 0")
         if self.checkpoint_interval_rounds < 0:
             raise ConfigError("checkpoint_interval_rounds must be >= 0")
+        if self.reconfig_activation_lag < 0:
+            raise ConfigError("reconfig_activation_lag must be >= 0")
         if (
             self.checkpoint_interval_rounds
             and self.garbage_collection_depth

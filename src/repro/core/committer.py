@@ -19,7 +19,7 @@ from collections import deque
 from dataclasses import dataclass
 
 from ..block import Block
-from ..committee import Committee
+from ..committee import Committee, CommitteeSchedule, reconfig_commands_in
 from ..config import ProtocolConfig
 from ..crypto.coin import CommonCoin
 from ..crypto.hashing import Digest
@@ -75,7 +75,7 @@ class Committer:
     def __init__(
         self,
         store: DagStore,
-        committee: Committee,
+        committee: "Committee | CommitteeSchedule",
         coin: CommonCoin,
         config: ProtocolConfig,
         *,
@@ -87,7 +87,11 @@ class Committer:
 
         Args:
             store: The local DAG (shared with the protocol core).
-            committee: Validator set.
+            committee: Validator set — a static :class:`Committee` or an
+                epoch-versioned
+                :class:`~repro.committee.CommitteeSchedule` (shared with
+                the protocol core so quorum arithmetic everywhere
+                follows the epochs this commit walk activates).
             coin: Common coin used for leader election.
             config: Wave length and leaders-per-round.
             wave_stride: Distance between consecutive propose rounds.
@@ -98,17 +102,21 @@ class Committer:
             first_leader_round: The first propose round.
         """
         self._store = store
-        self._committee = committee
+        self.schedule = CommitteeSchedule.ensure(committee)
         self._config = config
         self._wave_stride = wave_stride
         self._first_leader_round = first_leader_round
-        self.traversal = DagTraversal(store, committee.quorum_threshold)
-        self._elector = LeaderElector(store, committee, coin)
+        self.traversal = DagTraversal(
+            store,
+            self.schedule.quorum_threshold,
+            membership=self.schedule.committee_at,
+        )
+        self._elector = LeaderElector(store, self.schedule, coin)
         self._deciders = [
             Decider(
                 store,
                 self.traversal,
-                committee,
+                self.schedule,
                 self._elector,
                 config.wave_length,
                 leader_offset,
@@ -132,10 +140,15 @@ class Committer:
         # coincide; without GC a fixed default lag applies.
         self.ledger = CommitLedger(
             store,
-            committee.size,
+            self.schedule.genesis_committee.size,
             interval=config.checkpoint_interval_rounds,
             lag=config.garbage_collection_depth or DEFAULT_CHECKPOINT_LAG,
+            schedule=self.schedule,
         )
+        # Reconfiguration: with a non-zero activation lag, the walk
+        # scans linearized transactions for committed join/leave
+        # commands and schedules the resulting epochs.
+        self._reconfig_lag = config.reconfig_activation_lag
 
     # ------------------------------------------------------------------
     # Slot geometry
@@ -221,6 +234,9 @@ class Committer:
             self.stats.record(status, len(linearized), tx_count)
             observations.append(CommitObservation(status=status, linearized=linearized))
             self.ledger.extend(linearized)
+            epoch_scheduled = False
+            if self._reconfig_lag and linearized:
+                epoch_scheduled = self._apply_reconfig(linearized, status.slot.round)
             self._advance_cursor()
             # Capture is checked after *every* single-slot advance, so a
             # validator that finalizes ten slots in one batch captures
@@ -228,7 +244,38 @@ class Committer:
             self.ledger.maybe_capture(
                 self.last_finalized_round, (self._cursor_round, self._cursor_offset)
             )
+            if epoch_scheduled:
+                # The remaining pre-computed statuses were classified
+                # under the pre-epoch schedule; restart the walk so
+                # everything past this slot is re-derived.
+                observations.extend(self.extend_commit_sequence())
+                break
         return observations
+
+    def _apply_reconfig(self, linearized: tuple[Block, ...], slot_round: int) -> bool:
+        """Activate committed reconfiguration commands.
+
+        Commands linearized by the slot at ``slot_round`` activate at
+        ``slot_round + reconfig_activation_lag`` — a deterministic
+        commit-walk point: every honest validator finalizes the same
+        slots with the same linearized blocks in the same order, so all
+        schedules agree on every epoch boundary.  The lag keeps the
+        activation strictly above every finalized slot, which is what
+        makes dropping the not-yet-final decision caches safe: none of
+        the dropped classifications was finalized, and they recompute
+        under the updated schedule before the cursor reaches them.
+
+        Returns whether at least one epoch was scheduled.
+        """
+        scheduled = False
+        for command in reconfig_commands_in(linearized):
+            epoch = self.schedule.apply_command(command, slot_round + self._reconfig_lag)
+            scheduled = scheduled or epoch is not None
+        if scheduled:
+            self._decided.clear()
+            self.traversal.invalidate_certs()
+            self._elector.invalidate()
+        return scheduled
 
     def adopt_checkpoint(self, checkpoint: Checkpoint) -> None:
         """Restore commit state from a quorum-attested checkpoint.

@@ -23,7 +23,7 @@ from __future__ import annotations
 from typing import Iterable
 
 from ..block import Block
-from ..committee import Committee
+from ..committee import Committee, CommitteeSchedule
 from ..crypto.coin import CoinShare, CommonCoin
 from ..dag.store import DagStore
 from ..dag.traversal import DagTraversal
@@ -39,22 +39,35 @@ class LeaderElector:
     """Reconstructs and caches the common coin per certify round.
 
     All leader offsets of a round share one coin value (Algorithm 2
-    line 14-15), so reconstruction happens once per round.
+    line 14-15), so reconstruction happens once per round.  Share
+    counting, the reconstruction threshold, and the value-to-validator
+    mapping all resolve against the committee of the wave's *epoch*
+    (the propose round's — ``epoch_round``), so leader election follows
+    reconfiguration.
     """
 
-    def __init__(self, store: DagStore, committee: Committee, coin: CommonCoin) -> None:
+    def __init__(
+        self,
+        store: DagStore,
+        committee: "Committee | CommitteeSchedule",
+        coin: CommonCoin,
+    ) -> None:
         self._store = store
-        self._committee = committee
+        self._schedule = CommitteeSchedule.ensure(committee)
         self._coin = coin
-        # certify round -> (authors seen at last attempt, value or None).
-        # A failed reconstruction is retried only once new authors'
-        # blocks (hence new shares) arrive for that round.
+        # certify round -> (member authors seen at last attempt, value or
+        # None).  A failed reconstruction is retried only once new
+        # authors' blocks (hence new shares) arrive for that round.
         self._cache: dict[int, tuple[int, int | None]] = {}
 
-    def coin_value(self, certify_round: int) -> int | None:
+    def coin_value(self, certify_round: int, epoch_round: int | None = None) -> int | None:
         """The coin opened by ``certify_round``'s blocks, or ``None`` if
-        fewer than ``2f + 1`` valid shares are available yet."""
-        authors_now = self._store.num_authors_at_round(certify_round)
+        fewer than ``2f + 1`` valid shares (from members of the epoch
+        governing ``epoch_round``) are available yet."""
+        committee = self._schedule.committee_at(
+            certify_round if epoch_round is None else epoch_round
+        )
+        authors_now = committee.count_members(self._store.authors_at_round(certify_round))
         cached = self._cache.get(certify_round)
         if cached is not None:
             authors_then, value = cached
@@ -66,24 +79,47 @@ class LeaderElector:
             share = block.coin_share
             if share is None or block.author in seen_authors:
                 continue
+            if not committee.is_member(block.author):
+                continue
             seen_authors.add(block.author)
             shares.append(share)
         value = None
-        if len(shares) >= self._coin.threshold:
+        if len(shares) >= committee.quorum_threshold:
             try:
-                value = self._coin.reconstruct(certify_round, shares)
+                value = self._coin.reconstruct(
+                    certify_round, shares, threshold=committee.quorum_threshold
+                )
             except (InsufficientShares, InvalidShare):
                 value = None
         self._cache[certify_round] = (authors_now, value)
         return value
 
-    def leader(self, certify_round: int, offset: int) -> int:
+    def invalidate(self) -> None:
+        """Drop every cached reconstruction attempt.  Called when an
+        epoch is scheduled: a cached ``None`` ("coin not open") was
+        judged against the pre-epoch quorum and member set, and the
+        author-count retry trigger alone cannot tell that the *quorum*
+        moved under an unchanged count.  Coin values themselves are
+        committee-independent, so re-deriving is cheap and safe."""
+        self._cache.clear()
+
+    def leader(
+        self, certify_round: int, offset: int, epoch_round: int | None = None
+    ) -> int:
         """The validator elected for ``(propose round, offset)``, or
-        :data:`UNKNOWN_AUTHORITY` when the coin is not yet open."""
-        value = self.coin_value(certify_round)
+        :data:`UNKNOWN_AUTHORITY` when the coin is not yet open.
+
+        ``epoch_round`` names the round whose epoch governs the wave
+        (the propose round); it defaults to ``certify_round`` for
+        static-committee callers.
+        """
+        value = self.coin_value(certify_round, epoch_round)
         if value is None:
             return UNKNOWN_AUTHORITY
-        return (value + offset) % self._committee.size
+        committee = self._schedule.committee_at(
+            certify_round if epoch_round is None else epoch_round
+        )
+        return committee.leader_for(value, offset)
 
 
 class Decider:
@@ -93,7 +129,7 @@ class Decider:
         self,
         store: DagStore,
         traversal: DagTraversal,
-        committee: Committee,
+        committee: "Committee | CommitteeSchedule",
         elector: LeaderElector,
         wave_length: int,
         leader_offset: int,
@@ -105,7 +141,13 @@ class Decider:
         Args:
             store: The local DAG.
             traversal: Shared memoizing traversal helper.
-            committee: The validator set.
+            committee: The validator set — a static :class:`Committee`
+                or an epoch-versioned
+                :class:`~repro.committee.CommitteeSchedule`.  Every
+                threshold this decider applies resolves against the
+                committee of the wave's *propose* round (a wave
+                straddling an epoch boundary is governed by the epoch it
+                was proposed in).
             elector: Shared coin/election cache.
             wave_length: Rounds per wave (4 or 5 in the paper).
             leader_offset: Which of the round's leader slots this decider
@@ -115,7 +157,7 @@ class Decider:
         """
         self._store = store
         self._traversal = traversal
-        self._committee = committee
+        self._schedule = CommitteeSchedule.ensure(committee)
         self._elector = elector
         self._wave_length = wave_length
         self._leader_offset = leader_offset
@@ -136,8 +178,11 @@ class Decider:
     # Election and candidates
     # ------------------------------------------------------------------
     def elect(self, propose_round: int) -> int:
-        """Elected validator for this slot (after-the-fact, via the coin)."""
-        return self._elector.leader(self.certify_round(propose_round), self._leader_offset)
+        """Elected validator for this slot (after-the-fact, via the coin,
+        drawn from the committee of the propose round's epoch)."""
+        return self._elector.leader(
+            self.certify_round(propose_round), self._leader_offset, propose_round
+        )
 
     def candidate_blocks(self, propose_round: int, authority: int) -> list[Block]:
         """The slot's proposal block(s) in deterministic (digest) order;
@@ -151,11 +196,13 @@ class Decider:
     # ------------------------------------------------------------------
     def supported_leader(self, propose_round: int, leader: Block) -> bool:
         """``SupportedLeader``: ``2f + 1`` distinct certify-round authors
-        produced certificates for ``leader``."""
+        (members of the wave's epoch) produced certificates for
+        ``leader``."""
         certifying: set[int] = set()
-        quorum = self._committee.quorum_threshold
+        committee = self._schedule.committee_at(propose_round)
+        quorum = committee.quorum_threshold
         for block in self._store.round_blocks(self.certify_round(propose_round)):
-            if block.author in certifying:
+            if block.author in certifying or not committee.is_member(block.author):
                 continue
             if self._traversal.is_cert(block, leader):
                 certifying.add(block.author)
@@ -167,16 +214,22 @@ class Decider:
         """``SkippedLeader``: ``2f + 1`` distinct vote-round authors none
         of whose blocks vote for ``leader``, so it can never be certified
         (quorum intersection, Lemma 3)."""
-        return self._non_voting_authors(propose_round, leader) >= self._committee.quorum_threshold
+        return (
+            self._non_voting_authors(propose_round, leader)
+            >= self._schedule.quorum_threshold(propose_round)
+        )
 
     def _non_voting_authors(self, propose_round: int, leader: Block) -> int:
-        """Distinct vote-round authors whose every known block fails
-        ``IsVote`` for ``leader``.  Counting per author (not per block)
-        keeps the quorum-intersection argument sound under vote-round
-        equivocation."""
+        """Distinct vote-round authors (members of the wave's epoch)
+        whose every known block fails ``IsVote`` for ``leader``.
+        Counting per author (not per block) keeps the quorum-intersection
+        argument sound under vote-round equivocation."""
         vote_round = self.vote_round(propose_round)
+        committee = self._schedule.committee_at(propose_round)
         non_voting = 0
         for author in self._store.authors_at_round(vote_round):
+            if not committee.is_member(author):
+                continue
             blocks = self._store.slot_blocks(vote_round, author)
             if all(not self._traversal.is_vote(block, leader) for block in blocks):
                 non_voting += 1
@@ -195,8 +248,9 @@ class Decider:
         vote for it.
         """
         vote_round = self.vote_round(propose_round)
-        quorum = self._committee.quorum_threshold
-        if self._store.num_authors_at_round(vote_round) < quorum:
+        committee = self._schedule.committee_at(propose_round)
+        authors = committee.count_members(self._store.authors_at_round(vote_round))
+        if authors < committee.quorum_threshold:
             return False
         return all(self.skipped_leader(propose_round, block) for block in candidates)
 

@@ -20,7 +20,7 @@ from collections import deque
 from dataclasses import dataclass
 
 from ..block import Block, BlockRef, make_genesis
-from ..committee import Committee
+from ..committee import Committee, CommitteeSchedule
 from ..config import ProtocolConfig
 from ..crypto.coin import CommonCoin
 from ..crypto.hashing import Digest
@@ -56,7 +56,7 @@ class MahiMahiCore:
     def __init__(
         self,
         authority: int,
-        committee: Committee,
+        committee: "Committee | CommitteeSchedule",
         config: ProtocolConfig,
         coin: CommonCoin,
         *,
@@ -68,7 +68,12 @@ class MahiMahiCore:
 
         Args:
             authority: This validator's committee index.
-            committee: The validator set.
+            committee: The validator set — a static :class:`Committee`
+                or an epoch-versioned
+                :class:`~repro.committee.CommitteeSchedule`.  The core
+                and its committer share one schedule, so epochs the
+                commit walk activates govern quorum counting and
+                proposing here too.
             config: Protocol parameters.
             coin: This validator's common-coin instance (must hold the
                 secret share for ``authority`` if shares are real).
@@ -79,10 +84,13 @@ class MahiMahiCore:
                 each proposed block's signable bytes.
             committer_factory: ``DagStore -> committer`` override; the
                 baselines (Tusk, Cordial Miners) install their own
-                commit rules over the same DAG this way.
+                commit rules over the same DAG this way.  A committer
+                exposing a ``schedule`` attribute shares it with the
+                core (pass the core's schedule into the factory to make
+                that a single object).
         """
         self.authority = authority
-        self.committee = committee
+        schedule = CommitteeSchedule.ensure(committee)
         self.config = config
         self.coin = coin
         self.store = DagStore()
@@ -90,10 +98,19 @@ class MahiMahiCore:
         self._sign = sign
         if committer_factory is not None:
             self.committer = committer_factory(self.store)
+            # Adopt the committer's schedule when it exposes one: the
+            # commit walk is what activates epochs, and thresholds here
+            # must follow them.
+            self.schedule = getattr(self.committer, "schedule", None) or schedule
         else:
-            self.committer = Committer(self.store, committee, coin, config)
+            self.schedule = schedule
+            self.committer = Committer(self.store, schedule, coin, config)
+        self.committee = self.schedule.genesis_committee
 
-        genesis = make_genesis(committee.size)
+        # Genesis blocks exist for every *provisioned* validator — also
+        # the ones outside the genesis committee that may join later —
+        # so a joiner's round-1 bootstrap looks like everyone else's.
+        genesis = make_genesis(self.schedule.provisioned)
         self.store.add_genesis(genesis)
         self._own_last_ref: BlockRef = genesis[authority].reference
 
@@ -153,7 +170,14 @@ class MahiMahiCore:
         validator can never re-propose in a round its pre-crash
         incarnation used below the adopted frontier.  The host then
         deep-fetches only the suffix at or above the floor.
+
+        A checkpoint carrying an epoch snapshot also seeds this core's
+        committee schedule: the reconfiguration commands behind those
+        epochs may sit below the floor, where this validator never
+        looks, so the attested snapshot is the only way to learn them.
         """
+        if checkpoint.epochs and self.schedule.is_static:
+            self.schedule.adopt_epochs(checkpoint.epochs)
         self.store.adopt_floor(checkpoint.floor)
         self.committer.adopt_checkpoint(checkpoint)
         self.round = max(self.round, checkpoint.round)
@@ -248,11 +272,23 @@ class MahiMahiCore:
     # ------------------------------------------------------------------
     def quorum_round(self) -> int:
         """Highest round ``r`` such that round ``r`` has blocks from at
-        least ``2f + 1`` distinct authors (the next proposal goes to
-        ``r + 1``)."""
-        r = self.store.highest_round
-        quorum = self.committee.quorum_threshold
-        while r > 0 and self.store.num_authors_at_round(r) < quorum:
+        least ``2f + 1`` distinct authors *of ``r``'s epoch committee*
+        (the next proposal goes to ``r + 1``)."""
+        store = self.store
+        schedule = self.schedule
+        r = store.highest_round
+        if schedule.is_static and schedule.genesis_committee.size >= schedule.provisioned:
+            # Static contiguous committee covering every provisioned
+            # identity: raw author counts are already member counts.
+            quorum = schedule.genesis_committee.quorum_threshold
+            while r > 0 and store.num_authors_at_round(r) < quorum:
+                r -= 1
+            return r
+        while r > 0:
+            committee = schedule.committee_at(r)
+            members = committee.count_members(store.authors_at_round(r))
+            if members >= committee.quorum_threshold:
+                break
             r -= 1
         return r
 
@@ -271,6 +307,12 @@ class MahiMahiCore:
         """
         next_round = self.quorum_round() + 1
         if next_round <= self.round:
+            return None
+        if not self.schedule.committee_at(next_round).is_member(self.authority):
+            # Outside the active committee of the target round: a joiner
+            # waits for its epoch to activate, a left validator never
+            # proposes again.  (Thresholds stopped counting us at the
+            # same boundary, so liveness does not depend on this block.)
             return None
         parents = self._select_parents(next_round)
         transactions = self._drain_mempool()

@@ -72,8 +72,22 @@ class CommonCoin(ABC):
         """Whether ``share`` is a valid contribution (paper footnote 5)."""
 
     @abstractmethod
-    def reconstruct(self, round_number: int, shares: list[CoinShare]) -> int:
+    def reconstruct(
+        self, round_number: int, shares: list[CoinShare], *, threshold: int | None = None
+    ) -> int:
         """Combine at least :attr:`threshold` shares into the coin value.
+
+        Args:
+            round_number: The round whose coin opens.
+            shares: Candidate shares (duplicates and other rounds'
+                shares are ignored).
+            threshold: Optional override of the share count required —
+                the quorum of the round's *epoch* under committee
+                reconfiguration.  :class:`FastCoin` honours it;
+                :class:`ThresholdCoin` cannot (its reconstruction
+                threshold is fixed by the dealing) and keeps its
+                cryptographic threshold — real deployments reshare the
+                secret on reconfiguration instead.
 
         Returns:
             A deterministic unbounded non-negative integer; callers
@@ -144,7 +158,11 @@ class ThresholdCoin(CommonCoin):
         commitment = self._setup.share_commitment(share.author)
         return pow(G, value, P) == pow(commitment, _round_scalar(share.round), P)
 
-    def reconstruct(self, round_number: int, shares: list[CoinShare]) -> int:
+    def reconstruct(
+        self, round_number: int, shares: list[CoinShare], *, threshold: int | None = None
+    ) -> int:
+        # ``threshold`` is intentionally unused: interpolation needs
+        # exactly the dealt threshold of points (see the ABC docstring).
         points: list[tuple[int, int]] = []
         seen: set[int] = set()
         for share in shares:
@@ -192,11 +210,14 @@ class FastCoin(CommonCoin):
     def verify_share(self, share: CoinShare) -> bool:
         return share == self.share(share.author, share.round)
 
-    def reconstruct(self, round_number: int, shares: list[CoinShare]) -> int:
+    def reconstruct(
+        self, round_number: int, shares: list[CoinShare], *, threshold: int | None = None
+    ) -> int:
+        required = self.threshold if threshold is None else threshold
         distinct = {s.author for s in shares if s.round == round_number and self.verify_share(s)}
-        if len(distinct) < self.threshold:
+        if len(distinct) < required:
             raise InsufficientShares(
-                f"round {round_number}: need {self.threshold} coin shares, got {len(distinct)}"
+                f"round {round_number}: need {required} coin shares, got {len(distinct)}"
             )
         seed = hash_parts(
             [self._seed, round_number.to_bytes(8, "little")], person=b"fastcoin-out"

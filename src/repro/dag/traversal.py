@@ -19,7 +19,7 @@ per DFS path.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Callable, Iterable
 
 from ..block import Block
 from ..crypto.hashing import Digest
@@ -29,15 +29,35 @@ from .store import DagStore
 class DagTraversal:
     """Memoizing traversal utilities over a :class:`DagStore`."""
 
-    def __init__(self, store: DagStore, quorum_threshold: int) -> None:
+    def __init__(
+        self,
+        store: DagStore,
+        quorum_threshold: "int | Callable[[int], int]",
+        *,
+        membership: "Callable[[int], object] | None" = None,
+    ) -> None:
         """Create a traversal helper.
 
         Args:
             store: The DAG to traverse.
-            quorum_threshold: ``2f + 1`` for the deployment's committee.
+            quorum_threshold: ``2f + 1`` for the deployment's committee —
+                either a fixed int (static committees) or a
+                ``round -> threshold`` resolver (epoch-versioned
+                committees: certificates for a leader at round ``r`` are
+                judged against the quorum of ``r``'s epoch; pass e.g.
+                ``CommitteeSchedule.quorum_threshold``).
+            membership: Optional ``round -> Committee`` resolver; when
+                set, only votes authored by members of the leader
+                round's committee count toward a certificate (a joined-
+                but-not-yet-active or already-left validator cannot
+                contribute to quorums).
         """
         self._store = store
-        self._quorum = quorum_threshold
+        if callable(quorum_threshold):
+            self._quorum_at = quorum_threshold
+        else:
+            self._quorum_at = lambda round_number: quorum_threshold
+        self._membership = membership
         # (leader author, leader round) -> {start digest -> voted block or None}
         self._vote_cache: dict[tuple[int, int], dict[Digest, Block | None]] = {}
         # (certifier digest, leader digest) -> bool.  Valid forever: a
@@ -104,13 +124,17 @@ class DagTraversal:
             return cached
         voting_authors: set[int] = set()
         result = False
+        quorum = self._quorum_at(leader.round)
+        committee = self._membership(leader.round) if self._membership else None
         for parent_ref in certifier.parents:
             if parent_ref.round <= leader.round:
                 continue
             parent = self._store.get_ref(parent_ref)
+            if committee is not None and not committee.is_member(parent.author):
+                continue
             if self.is_vote(parent, leader):
                 voting_authors.add(parent.author)
-                if len(voting_authors) >= self._quorum:
+                if len(voting_authors) >= quorum:
                     result = True
                     break
         self._cert_cache[key] = result
@@ -207,6 +231,13 @@ class DagTraversal:
     # ------------------------------------------------------------------
     # Cache management
     # ------------------------------------------------------------------
+    def invalidate_certs(self) -> None:
+        """Drop every memoized certificate verdict.  Called when an
+        epoch is scheduled: quorum thresholds for rounds at or above the
+        activation may have moved, and the cache is keyed by digests
+        only.  It repopulates within one decision sweep."""
+        self._cert_cache.clear()
+
     def forget_below(self, round_number: int) -> None:
         """Drop memo entries for target slots below ``round_number``
         (called alongside DAG garbage collection)."""

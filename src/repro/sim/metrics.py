@@ -52,6 +52,14 @@ class ExperimentMetrics:
         #: quorum.  ``mode`` is the recovery path actually taken
         #: (``cold``, ``warm`` or ``checkpoint``).
         self.recovery_times: list[tuple[str, float]] = []
+        #: Epoch marks ``(epoch_id, start_round, members, observed_at)``
+        #: in the order the observer's commit walk scheduled them.
+        #: Commits are attributed to the most recent mark, giving the
+        #: per-epoch latency split of reconfiguration sweeps.
+        self.epoch_marks: list[tuple[int, int, tuple[int, ...], float]] = []
+        # Per-epoch latency accumulation: epoch_id -> [weight, weighted
+        # latency sum, commit count].
+        self._epoch_latency: dict[int, list[float]] = {}
 
     # ------------------------------------------------------------------
     # Recording
@@ -71,7 +79,15 @@ class ExperimentMetrics:
             return
         self.committed_unique += 1
         self.committed_weight += weight
-        self._latencies.append((time - submitted_at, weight))
+        latency = time - submitted_at
+        self._latencies.append((latency, weight))
+        if self.epoch_marks:
+            bucket = self._epoch_latency.setdefault(
+                self.epoch_marks[-1][0], [0.0, 0.0, 0.0]
+            )
+            bucket[0] += weight
+            bucket[1] += latency * weight
+            bucket[2] += 1
         if self._first_commit_time is None:
             self._first_commit_time = time
         self._last_commit_time = time
@@ -83,6 +99,19 @@ class ExperimentMetrics:
         proposed its first post-restart block at ``resumed_at``, having
         recovered via ``mode``."""
         self.recovery_times.append((mode, resumed_at - recovered_at))
+
+    def record_epoch(
+        self,
+        epoch_id: int,
+        start_round: int,
+        members: tuple[int, ...],
+        observed_at: float,
+    ) -> None:
+        """The observer's commit walk scheduled (or started in) an
+        epoch.  Commits from here on are attributed to it — attribution
+        is by observation time, the deterministic round boundary being a
+        protocol-level property the sim's latency metric cannot see."""
+        self.epoch_marks.append((epoch_id, start_round, tuple(members), observed_at))
 
     # ------------------------------------------------------------------
     # Reporting
@@ -134,6 +163,59 @@ class ExperimentMetrics:
         if not times:
             return 0, None, None
         return len(times), sum(times) / len(times), max(times)
+
+    def epoch_attribution(
+        self,
+        duration: float,
+        down_intervals: dict[int, list[tuple[float, float]]] | None = None,
+    ) -> list[dict]:
+        """Per-epoch attribution rows for reconfiguration sweeps.
+
+        One dict per epoch mark: committee size and start round, when
+        the observer scheduled it, the commits/latency attributed to it,
+        and the availability of its *member set* over its observation
+        span (``down_intervals`` comes from the fault schedule; a
+        not-yet-joined or already-left validator simply is not a member,
+        so its downtime stops counting against the epoch — the point of
+        epoch-aware accounting).
+        """
+        rows: list[dict] = []
+        down_intervals = down_intervals or {}
+        for position, (epoch_id, start_round, members, observed_at) in enumerate(
+            self.epoch_marks
+        ):
+            span_end = (
+                self.epoch_marks[position + 1][3]
+                if position + 1 < len(self.epoch_marks)
+                else duration
+            )
+            span = max(0.0, span_end - observed_at)
+            availability = 1.0
+            if span > 0 and members:
+                downtime = 0.0
+                for member in members:
+                    for start, end in down_intervals.get(member, ()):
+                        downtime += max(
+                            0.0, min(end, span_end) - max(start, observed_at)
+                        )
+                availability = max(0.0, 1.0 - downtime / (len(members) * span))
+            weight, weighted_latency, commits = self._epoch_latency.get(
+                epoch_id, (0.0, 0.0, 0.0)
+            )
+            rows.append(
+                {
+                    "epoch": epoch_id,
+                    "start_round": start_round,
+                    "size": len(members),
+                    "observed_s": round(observed_at, 6),
+                    "commits": int(commits),
+                    "latency_avg_s": (
+                        round(weighted_latency / weight, 6) if weight else None
+                    ),
+                    "availability": round(availability, 6),
+                }
+            )
+        return rows
 
     def recovery_by_mode(self) -> dict[str, float]:
         """Average recovery seconds per recovery mode actually taken."""

@@ -19,6 +19,7 @@ TCP sockets).
 from __future__ import annotations
 
 import random
+from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Protocol
 
@@ -127,6 +128,16 @@ class NetworkConfig:
     bandwidth: float = 10e9 / 8
     #: Fixed per-message overhead in bytes (framing, TCP/IP headers).
     message_overhead: int = 128
+    #: Delivery quantum in seconds: messages arriving on the same
+    #: ``(src, dst)`` link within one tick are delivered together at the
+    #: tick boundary, collapsing the per-message ``schedule_at`` chain
+    #: into one event-loop entry per link per tick (a burst of
+    #: serialization-spaced messages — a broadcast fan-in, a fetch
+    #: response train — rides one heap entry).  Like a real kernel's
+    #: interrupt coalescing, it delays each delivery by at most one tick;
+    #: the default half-millisecond is 1-2% of the WAN latencies being
+    #: modeled.  0 disables quantization (exact arrival instants).
+    delivery_tick: float = 0.0005
 
 
 class SimNetwork:
@@ -144,6 +155,7 @@ class SimNetwork:
         "_handlers",
         "_egress_free",
         "_last_delivery",
+        "_link_queue",
         "messages_sent",
         "bytes_sent",
     )
@@ -174,8 +186,20 @@ class SimNetwork:
         self._egress_free = [0.0] * num_validators
         # Per-link FIFO: last scheduled delivery time.
         self._last_delivery: dict[tuple[int, int], float] = {}
+        # Per-link pending deliveries, batched under ONE outstanding
+        # event-loop entry per link instead of one per message (the
+        # remaining named profiler peak: the per-message ``schedule_at``
+        # chain).  The FIFO clamp above makes per-link arrival times
+        # monotonic, so each deque stays sorted by construction and an
+        # armed flush event exists exactly while its deque is non-empty.
+        self._link_queue: dict[tuple[int, int], deque] = {}
         self.messages_sent = 0
         self.bytes_sent = 0
+
+    @property
+    def num_validators(self) -> int:
+        """Provisioned validator count (all wire identities)."""
+        return self._n
 
     def register(self, validator: int, handler: Callable[[Message], None]) -> None:
         """Attach the delivery callback for ``validator``."""
@@ -211,7 +235,17 @@ class SimNetwork:
         self._last_delivery[link] = arrival
         self.messages_sent += 1
         self.bytes_sent += wire_size
-        self._loop.schedule_at(arrival, self._deliver, message)
+        # Batch per (src, dst, tick): enqueue, and arm one flush event
+        # at the head's tick boundary only when none is armed.  Later
+        # sends on this link always arrive at or after the queued head
+        # (per-link FIFO), so the armed event stays correct and every
+        # message due by the same boundary rides one heap entry.
+        queue = self._link_queue.get(link)
+        if queue is None:
+            queue = self._link_queue[link] = deque()
+        if not queue:
+            self._loop.schedule_at(self._tick_boundary(arrival), self._flush_link, link)
+        queue.append((arrival, message))
 
     def broadcast(self, src: int, kind: str, payload: Any, size: int) -> None:
         """Send to every other validator.
@@ -224,7 +258,27 @@ class SimNetwork:
         for dst in peers:
             self.send(src, dst, kind, payload, size)
 
-    def _deliver(self, message: Message) -> None:
-        handler = self._handlers.get(message.dst)
-        if handler is not None:
-            handler(message)
+    def _tick_boundary(self, arrival: float) -> float:
+        """The delivery instant for a message arriving at ``arrival``:
+        the enclosing tick's upper boundary (or the exact arrival when
+        quantization is off)."""
+        tick = self._config.delivery_tick
+        if not tick:
+            return arrival
+        boundary = tick * int(arrival / tick + 1.0)
+        # Guard against float fuzz putting the boundary below arrival.
+        return boundary if boundary >= arrival else boundary + tick
+
+    def _flush_link(self, link: tuple[int, int]) -> None:
+        """Deliver every due message on ``link`` and re-arm for the next
+        pending one (if any)."""
+        queue = self._link_queue[link]
+        now = self._loop.now
+        handlers = self._handlers
+        while queue and queue[0][0] <= now:
+            message = queue.popleft()[1]
+            handler = handlers.get(message.dst)
+            if handler is not None:
+                handler(message)
+        if queue:
+            self._loop.schedule_at(self._tick_boundary(queue[0][0]), self._flush_link, link)

@@ -152,6 +152,8 @@ class SimValidator:
         "_ckpt_adopted",
         "_recovery_mode_used",
         "checkpoint_adoptions",
+        "_was_member",
+        "left_at",
     )
 
     def __init__(
@@ -259,10 +261,20 @@ class SimValidator:
         self._recover_mode = recover_mode
         self._wal = wal
         self._sync_chunk = sync_chunk_blocks
-        self._ckpt_votes = CheckpointVotes(core.committee.quorum_threshold)
+        self._ckpt_votes = CheckpointVotes(self._ckpt_quorum())
         self._ckpt_adopted = False
         self._recovery_mode_used = "cold"
         self.checkpoint_adoptions = 0
+        # Epoch-versioned committees: a validator that was once an
+        # active member and later drops out of the active committee has
+        # *left* — it goes silent once it observes the excluding epoch.
+        # (A joiner starts with this False and flips it on activation.)
+        self._was_member = core.schedule.genesis_committee.is_member(core.authority)
+        #: When this validator actually went silent for good (epoch
+        #: reconfiguration: the *activation* of the excluding epoch, not
+        #: the leave command's submission — availability accounting uses
+        #: the observed instant).
+        self.left_at: float | None = None
         if self.behavior.crash_at is not None and self.behavior.crash_at > loop.now:
             loop.schedule_at(self.behavior.crash_at, self.crash)
         network.register(self.authority, self.on_message)
@@ -294,6 +306,8 @@ class SimValidator:
         """Leave the committee permanently (reconfiguration).  The
         transport-level effect equals a crash that never recovers;
         clients retarget away for good."""
+        if not self._down and self.left_at is None:
+            self.left_at = self._loop.now
         self.crash()
 
     def recover(self) -> None:
@@ -329,7 +343,7 @@ class SimValidator:
         self._consensus_free = 0.0
         self._syncing = True
         self._recovered_at = self._loop.now
-        self._ckpt_votes = CheckpointVotes(self.core.committee.quorum_threshold)
+        self._ckpt_votes = CheckpointVotes(self._ckpt_quorum())
         self._ckpt_adopted = False
         self._recovery_mode_used = "cold"
         if self._recover_mode == "warm" and self._wal is not None:
@@ -354,6 +368,18 @@ class SimValidator:
     # ------------------------------------------------------------------
     # Checkpoint adoption (state transfer)
     # ------------------------------------------------------------------
+    def _ckpt_quorum(self) -> int:
+        """The attestation quorum for checkpoint adoption: ``2f + 1`` of
+        the *latest committee this validator knows* — the genesis
+        committee for a freshly restarted core, the current epoch's for
+        a pause-mode node.  A recoverer that slept across epochs it
+        never learned has a bootstrap-trust gap (it may demand a stale
+        quorum size); real deployments solve that with a light-client
+        protocol, which is out of scope here (see ROADMAP) — the sim's
+        reconfiguration sweeps never shrink the committee below the
+        genesis quorum."""
+        return self.core.schedule.latest.committee.quorum_threshold
+
     def _request_checkpoints(self) -> None:
         """Broadcast ``ckpt_req`` and arm a retry: peers may not have
         finalized (and hence captured) anything yet."""
@@ -535,9 +561,10 @@ class SimValidator:
         if acks is None or digest in self._cert_sent:
             return
         acks.add(src)
-        if len(acks) >= self.core.committee.quorum_threshold:
+        block = self._headers[digest]
+        # The certificate quorum follows the epoch of the block's round.
+        if len(acks) >= self.core.schedule.quorum_threshold(block.round):
             self._cert_sent.add(digest)
-            block = self._headers[digest]
             cert_size = self._block_wire_size(block) + _SIGNATURE_SIZE * len(acks)
             self._network.broadcast(self.authority, "cert", block, cert_size)
 
@@ -766,6 +793,24 @@ class SimValidator:
     def _step(self) -> None:
         self._try_propose()
         self._commit()
+        if not self._down and not self.core.schedule.is_static:
+            self._check_epoch_exit()
+
+    def _check_epoch_exit(self) -> None:
+        """Leave for good once an activated epoch excludes us.
+
+        The committee of the cluster's current round decides: between a
+        committed leave command and its activation round the validator
+        keeps voting (thresholds still count it); at the boundary it
+        goes silent permanently — exactly when ``2f + 1`` stops counting
+        it, so liveness never depends on a departed member.
+        """
+        schedule = self.core.schedule
+        committee = schedule.committee_at(self.core.store.highest_round)
+        if committee.is_member(self.authority):
+            self._was_member = True
+        elif self._was_member:
+            self.leave()
 
     def _try_propose(self) -> None:
         while not self._down:
@@ -825,7 +870,7 @@ class SimValidator:
         """Send the honest block to half the peers and a conflicting
         sibling to the other half (our own DAG keeps the original)."""
         sibling = make_equivocating_sibling(block)
-        peers = [v for v in range(self.core.committee.size) if v != self.authority]
+        peers = [v for v in range(self._network.num_validators) if v != self.authority]
         half = len(peers) // 2
         for dst in peers[:half]:
             self._network.send(self.authority, dst, "block", block, size)

@@ -13,7 +13,12 @@ import tempfile
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 
-from ..committee import Committee
+from ..committee import (
+    MIN_COMMITTEE_SIZE,
+    Committee,
+    CommitteeSchedule,
+    ReconfigCommand,
+)
 from ..config import ProtocolConfig
 from ..core.protocol import MahiMahiCore
 from ..baselines.cordial_miners import make_cordial_miners_committer
@@ -42,6 +47,10 @@ PROTOCOLS = ("mahi-mahi-5", "mahi-mahi-4", "cordial-miners", "tusk")
 #: meaningful.
 RECOVERY_CRASH_FRAC = 0.25
 RECOVERY_RESTART_FRAC = 0.5
+
+#: Transaction ids reserved for harness-injected reconfiguration
+#: commands, far above anything the open-loop clients allocate.
+RECONFIG_TX_BASE = 1 << 62
 
 
 @dataclass(frozen=True)
@@ -72,6 +81,29 @@ class ExperimentConfig:
             shorthand for a crash+recover pair per validator.  May not
             target validator 0 (the observer) or validators already
             claimed by the static fault counts.
+        epoch_reconfig: Promote ``join``/``leave`` events to *epoch
+            transitions*: at event time the harness submits a
+            reconfiguration command transaction to a live validator;
+            once committed, every honest commit walk activates the new
+            committee at a deterministic round
+            (:class:`~repro.committee.CommitteeSchedule`), so ``n`` and
+            all quorum thresholds genuinely change mid-run.  A joining
+            validator comes online at event time (state-transfer join)
+            and starts proposing when its epoch activates; a leaving
+            one keeps participating until the epoch that excludes it
+            activates, then goes silent for good.  Without this flag
+            (the legacy behaviour) join/leave only silence/unsilence
+            nodes while thresholds keep counting the full committee.
+        initial_committee_size: With ``epoch_reconfig``: how many of the
+            provisioned ``num_validators`` form the epoch-0 committee
+            (indexes ``0 .. size-1``); every provisioned validator
+            outside it must ``join`` via the fault schedule.  0 means
+            all provisioned validators are active from epoch 0, so the
+            timeline can only shrink the committee (``leave`` is
+            terminal — a departed validator never rejoins).
+        reconfig_lag: Rounds between a reconfiguration command
+            finalizing and its epoch activating (>= 1; a few rounds of
+            slack let in-flight waves land before thresholds move).
         tx_size_mix: Optional ``((size_bytes, weight), ...)``
             distribution of real transaction sizes; when set, clients
             sample each transaction's size from it and blocks account
@@ -126,6 +158,9 @@ class ExperimentConfig:
     num_recovering: int = 0
     num_equivocators: int = 0
     fault_schedule: tuple[FaultEvent, ...] = ()
+    epoch_reconfig: bool = False
+    initial_committee_size: int = 0
+    reconfig_lag: int = 3
     tx_size_mix: tuple[tuple[int, float], ...] = ()
     uniform_delay: float | None = None
     adversary_targets: int = 0
@@ -180,15 +215,33 @@ class ExperimentConfig:
                 "cannot anchor a suffix fetch"
             )
         schedule = FaultSchedule(self.fault_schedule)  # validates lifecycles
-        faults_tolerated = (self.num_validators - 1) // 3
+        if self.initial_committee_size < 0:
+            raise ConfigError("initial_committee_size must be >= 0")
+        if self.initial_committee_size and not self.epoch_reconfig:
+            raise ConfigError("initial_committee_size requires epoch_reconfig=True")
+        if self.epoch_reconfig:
+            if self.reconfig_lag < 1:
+                raise ConfigError("epoch_reconfig needs reconfig_lag >= 1")
+            self._validate_membership_timeline(schedule)
+        initial_size = self.initial_committee_size or self.num_validators
+        faults_tolerated = (initial_size - 1) // 3
         static_faults = self.num_crashed + self.num_recovering + self.num_equivocators
         # Budget check over *concurrent* downtime: permanently faulty
         # validators (crashed, equivocating) count for the whole run;
         # recovering and scheduled validators count only where their
         # down intervals actually overlap — disjoint downtime windows
-        # do not stack.
+        # do not stack.  Under epoch reconfiguration, join/leave events
+        # are membership changes rather than faults: a not-yet-joined or
+        # departed validator is outside the active committee, so its
+        # downtime does not consume the fault budget — only scheduled
+        # crash/recover pairs do.
         permanent_faults = self.num_crashed + self.num_equivocators
-        worst_scheduled = self.effective_schedule().max_concurrent_down()
+        budget_schedule = self.effective_schedule()
+        if self.epoch_reconfig:
+            budget_schedule = FaultSchedule(
+                tuple(e for e in budget_schedule if e.kind in ("crash", "recover"))
+            )
+        worst_scheduled = budget_schedule.max_concurrent_down()
         if permanent_faults + worst_scheduled > faults_tolerated:
             raise ConfigError(
                 f"{self.num_crashed} crashed + {self.num_equivocators} equivocators "
@@ -209,6 +262,54 @@ class ExperimentConfig:
                     f"fault_schedule targets validator {validator}, already claimed by the "
                     f"static fault counts (indexes >= {first_static_fault})"
                 )
+
+    def _validate_membership_timeline(self, schedule: FaultSchedule) -> None:
+        """Epoch-reconfiguration sanity: the committee implied by the
+        join/leave timeline must never shrink below the BFT minimum, and
+        every provisioned validator outside the initial committee must
+        actually join."""
+        initial = self.initial_committee_size or self.num_validators
+        if initial < MIN_COMMITTEE_SIZE:
+            raise ConfigError(
+                f"epoch_reconfig needs an initial committee of >= "
+                f"{MIN_COMMITTEE_SIZE}, got {initial}"
+            )
+        if initial > self.num_validators:
+            raise ConfigError(
+                f"initial_committee_size ({initial}) exceeds num_validators "
+                f"({self.num_validators})"
+            )
+        joiners = {
+            e.validator for e in self.fault_schedule if e.kind == "join"
+        }
+        provisioned_outside = set(range(initial, self.num_validators))
+        missing = provisioned_outside - joiners
+        if missing:
+            raise ConfigError(
+                f"validators {sorted(missing)} are provisioned outside the "
+                f"initial committee but never join"
+            )
+        members = set(range(initial))
+        for event in schedule:
+            if event.kind == "join":
+                if event.validator in members:
+                    raise ConfigError(
+                        f"validator {event.validator} joins at t={event.time} "
+                        "but is already an active member"
+                    )
+                members.add(event.validator)
+            elif event.kind == "leave":
+                if event.validator not in members:
+                    raise ConfigError(
+                        f"validator {event.validator} leaves at t={event.time} "
+                        "but is not an active member"
+                    )
+                if len(members) - 1 < MIN_COMMITTEE_SIZE:
+                    raise ConfigError(
+                        f"leave of validator {event.validator} at t={event.time} "
+                        f"would drop the committee below n={MIN_COMMITTEE_SIZE}"
+                    )
+                members.discard(event.validator)
 
     @property
     def batch_weight(self) -> float:
@@ -283,6 +384,16 @@ class ExperimentResult:
     checkpoint_adoptions: int = 0
     #: Fraction of validator-seconds in service (1.0 = no downtime).
     availability: float = 1.0
+    #: Epoch transitions the observer's commit walk activated
+    #: (0 = the committee never changed).
+    epoch_transitions: int = 0
+    #: Active-committee size of the observer's latest epoch (0 for
+    #: static runs — the committee is ``num_validators`` throughout).
+    final_committee_size: int = 0
+    #: Per-epoch attribution rows (committee size, activation round,
+    #: commits/latency attributed, member-set availability) — see
+    #: :meth:`repro.sim.metrics.ExperimentMetrics.epoch_attribution`.
+    epoch_summary: tuple = ()
 
     def summary(self) -> str:
         """One human-readable line, in the paper's units."""
@@ -304,7 +415,12 @@ class Experiment:
         self.config = config
         self._loop = EventLoop()
         self._metrics = ExperimentMetrics(warmup=config.warmup)
-        self._committee = Committee.of_size(config.num_validators)
+        # The epoch-0 committee: all provisioned validators, or — under
+        # epoch reconfiguration — the initial subset (the rest are
+        # provisioned identities that must join via committed commands).
+        initial_size = config.initial_committee_size or config.num_validators
+        self._committee = Committee.of_size(initial_size)
+        self._reconfig_seq = 0
         self._coin = FastCoin(
             seed=("coin", config.seed).__repr__().encode(),
             n=config.num_validators,
@@ -337,6 +453,21 @@ class Experiment:
                 }
         self.nodes = [self._make_node(i) for i in range(config.num_validators)]
         self._clients = self._make_clients()
+        if config.epoch_reconfig:
+            # Per-epoch attribution: the observer's schedule drives the
+            # metric marks (epoch 0 starts the clock at t=0).
+            observer_schedule = self.nodes[0].core.schedule
+            self._metrics.record_epoch(
+                0, 0, observer_schedule.genesis_committee.members, 0.0
+            )
+            observer_schedule.subscribe(
+                lambda epoch: self._metrics.record_epoch(
+                    epoch.epoch_id,
+                    epoch.start_round,
+                    epoch.committee.members,
+                    self._loop.now,
+                )
+            )
 
     # ------------------------------------------------------------------
     # Deployment construction
@@ -358,6 +489,7 @@ class Experiment:
     def _protocol_config(self) -> ProtocolConfig:
         cfg = self.config
         sim_block_cap = max(1, int(cfg.max_block_transactions / cfg.batch_weight))
+        reconfig_lag = cfg.reconfig_lag if cfg.epoch_reconfig else 0
         if cfg.protocol in ("mahi-mahi-5", "mahi-mahi-4"):
             default_wave = 5 if cfg.protocol == "mahi-mahi-5" else 4
             return ProtocolConfig(
@@ -366,6 +498,7 @@ class Experiment:
                 max_block_transactions=sim_block_cap,
                 garbage_collection_depth=cfg.gc_depth,
                 checkpoint_interval_rounds=cfg.checkpoint_interval,
+                reconfig_activation_lag=reconfig_lag,
             )
         if cfg.protocol == "cordial-miners":
             return ProtocolConfig(
@@ -374,6 +507,7 @@ class Experiment:
                 max_block_transactions=sim_block_cap,
                 garbage_collection_depth=cfg.gc_depth,
                 checkpoint_interval_rounds=cfg.checkpoint_interval,
+                reconfig_activation_lag=reconfig_lag,
             )
         # Tusk: the committer owns its 2-round wave geometry; wave_length
         # here only has to satisfy the config invariant.
@@ -383,17 +517,25 @@ class Experiment:
             max_block_transactions=sim_block_cap,
             garbage_collection_depth=cfg.gc_depth,
             checkpoint_interval_rounds=cfg.checkpoint_interval,
+            reconfig_activation_lag=reconfig_lag,
         )
 
     def _make_core(self, authority: int) -> MahiMahiCore:
         from ..core.committer import Committer
 
         protocol_config = self._protocol_config()
+        # One *mutable* schedule per validator, shared by its core and
+        # committer: the commit walk appends epochs, proposing and
+        # quorum counting follow them.
+        schedule = CommitteeSchedule(
+            self._committee, provisioned=self.config.num_validators
+        )
+        reconfig_lag = protocol_config.reconfig_activation_lag
         factory = None
         if self.config.protocol.startswith("mahi-mahi") and not self.config.direct_skip:
             factory = lambda store: Committer(  # noqa: E731
                 store,
-                self._committee,
+                schedule,
                 self._coin,
                 protocol_config,
                 direct_skip_enabled=False,
@@ -401,25 +543,27 @@ class Experiment:
         elif self.config.protocol == "cordial-miners":
             factory = lambda store: make_cordial_miners_committer(  # noqa: E731
                 store,
-                self._committee,
+                schedule,
                 self._coin,
                 checkpoint_interval=self.config.checkpoint_interval,
                 garbage_collection_depth=self.config.gc_depth,
+                reconfig_activation_lag=reconfig_lag,
             )
         elif self.config.protocol == "tusk":
             from ..statesync import DEFAULT_CHECKPOINT_LAG
 
             factory = lambda store: make_tusk_committer(  # noqa: E731
                 store,
-                self._committee,
+                schedule,
                 self._coin,
                 checkpoint_interval=self.config.checkpoint_interval,
                 # The capture horizon follows the pruning horizon.
                 checkpoint_lag=self.config.gc_depth or DEFAULT_CHECKPOINT_LAG,
+                reconfig_activation_lag=reconfig_lag,
             )
         return MahiMahiCore(
             authority,
-            self._committee,
+            schedule,
             protocol_config,
             self._coin,
             committer_factory=factory,
@@ -444,7 +588,14 @@ class Experiment:
     def _make_node(self, authority: int) -> SimValidator:
         on_commit = None
         if authority == 0:
-            on_commit = lambda tx, now: self._metrics.record_commit(tx.tx_id, now)  # noqa: E731
+            # Harness-injected reconfiguration commands (reserved tx-id
+            # range) are not client traffic: excluding them keeps the
+            # duplicate_commits diagnostic meaningful.
+            on_commit = lambda tx, now: (  # noqa: E731
+                self._metrics.record_commit(tx.tx_id, now)
+                if tx.tx_id < RECONFIG_TX_BASE
+                else None
+            )
         return SimValidator(
             self._make_core(authority),
             self._network,
@@ -542,11 +693,39 @@ class Experiment:
 
     def _apply_fault_event(self, event) -> None:
         node = self.nodes[event.validator]
+        if self.config.epoch_reconfig and event.kind in ("join", "leave"):
+            # Epoch reconfiguration: the event submits a membership
+            # command; thresholds move when the committed command's
+            # epoch activates.  A joiner boots now (state-transfer join)
+            # and proposes once its epoch is active; a leaver keeps
+            # participating until the excluding epoch activates, then
+            # exits by itself (SimValidator._check_epoch_exit).
+            self._submit_reconfig(event.kind, event.validator)
+            if event.kind == "join":
+                node.recover()
+                node.start()
+            return
         if event.kind in ("crash", "leave"):
             node.crash()
         else:  # recover / join: restart with an empty in-memory state
             node.recover()
             node.start()
+
+    def _submit_reconfig(self, kind: str, validator: int) -> None:
+        """Inject a reconfiguration command transaction at the first
+        live honest validator (the administrative client of a real
+        deployment)."""
+        command = ReconfigCommand(kind=kind, validator=validator)
+        tx = Transaction(
+            tx_id=RECONFIG_TX_BASE + self._reconfig_seq,
+            submitted_at=self._loop.now,
+            payload=command.encode_payload(),
+        )
+        self._reconfig_seq += 1
+        for node in self.nodes:
+            if not node.down and not node.behavior.equivocate:
+                node.submit(tx)
+                return
 
     def assert_safety(self) -> None:
         """Check that every honest validator's commit sequence is a
@@ -588,6 +767,24 @@ class Experiment:
                 raise SimulationError(
                     f"honest validators captured diverging checkpoints at round {round_number}"
                 )
+        # Epoch-schedule consistency: every honest validator that knows
+        # an epoch must agree on its activation round and membership —
+        # prefix consistency of the *committee* across epoch boundaries,
+        # the reconfiguration analogue of Theorem 1.
+        epoch_views: dict[int, set[tuple[int, tuple[int, ...]]]] = {}
+        for node in self.nodes:
+            if node.behavior.equivocate:
+                continue
+            for epoch in node.core.schedule.epochs():
+                epoch_views.setdefault(epoch.epoch_id, set()).add(
+                    (epoch.start_round, epoch.committee.members)
+                )
+        for epoch_id, views in sorted(epoch_views.items()):
+            if len(views) > 1:
+                raise SimulationError(
+                    f"honest validators diverged on epoch {epoch_id}: "
+                    f"{sorted(views)}"
+                )
         reference = max(full, key=len)
         for sequence in full:
             if sequence != reference[: len(sequence)]:
@@ -611,15 +808,55 @@ class Experiment:
                     "the reference suffix after its adopted frontier"
                 )
 
+    def _observed_down_intervals(self) -> dict[int, list[tuple[float, float]]]:
+        """Per-validator downtime as it actually happened.
+
+        The schedule-derived intervals are exact except under epoch
+        reconfiguration, where a ``leave`` event only *submits* the
+        command: the validator keeps participating until the excluding
+        epoch activates (``SimValidator.left_at``).  Those spans are
+        clipped to the observed exit — or dropped entirely when the
+        command never activated and the validator stayed up.
+        """
+        intervals = self._schedule.down_intervals(self.config.duration)
+        if not self.config.epoch_reconfig:
+            return intervals
+        for event in self._schedule:
+            if event.kind != "leave":
+                continue
+            left_at = self.nodes[event.validator].left_at
+            spans = intervals.get(event.validator, [])
+            for index, (start, end) in enumerate(spans):
+                if start == event.time:
+                    if left_at is None:
+                        del spans[index]
+                    else:
+                        spans[index] = (min(left_at, end), end)
+                    break
+        return intervals
+
     def _result(self) -> ExperimentResult:
         observer = self.nodes[0]
         stats = observer.core.committer.stats
         measured = max(1e-9, self.config.duration - self.config.warmup)
         recoveries, recovery_avg, recovery_max = self._metrics.recovery_summary()
         observer_ledger = getattr(observer.core.committer, "ledger", None)
+        down_intervals = self._observed_down_intervals()
         downtime = self.config.num_crashed * self.config.duration + sum(
-            self._schedule.downtime(self.config.duration).values()
+            end - max(0.0, start)
+            for spans in down_intervals.values()
+            for start, end in spans
+            if end > start
         )
+        observer_schedule = observer.core.schedule
+        epoch_transitions = len(observer_schedule.epochs()) - 1
+        epoch_summary: tuple = ()
+        final_committee_size = 0
+        if self.config.epoch_reconfig:
+            final_committee_size = observer_schedule.latest.committee.size
+            epoch_summary = tuple(
+                self._metrics.epoch_attribution(self.config.duration, down_intervals)
+            )
         return ExperimentResult(
             config=self.config,
             latency=self._metrics.latency_summary(),
@@ -645,6 +882,9 @@ class Experiment:
             availability=availability(
                 downtime, self.config.num_validators, self.config.duration
             ),
+            epoch_transitions=epoch_transitions,
+            final_committee_size=final_committee_size,
+            epoch_summary=epoch_summary,
         )
 
 

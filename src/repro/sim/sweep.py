@@ -47,7 +47,11 @@ from .runner import Experiment, ExperimentConfig, ExperimentResult
 #: v4: checkpoint & state-transfer subsystem (recover_mode /
 #: checkpoint_interval config keys, per-mode recovery metrics,
 #: checkpoint capture/adoption counters).
-SCHEMA_VERSION = 4
+#: v5: epoch-based committee reconfiguration (epoch_reconfig /
+#: initial_committee_size / reconfig_lag config keys, epoch-transition
+#: and per-epoch attribution result metrics) plus batched per-link
+#: network delivery (event ordering at equal instants changed).
+SCHEMA_VERSION = 5
 
 #: Default on-disk location of the results store, relative to CWD.
 DEFAULT_RESULTS_DIR = "results"
@@ -96,6 +100,8 @@ def result_from_dict(config: ExperimentConfig, data: dict) -> ExperimentResult:
     """Inverse of :func:`result_to_dict` (re-attaching ``config``)."""
     fields = dict(data)
     latency = {k: (math.nan if v is None else v) for k, v in fields.pop("latency").items()}
+    if "epoch_summary" in fields:
+        fields["epoch_summary"] = tuple(fields["epoch_summary"])
     return ExperimentResult(config=config, latency=LatencySummary(**latency), **fields)
 
 
@@ -164,7 +170,25 @@ def smoke_config(config: ExperimentConfig) -> ExperimentConfig:
     time.  Fault-schedule event times rescale with the duration (an
     event at the halfway mark stays at the halfway mark), so
     crash-recovery and reconfiguration sweeps keep their shape too.
+
+    Epoch-reconfiguration configs keep their committee and their whole
+    join/leave timeline: the membership changes *are* the shape (a
+    not-yet-joined or departed validator is outside the active
+    committee, so the fault-budget clamps below do not apply), and
+    epoch sweeps provision small committees by design.
     """
+    if config.epoch_reconfig:
+        time_scale = _SMOKE_DURATION / config.duration if config.duration > 0 else 1.0
+        return replace(
+            config,
+            fault_schedule=tuple(
+                replace(event, time=event.time * time_scale)
+                for event in config.fault_schedule
+            ),
+            duration=_SMOKE_DURATION,
+            warmup=_SMOKE_WARMUP,
+            load_tps=min(config.load_tps, _SMOKE_MAX_LOAD),
+        )
     validators = min(config.num_validators, _SMOKE_MAX_VALIDATORS)
     faults_tolerated = (validators - 1) // 3
     crashed = min(config.num_crashed, faults_tolerated)

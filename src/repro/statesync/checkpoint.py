@@ -35,6 +35,7 @@ from functools import cached_property
 from typing import Iterable, Mapping
 
 from ..block import Block, BlockRef
+from ..committee import CommitteeSchedule
 from ..crypto.hashing import Digest, hash_bytes, hash_parts
 from ..dag.store import DagStore
 
@@ -51,8 +52,10 @@ DEFAULT_CHECKPOINT_RETAIN = 4
 #: The commit-chain seed: the state digest of an empty commit sequence.
 GENESIS_STATE: Digest = hash_bytes(b"genesis-commit-sequence", person=b"ckptchain")
 
-_HEADER = struct.Struct("<QQQIQI I")  # round, floor, next_round, next_offset,
-#                                       sequence_length, committee_size, ref count
+_HEADER = struct.Struct("<QQQIQI II")  # round, floor, next_round, next_offset,
+#                                        sequence_length, committee_size,
+#                                        ref count, epoch count
+_EPOCH_HEADER = struct.Struct("<QQI")  # epoch_id, start_round, member count
 
 
 def chain_digest(chain: Digest, block_digest: Digest) -> Digest:
@@ -86,24 +89,35 @@ class Checkpoint:
     sequence_length: int
     committee_size: int
     linearized: tuple[BlockRef, ...] = ()
+    #: The capturing validator's epoch schedule — every epoch as a
+    #: plain-int ``(epoch_id, start_round, members)`` triple, *including*
+    #: epochs scheduled for future activation (the commands behind them
+    #: may sit below the floor, where an adopter never looks).  Empty for
+    #: static (never-reconfigured) deployments.  Part of the encoding,
+    #: hence of the content address: checkpoints with different active
+    #: committees can never be confused for one another.
+    epochs: tuple[tuple[int, int, tuple[int, ...]], ...] = ()
 
     def encode(self) -> bytes:
         """Canonical bytes (wire format and the content-address preimage)."""
-        return b"".join(
-            [
-                _HEADER.pack(
-                    self.round,
-                    self.floor,
-                    self.next_slot[0],
-                    self.next_slot[1],
-                    self.sequence_length,
-                    self.committee_size,
-                    len(self.linearized),
-                ),
-                self.chain,
-                *(ref.encode() for ref in self.linearized),
-            ]
-        )
+        parts = [
+            _HEADER.pack(
+                self.round,
+                self.floor,
+                self.next_slot[0],
+                self.next_slot[1],
+                self.sequence_length,
+                self.committee_size,
+                len(self.linearized),
+                len(self.epochs),
+            ),
+            self.chain,
+            *(ref.encode() for ref in self.linearized),
+        ]
+        for epoch_id, start_round, members in self.epochs:
+            parts.append(_EPOCH_HEADER.pack(epoch_id, start_round, len(members)))
+            parts.extend(member.to_bytes(4, "little") for member in members)
+        return b"".join(parts)
 
     @classmethod
     def decode(cls, data: bytes, offset: int = 0) -> tuple["Checkpoint", int]:
@@ -115,6 +129,7 @@ class Checkpoint:
             sequence_length,
             committee_size,
             ref_count,
+            epoch_count,
         ) = _HEADER.unpack_from(data, offset)
         offset += _HEADER.size
         chain = bytes(data[offset : offset + 32])
@@ -123,6 +138,16 @@ class Checkpoint:
         for _ in range(ref_count):
             ref, offset = BlockRef.decode(data, offset)
             refs.append(ref)
+        epochs = []
+        for _ in range(epoch_count):
+            epoch_id, start_round, member_count = _EPOCH_HEADER.unpack_from(data, offset)
+            offset += _EPOCH_HEADER.size
+            members = tuple(
+                int.from_bytes(data[offset + 4 * i : offset + 4 * i + 4], "little")
+                for i in range(member_count)
+            )
+            offset += 4 * member_count
+            epochs.append((epoch_id, start_round, members))
         return (
             cls(
                 round=round_number,
@@ -132,6 +157,7 @@ class Checkpoint:
                 sequence_length=sequence_length,
                 committee_size=committee_size,
                 linearized=tuple(refs),
+                epochs=tuple(epochs),
             ),
             offset,
         )
@@ -193,6 +219,11 @@ class CommitLedger:
     #: The checkpoint this validator's state was restored from, if any
     #: (``None`` for a validator that committed from genesis).
     adopted_base: Checkpoint | None = None
+    #: The validator's epoch schedule.  When set, captures embed the
+    #: schedule snapshot (and report the *active* committee's size), so
+    #: an adopter restores the epoch history — including transitions
+    #: whose commands sit below the floor it will never fetch.
+    schedule: CommitteeSchedule | None = None
 
     def __post_init__(self) -> None:
         self._next_boundary = self.interval if self.interval > 0 else None
@@ -249,14 +280,21 @@ class CommitLedger:
             if round_number <= last_finalized
             for ref in bucket
         )
+        committee_size = self.committee_size
+        epochs: tuple = ()
+        if self.schedule is not None:
+            committee_size = self.schedule.size_at(last_finalized)
+            if not self.schedule.is_static:
+                epochs = self.schedule.snapshot()
         return Checkpoint(
             round=last_finalized,
             floor=floor,
             next_slot=next_slot,
             chain=self.chain,
             sequence_length=self.sequence_length,
-            committee_size=self.committee_size,
+            committee_size=committee_size,
             linearized=tuple(refs),
+            epochs=epochs,
         )
 
     # ------------------------------------------------------------------

@@ -245,3 +245,112 @@ class TestRecoveryCurveChecker:
             self.fake("warm", 8.0, 0.02),
         ]
         assert check_recovery_curves(results) == []
+
+
+class TestEpochCurveChecker:
+    """Unit-level checks of check_epoch_curves over fabricated results
+    (the smoke-level integration runs through run_all's gates and
+    TestEpochSweepAcceptance below)."""
+
+    @staticmethod
+    def fake(duration, transitions, sizes, final_availability=1.0):
+        import dataclasses
+
+        from repro.sim.faults import FaultEvent
+        from repro.sim.metrics import LatencySummary
+        from repro.sim.runner import ExperimentConfig, ExperimentResult
+
+        summary = tuple(
+            {
+                "epoch": i,
+                "start_round": i * 6,
+                "size": size,
+                "observed_s": float(i),
+                "commits": 10,
+                "latency_avg_s": 1.0,
+                "availability": final_availability if i == len(sizes) - 1 else 0.9,
+            }
+            for i, size in enumerate(sizes)
+        )
+        config = ExperimentConfig(
+            num_validators=7,
+            initial_committee_size=4,
+            epoch_reconfig=True,
+            duration=duration,
+            warmup=duration / 4,
+            fault_schedule=tuple(
+                FaultEvent(1.0 + i, validator, "join")
+                for i, validator in enumerate((4, 5, 6))
+            ),
+        )
+        base = TestRecoveryCurveChecker.fake("cold", duration, 0.1)
+        return dataclasses.replace(
+            base,
+            config=config,
+            latency=LatencySummary(1, 1.0, 1.0, 1.0, 1.0, 1.0),
+            epoch_transitions=transitions,
+            final_committee_size=sizes[-1] if sizes else 0,
+            epoch_summary=summary,
+        )
+
+    def test_accepts_full_resize(self):
+        from benchmarks.curve_checks import check_epoch_curves
+
+        result = self.fake(16.0, 5, [4, 5, 6, 7, 6, 5])
+        assert check_epoch_curves([result]) == []
+
+    def test_smoke_points_held_to_growth_only(self):
+        from benchmarks.curve_checks import check_epoch_curves
+
+        # At smoke durations only the joins have time to activate.
+        assert check_epoch_curves([self.fake(2.0, 3, [4, 5, 6, 7])]) == []
+
+    def test_flags_no_transition(self):
+        from benchmarks.curve_checks import check_epoch_curves
+
+        violations = check_epoch_curves([self.fake(16.0, 0, [4])])
+        assert len(violations) == 1
+        assert "no epoch transition" in violations[0]
+
+    def test_flags_committee_never_growing(self):
+        from benchmarks.curve_checks import check_epoch_curves
+
+        violations = check_epoch_curves([self.fake(16.0, 1, [4, 4])])
+        assert len(violations) == 1
+        assert "never grew" in violations[0]
+
+    def test_flags_missing_shrink_at_full_scale(self):
+        from benchmarks.curve_checks import check_epoch_curves
+
+        violations = check_epoch_curves([self.fake(16.0, 3, [4, 5, 6, 7])])
+        assert len(violations) == 1
+        assert "shrink" in violations[0]
+
+    def test_flags_unavailable_final_epoch(self):
+        from benchmarks.curve_checks import check_epoch_curves
+
+        violations = check_epoch_curves(
+            [self.fake(16.0, 5, [4, 5, 6, 7, 6, 5], final_availability=0.8)]
+        )
+        assert len(violations) == 1
+        assert "available" in violations[0]
+
+    def test_ignores_static_points(self):
+        from benchmarks.curve_checks import check_epoch_curves
+
+        assert check_epoch_curves([TestRecoveryCurveChecker.fake("cold", 8.0, 0.1)]) == []
+
+
+@pytest.mark.slow
+class TestEpochSweepAcceptance:
+    def test_smoke_epoch_resize_changes_n_mid_run(self, store):
+        from benchmarks.bench_recovery import SWEEP_EPOCH_RESIZE
+        from benchmarks.curve_checks import check_epoch_curves
+
+        results = smoke_results(SWEEP_EPOCH_RESIZE, store)
+        assert check_epoch_curves(results) == []
+        for result in results:
+            assert result.epoch_transitions >= 1
+            sizes = [row["size"] for row in result.epoch_summary]
+            assert max(sizes) > sizes[0]  # n genuinely changed mid-run
+            assert result.recoveries >= 1  # a join completed

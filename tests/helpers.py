@@ -44,11 +44,14 @@ class FixedCoin(CommonCoin):
     def verify_share(self, share: CoinShare) -> bool:
         return share == self.share(share.author, share.round)
 
-    def reconstruct(self, round_number: int, shares: list[CoinShare]) -> int:
+    def reconstruct(
+        self, round_number: int, shares: list[CoinShare], *, threshold: int | None = None
+    ) -> int:
+        required = self.threshold if threshold is None else threshold
         distinct = {s.author for s in shares if s.round == round_number and self.verify_share(s)}
-        if len(distinct) < self.threshold:
+        if len(distinct) < required:
             raise InsufficientShares(
-                f"round {round_number}: {len(distinct)} < {self.threshold}"
+                f"round {round_number}: {len(distinct)} < {required}"
             )
         return self.values.get(round_number, 0)
 

@@ -35,7 +35,10 @@ class TestDelivery:
         [(message, when)] = inboxes[1]
         assert message.payload == "payload"
         assert message.src == 0
-        assert when == pytest.approx(0.05, rel=0.01)
+        # Delivery lands within one delivery tick past the exact arrival
+        # (tick quantization batches per-link deliveries).
+        tick = NetworkConfig().delivery_tick
+        assert 0.05 <= when <= 0.05 + tick + 1e-9
 
     def test_broadcast_reaches_all_peers(self):
         loop, network, inboxes = make_network()
@@ -87,7 +90,85 @@ class TestBandwidth:
         network.send(0, 1, "ack", "x", size=64)
         loop.run_to_completion()
         [(_, when)] = inboxes[1]
+        tick = NetworkConfig().delivery_tick
+        assert 0.05 <= when <= 0.05 + tick + 1e-9
+
+
+class TestDeliveryTick:
+    """Per-(src, dst, tick) delivery batching."""
+
+    def test_burst_rides_few_heap_entries(self):
+        """Messages on one link arriving within a tick share one flush
+        event instead of one ``schedule_at`` each."""
+        loop = EventLoop()
+        network = SimNetwork(
+            loop,
+            UniformLatencyModel(0.05),
+            4,
+            config=NetworkConfig(delivery_tick=0.01),
+            seed=0,
+        )
+        received = []
+        network.register(1, lambda m: received.append((m.payload, loop.now)))
+        for i in range(50):
+            network.send(0, 1, "block", i, size=100)
+        loop.run_to_completion()
+        assert [payload for payload, _ in received] == list(range(50))
+        # 50 messages, microseconds apart -> one or two flush events.
+        assert loop.events_processed <= 3
+
+    def test_delivery_within_one_tick_of_arrival(self):
+        loop = EventLoop()
+        tick = 0.01
+        network = SimNetwork(
+            loop,
+            UniformLatencyModel(0.05),
+            4,
+            config=NetworkConfig(delivery_tick=tick),
+            seed=0,
+        )
+        times = []
+        network.register(2, lambda m: times.append(loop.now))
+        network.send(0, 2, "block", "x", size=100)
+        loop.run_to_completion()
+        [when] = times
+        assert 0.05 <= when <= 0.05 + tick + 1e-9
+        # Quantized deliveries land exactly on a tick boundary.
+        assert when == pytest.approx(round(when / tick) * tick)
+
+    def test_zero_tick_delivers_at_exact_arrival(self):
+        loop = EventLoop()
+        network = SimNetwork(
+            loop,
+            UniformLatencyModel(0.05),
+            4,
+            config=NetworkConfig(delivery_tick=0.0),
+            seed=0,
+        )
+        times = []
+        network.register(3, lambda m: times.append(loop.now))
+        network.send(0, 3, "ack", "x", size=64)
+        loop.run_to_completion()
+        [when] = times
         assert when == pytest.approx(0.05, rel=0.01)
+
+    def test_fifo_preserved_across_tick_boundaries(self):
+        loop = EventLoop()
+        network = SimNetwork(
+            loop,
+            UniformLatencyModel(0.05),
+            4,
+            # 1 MB/s: 100 kB messages serialize 0.1 s apart, spanning
+            # many ticks.
+            config=NetworkConfig(bandwidth=1e6, delivery_tick=0.01),
+            seed=0,
+        )
+        received = []
+        network.register(1, lambda m: received.append(m.payload))
+        for i in range(5):
+            network.send(0, 1, "block", i, size=100_000)
+        loop.run_to_completion()
+        assert received == list(range(5))
 
 
 class TestAdversary:

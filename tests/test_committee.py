@@ -70,13 +70,33 @@ class TestMembership:
         assert len(committee4) == 4
         assert [a.index for a in committee4] == [0, 1, 2, 3]
 
-    def test_misnumbered_authorities_rejected(self):
+    def test_unordered_authorities_rejected(self):
+        """Member indexes must be strictly increasing (wire identities
+        are stable; duplicates or reordering would corrupt lookups)."""
         with pytest.raises(ConfigError):
             Committee(
                 authorities=tuple(
-                    Authority(index=i + 1, name=f"v{i}") for i in range(4)
+                    Authority(index=i, name=f"v{i}") for i in (0, 2, 1, 3)
                 )
             )
+        with pytest.raises(ConfigError):
+            Committee(
+                authorities=tuple(
+                    Authority(index=i, name=f"v{i}") for i in (0, 1, 1, 2)
+                )
+            )
+
+    def test_non_contiguous_members_allowed(self):
+        """After a leave, the active committee covers a non-contiguous
+        subset of wire identities with stable indexes."""
+        committee = Committee.of_members((0, 1, 3, 5, 6))
+        assert committee.size == 5
+        assert committee.members == (0, 1, 3, 5, 6)
+        assert committee.is_member(3) and not committee.is_member(2)
+        assert not committee.is_contiguous
+        assert committee.authority(5).name == "validator-5"
+        with pytest.raises(ConfigError):
+            committee.authority(2)
 
     def test_public_keys_attached(self):
         keys = [bytes([i]) * 4 for i in range(4)]
