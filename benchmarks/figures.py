@@ -19,8 +19,16 @@ from __future__ import annotations
 
 import argparse
 import sys
+import warnings
 
 from .render import main as render_main
+
+warnings.warn(
+    "benchmarks.figures is a deprecated alias; run sweeps with repro-bench "
+    "and render with `python -m benchmarks.render`",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -1,0 +1,147 @@
+"""Profiling support for the reproduction driver (``repro-bench --profile``).
+
+Two complementary captures run over the same in-process workload:
+
+* **cProfile** — exact call counts and per-function totals, written as
+  ``pstats`` top-N tables (``<name>_cumulative.txt``, sorted by
+  cumulative time, answers "which subsystem"; ``<name>_tottime.txt``,
+  sorted by self time, answers "which function body").
+* **a sampling stack profiler** — a daemon thread snapshots the profiled
+  thread's stack via :func:`sys._current_frames` at a fixed interval and
+  folds the samples into the collapsed-stack format
+  (``frame;frame;frame count`` per line, ``<name>.collapsed``) that
+  ``flamegraph.pl``, speedscope, and ``inferno-flamegraph`` consume
+  directly.  cProfile's tracing cannot reconstruct whole stacks; the
+  sampler captures them, at the price of being statistical.
+
+Everything here is pure stdlib, so the profile artifact is produced on
+any CI runner without extra dependencies.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+import sys
+import threading
+import time
+from collections import Counter
+from contextlib import contextmanager
+from pathlib import Path
+from types import FrameType
+
+#: Rows kept in each pstats top-N table.
+TOP_N = 40
+#: Seconds between stack samples (2 ms = 500 Hz; a smoke profile of a
+#: few seconds still collects thousands of stacks).
+SAMPLE_INTERVAL = 0.002
+
+
+class StackSampler:
+    """Samples one thread's call stack and folds the samples.
+
+    The sampler thread wakes every ``interval`` seconds, grabs the
+    target thread's current frame from :func:`sys._current_frames`, and
+    counts the folded ``module:function`` chain.  Sampling is read-only
+    and needs no cooperation from the profiled code.
+    """
+
+    def __init__(self, interval: float = SAMPLE_INTERVAL) -> None:
+        self._interval = interval
+        self._target_ident: int | None = None
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self.samples: Counter[str] = Counter()
+
+    def start(self) -> None:
+        """Begin sampling the *calling* thread."""
+        self._target_ident = threading.get_ident()
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-stack-sampler", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+
+    def _run(self) -> None:
+        assert self._target_ident is not None
+        while not self._stop.wait(self._interval):
+            frame = sys._current_frames().get(self._target_ident)
+            if frame is not None:
+                self.samples[self._fold(frame)] += 1
+
+    @staticmethod
+    def _fold(frame: FrameType | None) -> str:
+        """Root-to-leaf ``module:function`` chain for one stack."""
+        parts: list[str] = []
+        while frame is not None:
+            code = frame.f_code
+            module = Path(code.co_filename).stem
+            parts.append(f"{module}:{code.co_name}")
+            frame = frame.f_back
+        parts.reverse()
+        return ";".join(parts)
+
+    def write_collapsed(self, path: Path) -> int:
+        """Write the folded samples (``stack count`` per line, most
+        frequent first).  Returns the total sample count."""
+        lines = [
+            f"{stack} {count}"
+            for stack, count in sorted(
+                self.samples.items(), key=lambda item: (-item[1], item[0])
+            )
+        ]
+        path.write_text("\n".join(lines) + ("\n" if lines else ""))
+        return sum(self.samples.values())
+
+
+def write_top_tables(
+    profile: cProfile.Profile, out_dir: Path, name: str, top_n: int = TOP_N
+) -> list[Path]:
+    """Write the two pstats top-N tables for ``profile``."""
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    for sort_key, suffix in (("cumulative", "cumulative"), ("tottime", "tottime")):
+        path = out_dir / f"{name}_{suffix}.txt"
+        with path.open("w") as handle:
+            stats = pstats.Stats(profile, stream=handle)
+            stats.strip_dirs().sort_stats(sort_key).print_stats(top_n)
+        written.append(path)
+    return written
+
+
+@contextmanager
+def profiled(out_dir: Path, name: str = "sweeps", top_n: int = TOP_N):
+    """Run the body under cProfile *and* the stack sampler.
+
+    On exit, writes ``<name>_cumulative.txt``, ``<name>_tottime.txt``
+    and ``<name>.collapsed`` into ``out_dir`` and yields (via the
+    context object) the list of files written.
+    """
+    out_dir.mkdir(parents=True, exist_ok=True)
+    profile = cProfile.Profile()
+    sampler = StackSampler()
+    outputs: list[Path] = []
+    sampler.start()
+    started = time.perf_counter()
+    profile.enable()
+    try:
+        yield outputs
+    finally:
+        profile.disable()
+        wall = time.perf_counter() - started
+        sampler.stop()
+        outputs.extend(write_top_tables(profile, out_dir, name, top_n))
+        collapsed = out_dir / f"{name}.collapsed"
+        samples = sampler.write_collapsed(collapsed)
+        outputs.append(collapsed)
+        print(
+            f"repro-bench: profile written -> {out_dir}/ "
+            f"({samples} stack samples over {wall:.1f}s; "
+            f"feed {collapsed.name} to flamegraph.pl or speedscope)"
+        )

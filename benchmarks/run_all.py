@@ -105,6 +105,13 @@ def main(argv: list[str] | None = None) -> int:
         help="after the sweeps, render results/figures/*.svg + results/REPORT.md",
     )
     parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run the sweeps under cProfile + a stack sampler and write "
+        "results/profile/ (top-N tables + a flamegraph-ready collapsed-stack "
+        "file); forces --workers 1 so the workload runs in-process",
+    )
+    parser.add_argument(
         "--png",
         action="store_true",
         help="with --render: also write PNGs when matplotlib is importable",
@@ -152,10 +159,16 @@ def main(argv: list[str] | None = None) -> int:
         )
         return 0
     workers = args.workers if args.workers is not None else default_workers()
+    if args.profile:
+        # The profiler must see the simulation frames, so the sweep
+        # engine has to run points in this process (it goes serial
+        # in-process at workers <= 1).
+        workers = 1
     mode = "smoke" if args.smoke else "full"
     print(
         f"repro-bench: {len(sweeps)} sweeps, {total_points} points, "
         f"{workers} workers, mode={mode}, results={store.root}/"
+        + (" [profiling]" if args.profile else "")
     )
 
     if args.force:
@@ -163,15 +176,25 @@ def main(argv: list[str] | None = None) -> int:
             for config in sweep.configs:
                 store.point_path(config).unlink(missing_ok=True)
 
-    outcomes = []
+    def run_sweeps() -> list:
+        collected = []
+        for sweep in sweeps:
+            outcome = run_sweep(sweep, store, workers=workers, progress=print)
+            print(
+                f"[{sweep.name}] done: {outcome.executed} run, {outcome.cached} cached, "
+                f"{outcome.wall_seconds:.1f}s"
+            )
+            collected.append(outcome)
+        return collected
+
     started = time.perf_counter()
-    for sweep in sweeps:
-        outcome = run_sweep(sweep, store, workers=workers, progress=print)
-        print(
-            f"[{sweep.name}] done: {outcome.executed} run, {outcome.cached} cached, "
-            f"{outcome.wall_seconds:.1f}s"
-        )
-        outcomes.append(outcome)
+    if args.profile:
+        from benchmarks.profiling import profiled
+
+        with profiled(store.root / "profile", name="sweeps"):
+            outcomes = run_sweeps()
+    else:
+        outcomes = run_sweeps()
     wall = time.perf_counter() - started
 
     executed = sum(o.executed for o in outcomes)

@@ -213,15 +213,33 @@ class TuskCommitter:
         commit-walk point ``slot_round + reconfig_activation_lag`` (see
         :meth:`repro.core.committer.Committer._apply_reconfig` — the
         same resolution rules keep the baseline comparison
-        apples-to-apples)."""
+        apples-to-apples).
+
+        Invalidation is round-scoped like the Mahi-Mahi committer's:
+        cached direct decisions below the activation round survive
+        (support counting resolves against the leader round's committee,
+        unchanged below the activation), while indirect decisions —
+        whose anchor may sit at rounds >= the activation — and anything
+        at rounds >= the activation are evicted."""
         scheduled = False
+        activation: int | None = None
         for command in reconfig_commands_in(linearized):
             epoch = self.schedule.apply_command(command, slot_round + self._reconfig_lag)
-            scheduled = scheduled or epoch is not None
+            if epoch is not None:
+                scheduled = True
+                if activation is None or epoch.start_round < activation:
+                    activation = epoch.start_round
         if scheduled:
-            self._decided.clear()
-            self.traversal.invalidate_certs()
-            self._elector.invalidate()
+            assert activation is not None
+            stale = [
+                leader_round
+                for leader_round, status in self._decided.items()
+                if leader_round >= activation or not status.direct
+            ]
+            for leader_round in stale:
+                del self._decided[leader_round]
+            self.traversal.invalidate_above(activation)
+            self._elector.invalidate_above(activation)
         return scheduled
 
     def adopt_checkpoint(self, checkpoint: Checkpoint) -> None:

@@ -265,16 +265,48 @@ class Committer:
         the dropped classifications was finalized, and they recompute
         under the updated schedule before the cursor reaches them.
 
+        Invalidation is *round-scoped*: only cached state that the new
+        epoch can actually change is dropped.  With the activation round
+        ``A`` (the minimum ``start_round`` among the epochs just
+        scheduled):
+
+        * ``_decided`` — direct decisions at rounds < ``A`` depend only
+          on the committee of their own wave (unchanged below ``A``) and
+          certificate accumulation is monotone, so they stay.  Cached
+          *indirect* decisions are all evicted regardless of round: the
+          indirect rule anchors on the first non-skipped slot after the
+          certify round, which can sit at rounds >= ``A`` via a skip
+          chain, and its classification may change under the new
+          committee.  (Everything cached sits above the cursor —
+          finalized entries are popped by ``_advance_cursor`` — so this
+          still evicts far less than a full clear.)
+        * cert memos — ``IsCert`` resolves quorum/membership at the
+          *leader's* round, so only leader rounds >= ``A`` are dropped.
+        * elector — the cached certify round always bounds the wave's
+          epoch round from above, so dropping certify rounds >= ``A``
+          covers every entry the new committee could re-judge.
+
         Returns whether at least one epoch was scheduled.
         """
         scheduled = False
+        activation: int | None = None
         for command in reconfig_commands_in(linearized):
             epoch = self.schedule.apply_command(command, slot_round + self._reconfig_lag)
-            scheduled = scheduled or epoch is not None
+            if epoch is not None:
+                scheduled = True
+                if activation is None or epoch.start_round < activation:
+                    activation = epoch.start_round
         if scheduled:
-            self._decided.clear()
-            self.traversal.invalidate_certs()
-            self._elector.invalidate()
+            assert activation is not None
+            stale = [
+                key
+                for key, status in self._decided.items()
+                if key[0] >= activation or not status.direct
+            ]
+            for key in stale:
+                del self._decided[key]
+            self.traversal.invalidate_above(activation)
+            self._elector.invalidate_above(activation)
         return scheduled
 
     def adopt_checkpoint(self, checkpoint: Checkpoint) -> None:

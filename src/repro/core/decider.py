@@ -95,13 +95,34 @@ class LeaderElector:
         return value
 
     def invalidate(self) -> None:
-        """Drop every cached reconstruction attempt.  Called when an
-        epoch is scheduled: a cached ``None`` ("coin not open") was
-        judged against the pre-epoch quorum and member set, and the
-        author-count retry trigger alone cannot tell that the *quorum*
-        moved under an unchanged count.  Coin values themselves are
-        committee-independent, so re-deriving is cheap and safe."""
+        """Drop every cached reconstruction attempt.  A cached ``None``
+        ("coin not open") was judged against a quorum and member set that
+        may have moved, and the author-count retry trigger alone cannot
+        tell that the *quorum* moved under an unchanged count.  Coin
+        values themselves are committee-independent, so re-deriving is
+        cheap and safe."""
         self._cache.clear()
+
+    def invalidate_above(self, round_number: int) -> int:
+        """Drop cached reconstruction attempts for certify rounds
+        >= ``round_number``.
+
+        Called when an epoch activating at ``round_number`` is
+        scheduled.  This is conservative-safe: an entry is judged against
+        the committee of the wave's epoch round, and the epoch round
+        (propose round) never exceeds its certify round, so every entry
+        that could have been judged under a round >= the activation has a
+        certify-round key >= the activation too.  Returns the number of
+        entries dropped.
+        """
+        stale = [r for r in self._cache if r >= round_number]
+        for r in stale:
+            del self._cache[r]
+        return len(stale)
+
+    def memo_size(self) -> int:
+        """Number of cached per-round reconstruction attempts."""
+        return len(self._cache)
 
     def leader(
         self, certify_round: int, offset: int, epoch_round: int | None = None

@@ -193,7 +193,7 @@ class MahiMahiCore:
         re-flowed into the DAG; returns the blocks accepted that way.
         """
         self.store.adopt_floor(round_number)
-        self.committer.traversal.forget_below(round_number)
+        self.committer.traversal.invalidate_below(round_number)
         accepted: list[Block] = []
         progress = True
         while progress:
@@ -424,4 +424,4 @@ class MahiMahiCore:
         horizon = self.committer.last_finalized_round - depth
         if horizon > self.store.lowest_round:
             self.store.prune_below(horizon)
-            self.committer.traversal.forget_below(horizon)
+            self.committer.traversal.invalidate_below(horizon)

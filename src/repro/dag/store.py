@@ -26,8 +26,15 @@ class DagStore:
 
     def __init__(self) -> None:
         self._by_digest: dict[Digest, Block] = {}
-        self._by_slot: dict[tuple[int, int], list[Block]] = {}
+        # round -> author -> blocks (arrival order).  Nesting small int
+        # keys instead of keying by ``(round, author)`` tuples avoids
+        # allocating and hashing a fresh tuple per slot probe in the
+        # commit walk, and lets GC drop a whole round with one pop.
+        self._by_slot: dict[int, dict[int, list[Block]]] = {}
         self._by_round: dict[int, list[Block]] = {}
+        # round -> materialized tuple of its blocks, built lazily by
+        # ``round_blocks`` and dropped when the round gains a block.
+        self._round_tuples: dict[int, tuple[Block, ...]] = {}
         self._authors_by_round: dict[int, set[int]] = {}
         self._highest_round = -1
         self._lowest_round = 0
@@ -55,8 +62,12 @@ class DagStore:
                 f"block {block!r} is missing {len(missing)} parent(s): {missing[:3]}"
             )
         self._by_digest[digest] = block
-        self._by_slot.setdefault(block.slot, []).append(block)
+        round_slots = self._by_slot.get(block.round)
+        if round_slots is None:
+            round_slots = self._by_slot[block.round] = {}
+        round_slots.setdefault(block.author, []).append(block)
         self._by_round.setdefault(block.round, []).append(block)
+        self._round_tuples.pop(block.round, None)
         self._authors_by_round.setdefault(block.round, set()).add(block.author)
         if block.round > self._highest_round:
             self._highest_round = block.round
@@ -108,11 +119,26 @@ class DagStore:
 
     def slot_blocks(self, round_number: int, author: int) -> tuple[Block, ...]:
         """All blocks at ``DAG[round, author]`` — several if equivocating."""
-        return tuple(self._by_slot.get((round_number, author), ()))
+        round_slots = self._by_slot.get(round_number)
+        if round_slots is None:
+            return ()
+        return tuple(round_slots.get(author, ()))
 
     def round_blocks(self, round_number: int) -> tuple[Block, ...]:
-        """All blocks of a round, in arrival order (``DAG[r, *]``)."""
-        return tuple(self._by_round.get(round_number, ()))
+        """All blocks of a round, in arrival order (``DAG[r, *]``).
+
+        The tuple is memoized per round (the commit walk probes the same
+        vote/certify rounds many times per sweep) and rebuilt when the
+        round gains a block.
+        """
+        cached = self._round_tuples.get(round_number)
+        if cached is not None:
+            return cached
+        blocks = self._by_round.get(round_number)
+        if blocks is None:
+            return ()
+        result = self._round_tuples[round_number] = tuple(blocks)
+        return result
 
     def authors_at_round(self, round_number: int) -> frozenset[int]:
         """Distinct authors with at least one block in the round."""
@@ -173,8 +199,9 @@ class DagStore:
         for r in range(self._lowest_round, round_number):
             for block in self._by_round.pop(r, ()):
                 del self._by_digest[block.digest]
-                self._by_slot.pop(block.slot, None)
                 removed += 1
+            self._by_slot.pop(r, None)
+            self._round_tuples.pop(r, None)
             self._authors_by_round.pop(r, None)
         self._lowest_round = max(self._lowest_round, round_number)
         return removed

@@ -60,9 +60,15 @@ class DagTraversal:
         self._membership = membership
         # (leader author, leader round) -> {start digest -> voted block or None}
         self._vote_cache: dict[tuple[int, int], dict[Digest, Block | None]] = {}
-        # (certifier digest, leader digest) -> bool.  Valid forever: a
-        # block's parents are immutable and the DAG is append-only.
-        self._cert_cache: dict[tuple[Digest, Digest], bool] = {}
+        # leader round -> {(certifier digest, leader digest) -> bool}.
+        # Entries are valid as long as the leader round's quorum and
+        # committee stay fixed: a block's parents are immutable and the
+        # DAG is append-only, so only a committee-schedule change at the
+        # leader's round can stale a verdict.  Keying the outer dict by
+        # leader round makes invalidation round-scoped (epoch activation
+        # drops rounds >= the activation; GC drops rounds below the
+        # horizon) instead of wholesale.
+        self._cert_cache: dict[int, dict[tuple[Digest, Digest], bool]] = {}
 
     # ------------------------------------------------------------------
     # VotedBlock / IsVote
@@ -118,8 +124,11 @@ class DagTraversal:
         """``IsCert(b_cert, b_leader)`` — the certifier's parents include
         votes for the leader from at least ``2f + 1`` distinct authors.
         """
+        round_cache = self._cert_cache.get(leader.round)
+        if round_cache is None:
+            round_cache = self._cert_cache[leader.round] = {}
         key = (certifier.digest, leader.digest)
-        cached = self._cert_cache.get(key)
+        cached = round_cache.get(key)
         if cached is not None:
             return cached
         voting_authors: set[int] = set()
@@ -137,7 +146,7 @@ class DagTraversal:
                 if len(voting_authors) >= quorum:
                     result = True
                     break
-        self._cert_cache[key] = result
+        round_cache[key] = result
         return result
 
     # ------------------------------------------------------------------
@@ -232,27 +241,56 @@ class DagTraversal:
     # Cache management
     # ------------------------------------------------------------------
     def invalidate_certs(self) -> None:
-        """Drop every memoized certificate verdict.  Called when an
-        epoch is scheduled: quorum thresholds for rounds at or above the
-        activation may have moved, and the cache is keyed by digests
-        only.  It repopulates within one decision sweep."""
+        """Drop every memoized certificate verdict (the pre-PR-6
+        wholesale invalidation; :meth:`invalidate_above` is the
+        round-scoped variant epoch activation uses)."""
         self._cert_cache.clear()
 
-    def forget_below(self, round_number: int) -> None:
-        """Drop memo entries for target slots below ``round_number``
-        (called alongside DAG garbage collection)."""
-        stale = [key for key in self._vote_cache if key[1] < round_number]
-        for key in stale:
-            del self._vote_cache[key]
-        # The cert cache is keyed by digest only; drop it wholesale (it
-        # repopulates within the active window in one decision sweep).
-        self._cert_cache.clear()
+    def invalidate_above(self, round_number: int) -> int:
+        """Drop certificate verdicts for leaders at rounds
+        >= ``round_number``.
+
+        Called when an epoch activating at ``round_number`` is
+        scheduled: ``is_cert`` judges a certificate against the quorum
+        and membership of the *leader's* round, so only verdicts for
+        leaders at or above the activation can change.  Vote memos are
+        pure DAG structure (committee-independent) and survive.  Returns
+        the number of entries dropped (observability).
+        """
+        stale = [r for r in self._cert_cache if r >= round_number]
+        dropped = 0
+        for r in stale:
+            dropped += len(self._cert_cache.pop(r))
+        return dropped
+
+    def invalidate_below(self, round_number: int) -> int:
+        """Drop memo entries for target slots and cert-round leaders
+        below ``round_number`` (called alongside DAG garbage collection
+        and state-transfer floor raises).  Returns the number of entries
+        dropped."""
+        dropped = 0
+        stale_votes = [key for key in self._vote_cache if key[1] < round_number]
+        for key in stale_votes:
+            dropped += len(self._vote_cache.pop(key))
+        stale_certs = [r for r in self._cert_cache if r < round_number]
+        for r in stale_certs:
+            dropped += len(self._cert_cache.pop(r))
+        return dropped
+
+    def memo_size(self) -> int:
+        """Total cached entries across the vote and cert memos (the
+        accounting hook the invalidation tests assert against)."""
+        return sum(len(v) for v in self._vote_cache.values()) + sum(
+            len(v) for v in self._cert_cache.values()
+        )
 
     def cache_stats(self) -> dict[str, int]:
-        """Size of the vote memo (observability for benchmarks)."""
+        """Size of the vote and cert memos (observability for benchmarks)."""
         return {
             "vote_targets": len(self._vote_cache),
             "vote_entries": sum(len(v) for v in self._vote_cache.values()),
+            "cert_rounds": len(self._cert_cache),
+            "cert_entries": sum(len(v) for v in self._cert_cache.values()),
         }
 
 

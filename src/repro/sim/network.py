@@ -153,6 +153,7 @@ class SimNetwork:
         "_rng",
         "_sample_delay",
         "_handlers",
+        "_batch_handlers",
         "_egress_free",
         "_last_delivery",
         "_link_queue",
@@ -182,6 +183,7 @@ class SimNetwork:
         # Pair-memoized base delays + block-presampled jitter.
         self._sample_delay = latency.make_sampler(self._rng)
         self._handlers: dict[int, Callable[[Message], None]] = {}
+        self._batch_handlers: dict[int, Callable[[list[Message]], None]] = {}
         # Sender uplink: time at which each validator's egress is free.
         self._egress_free = [0.0] * num_validators
         # Per-link FIFO: last scheduled delivery time.
@@ -204,6 +206,18 @@ class SimNetwork:
     def register(self, validator: int, handler: Callable[[Message], None]) -> None:
         """Attach the delivery callback for ``validator``."""
         self._handlers[validator] = handler
+
+    def register_batch(
+        self, validator: int, handler: Callable[[list[Message]], None]
+    ) -> None:
+        """Attach a batched delivery callback for ``validator``.
+
+        All messages arriving for the validator on one link within one
+        delivery tick are handed over in a single call (arrival order),
+        letting the receiver verify them as one batch.  Takes precedence
+        over a plain :meth:`register` handler when both are set.
+        """
+        self._batch_handlers[validator] = handler
 
     # ------------------------------------------------------------------
     # Sending
@@ -271,14 +285,28 @@ class SimNetwork:
 
     def _flush_link(self, link: tuple[int, int]) -> None:
         """Deliver every due message on ``link`` and re-arm for the next
-        pending one (if any)."""
+        pending one (if any).
+
+        A link carries messages for exactly one destination, so the due
+        messages of one flush form one delivery batch: when the receiver
+        registered a batch handler they are handed over in a single call
+        (it can then verify the batch's signatures/coin shares together
+        and complete them with one event-loop entry instead of one per
+        message).
+        """
         queue = self._link_queue[link]
         now = self._loop.now
-        handlers = self._handlers
+        due: list[Message] = []
         while queue and queue[0][0] <= now:
-            message = queue.popleft()[1]
-            handler = handlers.get(message.dst)
-            if handler is not None:
-                handler(message)
+            due.append(queue.popleft()[1])
+        if due:
+            batch_handler = self._batch_handlers.get(link[1])
+            if batch_handler is not None:
+                batch_handler(due)
+            else:
+                handler = self._handlers.get(link[1])
+                if handler is not None:
+                    for message in due:
+                        handler(message)
         if queue:
             self._loop.schedule_at(self._tick_boundary(queue[0][0]), self._flush_link, link)

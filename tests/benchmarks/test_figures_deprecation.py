@@ -1,0 +1,24 @@
+"""The deprecated ``benchmarks.figures`` alias must say so on import."""
+
+from __future__ import annotations
+
+import importlib
+import sys
+import warnings
+
+
+def test_figures_import_emits_deprecation_warning():
+    sys.modules.pop("benchmarks.figures", None)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        importlib.import_module("benchmarks.figures")
+    deprecations = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+    assert deprecations, "importing benchmarks.figures emitted no DeprecationWarning"
+    assert "repro-bench" in str(deprecations[0].message)
+
+
+def test_figures_main_still_aliases_the_renderer():
+    module = importlib.import_module("benchmarks.figures")
+    from benchmarks.render import main as render_main
+
+    assert module.render_main is render_main

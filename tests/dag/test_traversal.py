@@ -197,11 +197,51 @@ class TestLinearize:
 
 
 class TestCacheManagement:
-    def test_forget_below_drops_stale_targets(self, setup):
+    def test_invalidate_below_drops_stale_targets(self, setup):
         builder, traversal = setup
         builder.rounds(1, 5)
         traversal.voted_block(builder.get(0, 5), 1, 1)
         traversal.voted_block(builder.get(0, 5), 1, 3)
         assert traversal.cache_stats()["vote_targets"] == 2
-        traversal.forget_below(3)
+        dropped = traversal.invalidate_below(3)
+        assert dropped > 0
         assert traversal.cache_stats()["vote_targets"] == 1
+
+    def test_invalidate_below_drops_stale_cert_rounds(self, setup):
+        builder, traversal = setup
+        builder.rounds(1, 5)
+        leader_low = builder.get(0, 1)
+        leader_high = builder.get(0, 4)
+        traversal.is_cert(builder.get(1, 3), leader_low)
+        traversal.is_cert(builder.get(1, 5), leader_high)
+        assert traversal.cache_stats()["cert_rounds"] == 2
+        traversal.invalidate_below(3)
+        assert traversal.cache_stats()["cert_rounds"] == 1
+        # The surviving round is the high one.
+        assert traversal.cache_stats()["cert_entries"] >= 1
+
+    def test_invalidate_above_drops_high_cert_rounds_only(self, setup):
+        builder, traversal = setup
+        builder.rounds(1, 5)
+        traversal.is_cert(builder.get(1, 3), builder.get(0, 1))
+        traversal.is_cert(builder.get(1, 5), builder.get(0, 4))
+        traversal.voted_block(builder.get(0, 5), 1, 1)
+        before = traversal.memo_size()
+        targets_before = traversal.cache_stats()["vote_targets"]
+        dropped = traversal.invalidate_above(4)
+        assert dropped > 0
+        assert traversal.memo_size() == before - dropped
+        # Vote memos are committee-independent and survive.
+        assert traversal.cache_stats()["vote_targets"] == targets_before
+        assert traversal.cache_stats()["cert_rounds"] == 1
+
+    def test_memo_size_counts_vote_and_cert_entries(self, setup):
+        builder, traversal = setup
+        builder.rounds(1, 5)
+        assert traversal.memo_size() == 0
+        traversal.voted_block(builder.get(0, 5), 1, 1)
+        traversal.is_cert(builder.get(1, 5), builder.get(0, 4))
+        stats = traversal.cache_stats()
+        assert traversal.memo_size() == stats["vote_entries"] + stats["cert_entries"]
+        traversal.invalidate_certs()
+        assert traversal.cache_stats()["cert_rounds"] == 0
