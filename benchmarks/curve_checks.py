@@ -265,3 +265,69 @@ def check_curve_shapes(results: Iterable[ExperimentResult]) -> list[str]:
                         f"crashed={cfg.num_crashed})"
                     )
     return violations
+
+
+def check_cluster_metrics(metrics: dict) -> list[str]:
+    """Validate a ``bench_cluster.py`` metrics dict (the runtime gate).
+
+    The localhost multi-process benchmark is the runtime's end-to-end
+    proof; this check enforces the claims it exists to demonstrate:
+    liveness under load, successful recovery in every mode (with
+    checkpoint recovery actually *adopting* a state-transfer base
+    rather than silently refetching), and a completed live resize.
+    Prefix consistency itself is asserted inside the benchmark — a
+    divergence aborts the run before a metrics file is ever written.
+    """
+    violations: list[str] = []
+    steady = metrics.get("steady")
+    if not steady:
+        violations.append("cluster metrics carry no steady-load scenario")
+    else:
+        if steady["committed_tx"] <= 0:
+            violations.append("steady-load run committed no transactions")
+        if steady["commit_indices"] <= 0:
+            violations.append("steady-load run covered no commit indices")
+        if steady.get("latency_p50_s") is None:
+            violations.append("steady-load run measured no commit latency")
+        elif steady["latency_p50_s"] > 10.0:
+            violations.append(
+                f"steady-load p50 commit latency {steady['latency_p50_s']:.2f}s "
+                f"is implausible for a localhost cluster (> 10s)"
+            )
+    recovery = metrics.get("recovery") or {}
+    for mode in ("cold", "warm", "checkpoint"):
+        entry = recovery.get(mode)
+        if entry is None:
+            violations.append(f"recovery scenario is missing mode '{mode}'")
+            continue
+        if entry["mode_used"] != mode:
+            violations.append(
+                f"{mode} restart actually recovered via "
+                f"'{entry['mode_used']}' — the requested mode never ran"
+            )
+        if entry["recovery_s"] is None or entry["recovery_s"] < 0:
+            violations.append(f"{mode} recovery recorded no recovery time")
+    checkpoint = recovery.get("checkpoint")
+    if checkpoint is not None and not checkpoint.get("adopted_base_round"):
+        violations.append(
+            "checkpoint recovery never adopted a transferred base — it "
+            "rebuilt from local history, which GC should have made impossible"
+        )
+    resize = metrics.get("resize")
+    if not resize:
+        violations.append("cluster metrics carry no resize scenario")
+    else:
+        epoch_ids = {info[0] for info in resize["epochs"]}
+        if not {1, 2} <= epoch_ids:
+            violations.append(
+                f"live resize should schedule a join and a leave epoch, "
+                f"saw epoch ids {sorted(epoch_ids)}"
+            )
+        if not resize.get("leaver_left"):
+            violations.append("leaver never observed its own exclusion boundary")
+        if resize.get("joiner_mode") != "checkpoint":
+            violations.append(
+                f"joiner should enter via checkpoint state transfer, "
+                f"used '{resize.get('joiner_mode')}'"
+            )
+    return violations

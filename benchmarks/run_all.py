@@ -39,6 +39,11 @@ BENCH_MODULES = (
     "benchmarks.bench_ablations",
     "benchmarks.bench_commit_probability",
     "benchmarks.bench_recovery",
+    # bench_cluster declares no simulator sweeps (SWEEPS = ()): it is a
+    # standalone multi-process runtime benchmark, run separately as
+    # `python benchmarks/bench_cluster.py [--smoke]`.  Its metrics file
+    # is gated below whenever it exists.
+    "benchmarks.bench_cluster",
 )
 
 
@@ -342,6 +347,23 @@ def main(argv: list[str] | None = None) -> int:
         print(f"repro-bench: curve-shape violation - {violation}")
     if violations:
         return 1
+
+    # The localhost-cluster gate: when bench_cluster.py has produced a
+    # metrics file (the CI cluster-smoke job runs it before run_all),
+    # hold the runtime backend to its own claims — steady-load commits,
+    # all three recovery modes succeeding, checkpoint adoption under GC,
+    # and a completed live resize.
+    from benchmarks.curve_checks import check_cluster_metrics
+
+    cluster_metrics_path = Path(results_dir) / "cluster" / "cluster_metrics.json"
+    if cluster_metrics_path.exists():
+        cluster_metrics = json.loads(cluster_metrics_path.read_text())
+        cluster_violations = check_cluster_metrics(cluster_metrics)
+        for violation in cluster_violations:
+            print(f"repro-bench: cluster violation - {violation}")
+        if cluster_violations:
+            return 1
+        print(f"repro-bench: cluster metrics gate passed ({cluster_metrics_path})")
     return 0
 
 

@@ -40,10 +40,22 @@ class LeaderElector:
 
     All leader offsets of a round share one coin value (Algorithm 2
     line 14-15), so reconstruction happens once per round.  Share
-    counting, the reconstruction threshold, and the value-to-validator
-    mapping all resolve against the committee of the wave's *epoch*
-    (the propose round's — ``epoch_round``), so leader election follows
-    reconfiguration.
+    counting and the reconstruction threshold resolve against the
+    committee *of the certify round itself*: that is the committee the
+    DAG structurally guarantees blocks (hence shares) for — every block
+    at round ``r + 1`` carries a quorum of round-``r`` parents, so at
+    least ``quorum_threshold(r)`` blocks by round-``r`` members
+    eventually exist, while nothing guarantees more.  A wave whose
+    certify round lands at or after an epoch activation would otherwise
+    demand the *old* committee's quorum of shares from a round only the
+    *new* committee proposes in — under partial participation (real
+    deployments skip rounds; crashed sim validators too) that coin could
+    never open and the commit walk would deadlock at the boundary.  The
+    value-to-validator mapping still resolves against the committee of
+    the wave's epoch (the propose round's — ``epoch_round``), so
+    election follows reconfiguration: a joiner is never elected for a
+    pre-join wave.  Both coin families reconstruct a share-independent
+    value, so which quorum opens the coin never changes who is elected.
     """
 
     def __init__(
@@ -62,11 +74,15 @@ class LeaderElector:
 
     def coin_value(self, certify_round: int, epoch_round: int | None = None) -> int | None:
         """The coin opened by ``certify_round``'s blocks, or ``None`` if
-        fewer than ``2f + 1`` valid shares (from members of the epoch
-        governing ``epoch_round``) are available yet."""
-        committee = self._schedule.committee_at(
-            certify_round if epoch_round is None else epoch_round
-        )
+        fewer than ``2f + 1`` valid shares (from members of the
+        committee proposing at ``certify_round``) are available yet.
+
+        ``epoch_round`` is accepted for signature compatibility with
+        :meth:`leader` but intentionally unused: shares resolve against
+        the certify round's own committee (see the class docstring).
+        """
+        del epoch_round
+        committee = self._schedule.committee_at(certify_round)
         authors_now = committee.count_members(self._store.authors_at_round(certify_round))
         cached = self._cache.get(certify_round)
         if cached is not None:
@@ -108,12 +124,10 @@ class LeaderElector:
         >= ``round_number``.
 
         Called when an epoch activating at ``round_number`` is
-        scheduled.  This is conservative-safe: an entry is judged against
-        the committee of the wave's epoch round, and the epoch round
-        (propose round) never exceeds its certify round, so every entry
-        that could have been judged under a round >= the activation has a
-        certify-round key >= the activation too.  Returns the number of
-        entries dropped.
+        scheduled.  This is exact: an entry is judged against the
+        committee of its own certify round (its cache key), so entries
+        keyed below the activation were judged under committees the new
+        epoch cannot change.  Returns the number of entries dropped.
         """
         stale = [r for r in self._cache if r >= round_number]
         for r in stale:

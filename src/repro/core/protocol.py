@@ -339,22 +339,36 @@ class MahiMahiCore:
         self._own_last_ref = block.reference
         return block
 
-    def restore_own_position(self) -> None:
-        """Recompute the proposal round and own-block reference from the
-        store after a recovery re-sync (WAL replay, deep fetch, or
-        checkpoint adoption plus suffix fetch).
+    def restore_own_position(
+        self, round_number: int | None = None, ref: BlockRef | None = None
+    ) -> None:
+        """Restore the proposal round and own-block reference after a
+        recovery re-sync (WAL replay, deep fetch, or checkpoint adoption
+        plus suffix fetch).
 
         A freshly restarted core's ``_own_last_ref`` points at its
         genesis block, which garbage collection may have pruned
         everywhere — proposals must lead with the newest *visible*
         own-authored block instead, and never re-use one of its rounds.
+
+        Args:
+            round_number: When given, floor the proposal round here (a
+                WAL replay knows the exact highest own-authored round).
+            ref: When given, lead the next proposal with this reference
+                instead of scanning the store (hosts replaying their own
+                durable log pass the last logged own block's reference).
         """
+        if round_number is not None:
+            self.round = max(self.round, round_number)
+        if ref is not None:
+            self._own_last_ref = ref
+            return
         store = self.store
-        for round_number in range(store.highest_round, max(0, store.lowest_round) - 1, -1):
-            blocks = store.slot_blocks(round_number, self.authority)
+        for r in range(store.highest_round, max(0, store.lowest_round) - 1, -1):
+            blocks = store.slot_blocks(r, self.authority)
             if blocks:
                 self._own_last_ref = blocks[0].reference
-                self.round = max(self.round, round_number)
+                self.round = max(self.round, r)
                 return
 
     def _select_parents(self, next_round: int) -> tuple[BlockRef, ...]:

@@ -53,3 +53,8 @@ class TransportError(ReproError):
 
 class SimulationError(ReproError):
     """The discrete-event simulation reached an inconsistent state."""
+
+
+class StateTransferError(ReproError):
+    """A recovery re-sync cannot complete (e.g. the needed history is
+    behind every peer's garbage-collection horizon)."""

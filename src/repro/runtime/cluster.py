@@ -1,8 +1,15 @@
 """Local cluster orchestration for the runtime.
 
-Builds a full deployment — committee, keys, coin, transports, nodes —
-in one call, over either the in-memory hub or real TCP sockets on
-localhost.  Used by the examples and the runtime integration tests.
+Builds a full deployment — committee schedule, keys, coin, transports,
+nodes — in one call, over either the in-memory hub or real TCP sockets
+on localhost.  Used by the examples and the runtime integration tests.
+
+Beyond steady-state clusters the harness drives the recovery and
+reconfiguration scenarios: :meth:`LocalCluster.restart` replaces a
+stopped validator with a fresh incarnation in any of the three recovery
+modes (cold, warm, checkpoint), and
+:meth:`LocalCluster.submit_reconfig` injects a committed join/leave
+command that resizes the committee live.
 """
 
 from __future__ import annotations
@@ -10,7 +17,7 @@ from __future__ import annotations
 import asyncio
 from pathlib import Path
 
-from ..committee import Committee
+from ..committee import Committee, CommitteeSchedule, ReconfigCommand
 from ..config import ProtocolConfig
 from ..crypto.coin import CommonCoin, FastCoin, ThresholdCoin
 from ..crypto.signing import NullSignatureScheme, SignatureScheme, generate_keys
@@ -18,6 +25,10 @@ from ..dag.validation import BlockVerifier
 from ..transaction import Transaction
 from .node import ValidatorNode
 from .transport import MemoryHub, MemoryTransport, TcpTransport, Transport
+
+#: Reconfiguration commands ride in transactions with ids far above any
+#: benchmark traffic (mirrors the simulator's convention).
+RECONFIG_TX_BASE = 1 << 62
 
 
 class LocalCluster:
@@ -35,9 +46,11 @@ class LocalCluster:
         wal_dir: str | Path | None = None,
         min_block_interval: float = 0.0,
         seed: int = 0,
+        provisioned: int | None = None,
+        recover_mode: str = "warm",
     ) -> None:
         """Args:
-        n: Committee size.
+        n: Genesis committee size.
         config: Protocol parameters (defaults to Mahi-Mahi-5, 2 leaders).
         transport: ``"memory"`` or ``"tcp"`` (localhost sockets).
         base_port: First TCP port (validator ``i`` uses ``base_port+i``).
@@ -49,57 +62,108 @@ class LocalCluster:
             persistence when omitted).
         min_block_interval: Proposal pacing in seconds.
         seed: Key/coin derivation seed.
+        provisioned: Total wire identities (>= ``n``).  Identities
+            ``n .. provisioned-1`` start outside the committee and may
+            be joined live via :meth:`submit_reconfig`.
+        recover_mode: Default restart path for every node (see
+            :data:`~repro.runtime.node.RECOVER_MODES`).
         """
         self.config = config or ProtocolConfig(wave_length=5, leaders_per_round=2)
-        scheme = signature_scheme or NullSignatureScheme()
-        keys = generate_keys(scheme, n, seed=b"cluster-%d" % seed)
-        self.committee = Committee.of_size(n, public_keys=[k.public_key for k in keys])
+        self.n = n
+        self.provisioned = provisioned if provisioned is not None else n
+        if self.provisioned < n:
+            raise ValueError(f"provisioned ({self.provisioned}) must cover n ({n})")
+        self._scheme = signature_scheme or NullSignatureScheme()
+        self._keys = generate_keys(
+            self._scheme, self.provisioned, seed=b"cluster-%d" % seed
+        )
+        self.committee = Committee.of_size(
+            n, public_keys=[k.public_key for k in self._keys[:n]]
+        )
         quorum = self.committee.quorum_threshold
         if threshold_coin:
-            self._coins: list[CommonCoin] = ThresholdCoin.deal(n, quorum, seed=seed)
-        else:
-            shared = FastCoin(seed=b"cluster-coin-%d" % seed, n=n, threshold=quorum)
-            self._coins = [shared] * n
-        self._hub = MemoryHub() if transport == "memory" else None
-        self._wal_dir = Path(wal_dir) if wal_dir is not None else None
-        self.nodes: list[ValidatorNode] = []
-        for i in range(n):
-            node_transport: Transport
-            if self._hub is not None:
-                node_transport = MemoryTransport(i, self._hub)
-            else:
-                addresses = {v: ("127.0.0.1", base_port + v) for v in range(n)}
-                node_transport = TcpTransport(i, addresses)
-            verifier = BlockVerifier(self.committee, scheme, self._coins[i])
-            private = keys[i].private_key
-            self.nodes.append(
-                ValidatorNode(
-                    i,
-                    self.committee,
-                    self.config,
-                    self._coins[i],
-                    node_transport,
-                    wal_path=(
-                        self._wal_dir / f"validator-{i}.wal"
-                        if self._wal_dir is not None
-                        else None
-                    ),
-                    verifier=verifier,
-                    sign=lambda data, _key=private, _scheme=scheme: _scheme.sign(_key, data),
-                    min_block_interval=min_block_interval,
-                )
+            self._coins: list[CommonCoin] = ThresholdCoin.deal(
+                self.provisioned, quorum, seed=seed
             )
+        else:
+            shared = FastCoin(
+                seed=b"cluster-coin-%d" % seed, n=self.provisioned, threshold=quorum
+            )
+            self._coins = [shared] * self.provisioned
+        self._hub = MemoryHub() if transport == "memory" else None
+        self._addresses = {
+            v: ("127.0.0.1", base_port + v) for v in range(self.provisioned)
+        }
+        self._wal_dir = Path(wal_dir) if wal_dir is not None else None
+        self._recover_mode = recover_mode
+        self._interval = min_block_interval
+        self._reconfig_seq = 0
+        self._started: set[int] = set()
+        self.nodes: list[ValidatorNode] = [
+            self._make_node(i, recover_mode) for i in range(self.provisioned)
+        ]
+
+    def _make_node(self, i: int, recover_mode: str) -> ValidatorNode:
+        """Build one validator incarnation (also the restart path)."""
+        node_transport: Transport
+        if self._hub is not None:
+            node_transport = MemoryTransport(i, self._hub)
+        else:
+            node_transport = TcpTransport(i, self._addresses)
+        # The static verifier covers exactly the genesis committee; a
+        # reconfigurable deployment (extra provisioned identities) skips
+        # per-block verification, like the simulator does — membership
+        # there is epoch-dependent and enforced by the core.
+        verifier = (
+            BlockVerifier(self.committee, self._scheme, self._coins[i])
+            if self.provisioned == self.n
+            else None
+        )
+        private = self._keys[i].private_key
+        scheme = self._scheme
+        return ValidatorNode(
+            i,
+            CommitteeSchedule(self.committee, provisioned=self.provisioned),
+            self.config,
+            self._coins[i],
+            node_transport,
+            wal_path=(
+                self._wal_dir / f"validator-{i}.wal"
+                if self._wal_dir is not None
+                else None
+            ),
+            verifier=verifier,
+            sign=lambda data, _key=private, _scheme=scheme: _scheme.sign(_key, data),
+            min_block_interval=self._interval,
+            recover_mode=recover_mode,
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     async def start(self, validators: list[int] | None = None) -> None:
-        """Start all (or the given) validators."""
-        targets = self.nodes if validators is None else [self.nodes[i] for i in validators]
+        """Start the genesis committee (or the given validators)."""
+        if validators is None:
+            validators = list(range(self.n))
+        targets = [self.nodes[i] for i in validators]
         await asyncio.gather(*(node.start() for node in targets))
+        self._started |= set(validators)
 
     async def stop(self) -> None:
+        # Stopping a never-started node is a harmless no-op, so sweep
+        # everything (callers may have started nodes directly).
         await asyncio.gather(*(node.stop() for node in self.nodes))
+        self._started = set()
+
+    async def restart(self, validator: int, *, recover_mode: str | None = None) -> ValidatorNode:
+        """Replace a (stopped or crashed) validator with a fresh
+        incarnation and start it in the given recovery mode."""
+        mode = recover_mode if recover_mode is not None else self._recover_mode
+        node = self._make_node(validator, mode)
+        self.nodes[validator] = node
+        await node.start()
+        self._started.add(validator)
+        return node
 
     async def __aenter__(self) -> "LocalCluster":
         await self.start()
@@ -114,6 +178,17 @@ class LocalCluster:
     def submit(self, tx: Transaction, validator: int = 0) -> None:
         """Submit a transaction to one validator's mempool."""
         self.nodes[validator].submit_transaction(tx)
+
+    def submit_reconfig(self, kind: str, validator: int, *, at: int = 0) -> None:
+        """Inject a join/leave command transaction at validator ``at``
+        (the administrative client of a real deployment)."""
+        command = ReconfigCommand(kind=kind, validator=validator)
+        tx = Transaction(
+            tx_id=RECONFIG_TX_BASE + self._reconfig_seq,
+            payload=command.encode_payload(),
+        )
+        self._reconfig_seq += 1
+        self.submit(tx, validator=at)
 
     async def wait_for_commits(
         self, count: int, *, validator: int = 0, timeout: float = 30.0
@@ -145,3 +220,16 @@ class LocalCluster:
                 await asyncio.sleep(0.01)
 
         return await asyncio.wait_for(_wait(), timeout)
+
+    async def wait_for_epoch(
+        self, epoch_id: int, *, validator: int = 0, timeout: float = 30.0
+    ) -> None:
+        """Wait until ``validator``'s schedule has scheduled ``epoch_id``
+        (a committed reconfiguration command took effect there)."""
+        node = self.nodes[validator]
+
+        async def _wait() -> None:
+            while node.schedule.latest.epoch_id < epoch_id:
+                await asyncio.sleep(0.01)
+
+        await asyncio.wait_for(_wait(), timeout)

@@ -3,31 +3,83 @@
 Owns a :class:`~repro.core.MahiMahiCore`, a transport, a write-ahead
 log, and a synchronizer; runs a proposal loop and a synchronizer loop as
 asyncio tasks; surfaces committed blocks on an async queue.
+
+Runtime parity with the simulator (:class:`~repro.sim.node.SimValidator`):
+
+* the validator set is a round-versioned
+  :class:`~repro.committee.CommitteeSchedule` — committed
+  :class:`~repro.committee.ReconfigCommand` transactions activate epochs
+  at deterministic commit-walk points, ``_peers()`` follows the active
+  and latest-scheduled committees, and a member an activated epoch
+  excludes goes silent by itself (:meth:`ValidatorNode._check_epoch_exit`);
+* three restart paths (``recover_mode``): **warm** replays the
+  write-ahead log through the public core API before joining the
+  network; **checkpoint** adopts a ``2f + 1``-attested state-transfer
+  checkpoint (:mod:`repro.statesync`) and deep-fetches only the suffix
+  above the floor, raising the floor when peers report pruned history;
+  **cold** re-syncs from live traffic, switching to chunked deep
+  fetches when it detects it has fallen far behind;
+* commit-state checkpoints are captured by the committer's
+  :class:`~repro.statesync.CommitLedger` at the same deterministic
+  commit-walk points as the sim, and served to recovering peers over
+  the checkpoint request/response messages.
 """
 
 from __future__ import annotations
 
 import asyncio
+import time
 from pathlib import Path
-from typing import Callable
+from typing import Awaitable, Callable
 
 from ..block import Block
-from ..committee import Committee
+from ..committee import Committee, CommitteeSchedule
 from ..config import ProtocolConfig
 from ..core.committer import CommitObservation
 from ..core.protocol import MahiMahiCore
 from ..crypto.coin import CommonCoin
 from ..dag.validation import BlockVerifier
+from ..errors import StateTransferError
+from ..statesync import Checkpoint, CheckpointVotes, ancestor_closure, replay_wal
+from ..statesync.recovery import SYNC_MAX_BLOCKS
 from ..transaction import Transaction
-from .messages import BlockMessage, FetchRequest, FetchResponse, Message
+from .messages import (
+    BlockMessage,
+    CheckpointRequest,
+    CheckpointResponse,
+    FetchRequest,
+    FetchResponse,
+    Message,
+    SyncRequest,
+    SyncResponse,
+    TransactionMessage,
+)
 from .synchronizer import Synchronizer
 from .transport import Transport
 from .wal import WriteAheadLog
+
+#: Restart paths a validator may take (mirrors the sim's RECOVER_MODES).
+RECOVER_MODES = ("cold", "warm", "checkpoint")
 
 #: How often the proposal loop re-checks readiness (seconds).
 _PROPOSE_POLL = 0.005
 #: How often the synchronizer retries fetches (seconds).
 _SYNC_POLL = 0.05
+#: Idle retransmission: with no new proposal for this long, the latest
+#: own block is re-broadcast.  Sends to unreachable peers are dropped
+#: (best-effort transport), and the synchronizer only repairs gaps that
+#: *incoming* blocks reveal — so if every validator lost someone's
+#: block and stopped proposing, nothing would ever flow again.  The
+#: periodic re-broadcast is the anti-entropy that breaks such a silent
+#: deadlock (and is how a real deployment rides out dropped sends).
+_REBROADCAST_AFTER = 0.5
+#: How long a checkpoint-mode recoverer waits before re-broadcasting
+#: its checkpoint request (peers may not have captured anything yet).
+_CKPT_RETRY = 0.25
+#: A live block this many rounds above our frontier means we have
+#: fallen behind (a cold restart, or a long partition): switch from
+#: shallow per-reference fetches to the chunked deep re-sync chain.
+_BEHIND_WAVES = 2
 
 
 class ValidatorNode:
@@ -36,26 +88,44 @@ class ValidatorNode:
     def __init__(
         self,
         authority: int,
-        committee: Committee,
+        committee: "Committee | CommitteeSchedule",
         config: ProtocolConfig,
         coin: CommonCoin,
         transport: Transport,
         *,
         wal_path: str | Path | None = None,
+        wal_sync: bool = False,
         verifier: BlockVerifier | None = None,
         sign: Callable[[bytes], bytes] | None = None,
         committer_factory: Callable | None = None,
         min_block_interval: float = 0.0,
+        recover_mode: str = "warm",
+        sync_chunk_blocks: int = SYNC_MAX_BLOCKS,
+        on_recovery: Callable[[int, float, str], None] | None = None,
     ) -> None:
         """Args mirror :class:`~repro.core.MahiMahiCore`, plus:
 
+        committee: A static :class:`Committee` or an epoch-versioned
+            :class:`CommitteeSchedule` (committed reconfiguration
+            commands then resize the validator set live).
         transport: Started/stopped together with the node.
-        wal_path: When set, blocks are persisted and recovery replays
+        wal_path: When set, blocks are persisted; warm recovery replays
             the log into the DAG before the node joins the network.
         min_block_interval: Proposal pacing (0 = propose at quorum edge).
+        recover_mode: Restart path, one of :data:`RECOVER_MODES`.
+            Defaults to ``warm``, which degenerates to ``cold`` when
+            there is no (or an empty) WAL — a first boot.
+        sync_chunk_blocks: Most blocks served in one deep-fetch
+            response chunk.
+        on_recovery: Called as ``(authority, recovery_seconds, mode)``
+            at the first own proposal after a restart that had to
+            re-sync — the recovery-time metric hook.
         """
+        if recover_mode not in RECOVER_MODES:
+            raise ValueError(
+                f"unknown recover_mode {recover_mode!r}; pick one of {RECOVER_MODES}"
+            )
         self.authority = authority
-        self.committee = committee
         self.core = MahiMahiCore(
             authority,
             committee,
@@ -65,27 +135,78 @@ class ValidatorNode:
             sign=sign,
             committer_factory=committer_factory,
         )
+        self.schedule = self.core.schedule
+        self.committee = self.core.committee  # genesis committee (compat)
+        self.config = config
         self.transport = transport
-        self._wal = WriteAheadLog(wal_path) if wal_path is not None else None
+        self._wal = (
+            WriteAheadLog(wal_path, sync=wal_sync) if wal_path is not None else None
+        )
         self._wal_path = wal_path
-        self.synchronizer = Synchronizer(transport, committee.size)
+        self.synchronizer = Synchronizer(transport, self.schedule.provisioned)
         self._interval = min_block_interval
         self._last_proposal = float("-inf")
+        self._last_rebroadcast = float("-inf")
+        self._last_block: Block | None = None
         self._tasks: list[asyncio.Task] = []
         self._running = False
+        self._recover_mode = recover_mode
+        self._sync_chunk = sync_chunk_blocks
+        self._on_recovery = on_recovery
+        #: Whether this node is re-syncing after a restart (no proposals
+        #: until the DAG behind the frontier is rebuilt).
+        self._syncing = False
+        self._ckpt_votes = CheckpointVotes(self._ckpt_quorum())
+        self._ckpt_adopted = False
+        self._last_ckpt_request = float("-inf")
+        #: The restart path actually taken (a warm restart with an empty
+        #: WAL degenerates to, and reports, ``cold``).
+        self.recovery_mode_used = "cold"
+        self.checkpoint_adoptions = 0
+        self._recovered_at: float | None = None
+        #: Seconds from restart to the first own proposal (None until a
+        #: recovery completes).
+        self.recovery_time: float | None = None
+        #: Unrecoverable re-sync failure, surfaced instead of raised so
+        #: the transport pump survives (hosts poll / report it).
+        self.recovery_error: StateTransferError | None = None
+        # Epoch-versioned membership: once an activated epoch excludes a
+        # former member it leaves — stops proposing for good.
+        self._was_member = self.schedule.genesis_committee.is_member(authority)
+        self.left = False
         #: Committed observations, for consumers (SMR execution layers).
         self.commits: asyncio.Queue[CommitObservation] = asyncio.Queue()
         self.committed_blocks: list[Block] = []
+        self.schedule.subscribe(
+            lambda epoch: self.synchronizer.update_committee_size(
+                max(self.schedule.provisioned, max(epoch.committee.members) + 1)
+            )
+        )
         transport.on_message(self._on_message)
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
-    async def start(self) -> None:
-        """Recover from the WAL, start the transport and loops."""
+    async def start(self, *, barrier: "Callable[[], Awaitable[None]] | None" = None) -> None:
+        """Recover per ``recover_mode``, start the transport and loops.
+
+        ``barrier`` (when given) is awaited after the listener is bound
+        but before the first proposal — a multi-process deployment waits
+        for every peer's listener here, so genesis-round broadcasts are
+        not dropped into the boot race.
+        """
         self._recover()
         await self.transport.start()
+        if barrier is not None:
+            await barrier()
         self._running = True
+        if self._recover_mode == "checkpoint":
+            # State transfer: no proposals (and no genesis-anchored
+            # fetches) until a quorum-attested checkpoint is adopted and
+            # the suffix above its floor is in.
+            self._syncing = True
+            self._recovered_at = time.monotonic()
+            await self._request_checkpoints()
         self._tasks = [
             asyncio.create_task(self._proposal_loop()),
             asyncio.create_task(self._sync_loop()),
@@ -102,26 +223,30 @@ class ValidatorNode:
             self._wal.close()
 
     def _recover(self) -> None:
-        """Replay the WAL into the core (idempotent on a fresh log).
+        """Warm path: replay the WAL into the core through the public
+        API (idempotent on a fresh log).
 
-        Blocks replay in append order, which is causally consistent
-        because the node only ever logged blocks it had accepted.  Own
-        blocks restore the round counter so a recovered validator never
-        re-proposes (and hence never equivocates) a logged round.
+        Blocks replay in causal order and the proposal round is floored
+        at the highest own-authored record, so a recovered validator
+        never re-proposes (and hence never equivocates) a logged round.
+        Cold and checkpoint restarts skip replay — their history comes
+        from the network.
         """
-        if self._wal_path is None:
+        if self._wal_path is None or self._recover_mode != "warm":
             return
-        from .wal import RECORD_OWN_BLOCK, RECORD_PEER_BLOCK
-
-        for record in WriteAheadLog.read_records(self._wal_path):
-            if record.record_type not in (RECORD_OWN_BLOCK, RECORD_PEER_BLOCK):
-                continue
-            block, _ = Block.decode(record.payload)
-            self.core.add_block(block)
-            if record.record_type == RECORD_OWN_BLOCK:
-                self.core.round = max(self.core.round, block.round)
-                self.core._own_last_ref = block.reference
+        replay = replay_wal(self.core, self._wal_path)
         self.core.try_commit()
+        if replay.blocks:
+            self.recovery_mode_used = "warm"
+            # Re-sync the delta accumulated while down; live traffic
+            # (or a deep fetch, if far behind) finishes the job.
+            self._syncing = True
+            self._recovered_at = time.monotonic()
+
+    def _ckpt_quorum(self) -> int:
+        """The attestation quorum for checkpoint adoption: ``2f + 1`` of
+        the latest committee this validator knows."""
+        return self.schedule.latest.committee.quorum_threshold
 
     # ------------------------------------------------------------------
     # Client API
@@ -137,14 +262,28 @@ class ValidatorNode:
         while self._running:
             loop_time = asyncio.get_running_loop().time()
             if (
-                self.core.ready_to_propose()
+                not self._syncing
+                and not self.left
+                and self.core.ready_to_propose()
                 and loop_time - self._last_proposal >= self._interval
             ):
                 block = self.core.maybe_propose(loop_time)
                 if block is not None:
                     self._last_proposal = loop_time
+                    self._last_block = block
                     if self._wal is not None:
+                        # Own proposals are durable *before* broadcast: a
+                        # warm restart replays them and never signs a
+                        # second block for a round it already used.
                         self._wal.append_own_block(block)
+                    if self._recovered_at is not None:
+                        # First proposal after a restart: recovered.
+                        self.recovery_time = time.monotonic() - self._recovered_at
+                        if self._on_recovery is not None:
+                            self._on_recovery(
+                                self.authority, self.recovery_time, self.recovery_mode_used
+                            )
+                        self._recovered_at = None
                     await self.transport.broadcast(
                         BlockMessage(block=block), self._peers()
                     )
@@ -154,35 +293,140 @@ class ValidatorNode:
 
     async def _sync_loop(self) -> None:
         while self._running:
+            if (
+                self._syncing
+                and self._recover_mode == "checkpoint"
+                and not self._ckpt_adopted
+                and time.monotonic() - self._last_ckpt_request >= _CKPT_RETRY
+            ):
+                await self._request_checkpoints()
             await self.synchronizer.tick()
+            await self._maybe_rebroadcast()
             await asyncio.sleep(_SYNC_POLL)
 
+    async def _maybe_rebroadcast(self) -> None:
+        """Retransmit the latest own block after an idle stretch (see
+        :data:`_REBROADCAST_AFTER`; duplicates are idempotent on the
+        receiving side)."""
+        if self._last_block is None or self._syncing or self.left:
+            return
+        now = asyncio.get_running_loop().time()
+        if now - max(self._last_proposal, self._last_rebroadcast) < _REBROADCAST_AFTER:
+            return
+        self._last_rebroadcast = now
+        await self.transport.broadcast(
+            BlockMessage(block=self._last_block), self._peers()
+        )
+
     def _peers(self) -> list[int]:
-        return [v for v in range(self.committee.size) if v != self.authority]
+        """Everyone we broadcast to: the committee governing the current
+        frontier round, plus the latest scheduled epoch's members (a
+        joiner must hear blocks before its epoch activates to be ready
+        at the boundary), plus — for one epoch of grace — the previous
+        epoch's members (a departed validator must *observe* the
+        boundary that excluded it to go silent on its own; were it cut
+        off at the boundary exactly, it would starve one round short of
+        it and never learn it left), minus ourselves."""
+        schedule = self.schedule
+        if schedule.is_static:
+            members = set(schedule.genesis_committee.members)
+        else:
+            epochs = schedule.epochs()
+            current = schedule.epoch_at(max(0, self.core.store.highest_round))
+            members = set(current.committee.members)
+            index = epochs.index(current)
+            if index > 0:
+                members.update(epochs[index - 1].committee.members)
+            members.update(schedule.latest.committee.members)
+        members.discard(self.authority)
+        return sorted(members)
 
     # ------------------------------------------------------------------
     # Message handling
     # ------------------------------------------------------------------
     async def _on_message(self, sender: int, message: Message) -> None:
         if isinstance(message, BlockMessage):
-            self._ingest(message.block, sender)
+            await self._ingest(message.block, sender)
         elif isinstance(message, FetchRequest):
             await self._serve_fetch(message, sender)
         elif isinstance(message, FetchResponse):
             for block in message.blocks:
-                self._ingest(block, sender)
+                await self._ingest(block, sender, live=False)
+        elif isinstance(message, CheckpointRequest):
+            await self._serve_checkpoints(sender)
+        elif isinstance(message, CheckpointResponse):
+            await self._on_ckpt_resp(message.checkpoints, sender)
+        elif isinstance(message, SyncRequest):
+            await self._serve_sync(message, sender)
+        elif isinstance(message, SyncResponse):
+            await self._on_sync_response(message, sender)
+        elif isinstance(message, TransactionMessage):
+            for tx in message.transactions:
+                self.core.add_transaction(tx)
 
-    def _ingest(self, block: Block, sender: int) -> None:
+    async def _ingest(self, block: Block, sender: int, live: bool = True) -> None:
         result = self.core.add_block(block)
         if result.missing:
-            self.synchronizer.note_missing(result.missing, sender)
+            await self._request_missing(sender, result.missing, block, live)
         for accepted in result.accepted:
             self.synchronizer.note_arrived(accepted.digest)
             if self._wal is not None and accepted.author != self.authority:
                 self._wal.append_peer_block(accepted)
         if result.accepted:
+            if self._syncing and live and self.core.pending_count == 0:
+                # Caught up: a freshly broadcast block connected with its
+                # whole causal history present.  Fetched chunks
+                # (live=False) never count — they prove nothing about
+                # the frontier.
+                self._finish_sync()
             self._drain_commits()
 
+    async def _request_missing(
+        self, sender: int, missing: tuple, block: Block, live: bool
+    ) -> None:
+        """Route missing-ancestor reports to the right fetch shape."""
+        if self._syncing:
+            if self._recover_mode == "checkpoint" and not self._ckpt_adopted:
+                # State transfer first: fetching toward genesis would
+                # fight the adoption (and fail once peers have pruned).
+                # Incoming blocks buffer as pending and connect once the
+                # suffix above the adopted floor arrives.
+                return
+            if not self.synchronizer.sync_inflight:
+                await self.synchronizer.request_deep(
+                    sender, missing, self._sync_floor()
+                )
+            return
+        if live and self._behind_by(block) > _BEHIND_WAVES * self.config.wave_length:
+            # Fallen far behind (cold restart, long partition): shallow
+            # per-reference fetches would crawl — enter the chunked deep
+            # re-sync chain instead.
+            self._syncing = True
+            if self._recovered_at is None:
+                self._recovered_at = time.monotonic()
+            await self.synchronizer.request_deep(sender, missing, self._sync_floor())
+            return
+        self.synchronizer.note_missing(missing, sender)
+
+    def _behind_by(self, block: Block) -> int:
+        return block.round - self.core.store.highest_round
+
+    def _sync_floor(self) -> int:
+        """The advertised deep-fetch floor: everything accepted so far,
+        or — right after a checkpoint adoption, when the store holds
+        only genesis — the adopted state-transfer floor."""
+        store = self.core.store
+        return max(store.highest_round, store.sync_floor - 1)
+
+    def _finish_sync(self) -> None:
+        self._syncing = False
+        # Never propose in a round the pre-crash incarnation already
+        # proposed in: lead with the newest visible own-authored block.
+        self.core.restore_own_position()
+
+    # ------------------------------------------------------------------
+    # Serving fetches
+    # ------------------------------------------------------------------
     async def _serve_fetch(self, request: FetchRequest, sender: int) -> None:
         available = [
             self.core.store.get(ref.digest)
@@ -192,6 +436,139 @@ class ValidatorNode:
         if available:
             await self.transport.send(sender, FetchResponse(blocks=tuple(available)))
 
+    async def _serve_sync(self, request: SyncRequest, sender: int) -> None:
+        """Serve one deep-fetch chunk.  Sync requests always get a
+        response — an empty one tells the re-syncing requester to
+        unblock and try elsewhere — and requested references this peer
+        already garbage-collected are flagged, so a re-sync that *needs*
+        pruned history fails fast instead of livelocking."""
+        store = self.core.store
+        available = [store.get(ref.digest) for ref in request.refs if ref.digest in store]
+        pruned = tuple(
+            ref
+            for ref in request.refs
+            if ref.digest not in store and 0 < ref.round < store.lowest_round
+        )
+        served = ancestor_closure(store, available, request.floor, self._sync_chunk)
+        await self.transport.send(
+            sender,
+            SyncResponse(blocks=tuple(served), pruned=pruned, token=request.token),
+        )
+
+    async def _serve_checkpoints(self, sender: int) -> None:
+        ledger = getattr(self.core.committer, "ledger", None)
+        checkpoints = tuple(ledger.checkpoints) if ledger is not None else ()
+        await self.transport.send(sender, CheckpointResponse(checkpoints=checkpoints))
+
+    # ------------------------------------------------------------------
+    # Checkpoint adoption (state transfer)
+    # ------------------------------------------------------------------
+    async def _request_checkpoints(self) -> None:
+        self._last_ckpt_request = time.monotonic()
+        self._ckpt_votes.clear()
+        await self.transport.broadcast(CheckpointRequest(), self._peers())
+
+    async def _on_ckpt_resp(
+        self, checkpoints: tuple[Checkpoint, ...], sender: int
+    ) -> None:
+        if not self._syncing or self._ckpt_adopted:
+            return
+        best = self._ckpt_votes.add(sender, checkpoints)
+        if best is not None:
+            await self._adopt_checkpoint(best)
+
+    async def _adopt_checkpoint(self, checkpoint: Checkpoint) -> None:
+        """``2f + 1`` matching responses arrived: fast-forward the fresh
+        core to the checkpoint and kick the suffix fetch at an attester
+        (the first responder — the lowest-latency peer)."""
+        attesters = self._ckpt_votes.attesters(checkpoint)
+        self._ckpt_adopted = True
+        self.recovery_mode_used = "checkpoint"
+        self.checkpoint_adoptions += 1
+        self.core.adopt_checkpoint(checkpoint)
+        self._ckpt_votes.clear()
+        refs = checkpoint.frontier
+        if refs:
+            await self.synchronizer.request_deep(attesters[0], refs, self._sync_floor())
+
+    # ------------------------------------------------------------------
+    # Deep-fetch responses (the re-sync chain)
+    # ------------------------------------------------------------------
+    async def _on_sync_response(self, message: SyncResponse, sender: int) -> None:
+        # Only the response to the request currently in flight may drive
+        # the chain (or declare it finished): a stale response still
+        # contributes blocks but proves nothing.
+        current = self.synchronizer.note_sync_response(message.token)
+        if message.pruned and self._syncing and current:
+            if not self._absorb_pruned_history(message.pruned):
+                return
+        if not message.blocks:
+            if message.pruned and self._syncing and current:
+                # The whole request sat behind the (absorbed) pruning
+                # horizon; ask for whatever the frontier still misses.
+                await self._continue_sync(sender)
+            return
+        for block in message.blocks:
+            await self._ingest(block, sender, live=False)
+        if not (self._syncing and current):
+            return
+        if self.core.pending_count == 0 and len(message.blocks) < self._sync_chunk:
+            # A short chunk: the serving peer transferred its whole
+            # closure, frontier included — we are as caught up as an
+            # honest peer was a round trip ago.
+            self._finish_sync()
+        else:
+            await self._continue_sync(sender)
+
+    async def _continue_sync(self, peer: int) -> None:
+        """Chain the next re-sync chunk immediately after ingesting one,
+        with the floor advanced past everything just accepted."""
+        refs = self.core.missing_frontier()
+        if refs:
+            await self.synchronizer.request_deep(peer, refs, self._sync_floor())
+
+    def _absorb_pruned_history(self, pruned: tuple) -> bool:
+        """A sync peer garbage-collected history this re-sync asked for.
+
+        After a checkpoint adoption this is expected (peers keep
+        committing, their pruning horizon slides): the flagged rounds
+        are globally settled, so the floor is raised past them and the
+        sync continues.  Outside the adopted span the history is simply
+        unrecoverable — the failure is recorded on
+        :attr:`recovery_error` (raising would kill the transport pump)
+        and the chain stops.  Returns whether the sync may continue.
+        """
+        if self._recover_mode == "checkpoint" and not self._ckpt_adopted:
+            return True  # state transfer pending; it bypasses the span
+        ledger = getattr(self.core.committer, "ledger", None)
+        base = ledger.adopted_base if ledger is not None else None
+        if (
+            self._ckpt_adopted
+            and base is not None
+            and all(ref.round <= base.round for ref in pruned)
+        ):
+            floor = max(ref.round for ref in pruned) + 1
+            for block in self.core.raise_sync_floor(floor):
+                if self._wal is not None and block.author != self.authority:
+                    self._wal.append_peer_block(block)
+            return True
+        detail = (
+            "the adopted checkpoint went stale mid-recovery (peers pruned past "
+            "its round); lower checkpoint_interval or raise gc_depth"
+            if self._ckpt_adopted
+            else "recovery past the GC horizon needs recover_mode='checkpoint' "
+            "(state transfer) or a larger gc_depth"
+        )
+        self.recovery_error = StateTransferError(
+            f"validator {self.authority}: re-sync needs {len(pruned)} block(s) "
+            f"behind a peer's garbage-collection horizon "
+            f"(first: {pruned[0]!r}); {detail}"
+        )
+        return False
+
+    # ------------------------------------------------------------------
+    # Committing and epochs
+    # ------------------------------------------------------------------
     def _drain_commits(self) -> None:
         observations = self.core.try_commit()
         for observation in observations:
@@ -199,3 +576,20 @@ class ValidatorNode:
             self.committed_blocks.extend(observation.linearized)
         if observations and self._wal is not None:
             self._wal.append_commit_mark(self.core.committer.last_finalized_round)
+        if observations and not self.schedule.is_static:
+            self._check_epoch_exit()
+
+    def _check_epoch_exit(self) -> None:
+        """Go silent for good once an activated epoch excludes us.
+
+        Between a committed leave command and its activation round the
+        validator keeps proposing (thresholds still count it); at the
+        boundary it stops — exactly when ``2f + 1`` stops counting it,
+        so liveness never depends on a departed member.  The transport
+        keeps serving fetches (a real leaver drains before shutdown).
+        """
+        committee = self.schedule.committee_at(self.core.store.highest_round)
+        if committee.is_member(self.authority):
+            self._was_member = True
+        elif self._was_member:
+            self.left = True

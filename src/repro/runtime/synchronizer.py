@@ -4,6 +4,21 @@ Lemma 8's liveness argument relies on a "synchronizer sub-component":
 when a validator receives a block whose ancestors it lacks, it requests
 them from the sender (who, having relayed the block, must hold its full
 causal history) and retries against other peers on timeout.
+
+Two fetch shapes:
+
+* **shallow** — exactly the named references (the common case: a block
+  arrived a little early and names one or two parents still in flight);
+* **deep** — the named references *plus their whole stored ancestor
+  closure* above a floor, served in bounded chunks, lowest rounds first
+  (:class:`~repro.runtime.messages.SyncRequest`).  A recovering
+  validator rebuilds the DAG this way.  At most **one** deep fetch is
+  outstanding at a time — the in-flight chain (or its continuation off
+  the response) covers everything; firing another full-closure fetch
+  per incoming broadcast would re-serve the same span many times over.
+  Responses are token-tagged so only the request currently in flight
+  drives the chain, and a retry timeout clears the marker in case the
+  serving peer never answers.
 """
 
 from __future__ import annotations
@@ -13,10 +28,11 @@ from dataclasses import dataclass
 
 from ..block import BlockRef
 from ..crypto.hashing import Digest
-from .messages import FetchRequest
+from .messages import FetchRequest, SyncRequest
 from .transport import Transport
 
-#: Seconds before a fetch is retried against another peer.
+#: Seconds before a fetch is retried against another peer (also the
+#: deep-fetch chain's in-flight timeout).
 RETRY_AFTER = 1.0
 #: Maximum references batched into one request.
 BATCH = 64
@@ -38,12 +54,32 @@ class Synchronizer:
         self._n = committee_size
         self._pending: dict[Digest, _Pending] = {}
         self.requests_sent = 0
+        # Deep-fetch chain state: the token in flight (0 = none), a
+        # monotonic counter so stale responses never clear a newer
+        # request, and the send time for the retry timeout.
+        self._sync_token = 0
+        self._sync_inflight = 0
+        self._sync_sent_at = 0.0
+        self.deep_requests_sent = 0
 
     @property
     def missing(self) -> int:
-        """Number of references still being fetched."""
+        """Number of references still being fetched (shallow)."""
         return len(self._pending)
 
+    @property
+    def sync_inflight(self) -> bool:
+        """Whether a deep fetch is currently outstanding."""
+        return self._sync_inflight != 0
+
+    def update_committee_size(self, n: int) -> None:
+        """Follow epoch transitions: retry rotation covers the new
+        committee's index range."""
+        self._n = n
+
+    # ------------------------------------------------------------------
+    # Shallow fetches
+    # ------------------------------------------------------------------
     def note_missing(self, refs: tuple[BlockRef, ...], sender: int) -> None:
         """Register missing ancestors reported while ingesting a block."""
         for ref in refs:
@@ -55,8 +91,12 @@ class Synchronizer:
         self._pending.pop(digest, None)
 
     async def tick(self, now: float | None = None) -> None:
-        """Issue or retry fetch requests (call periodically)."""
+        """Issue or retry fetch requests (call periodically).  Also
+        expires a deep fetch whose serving peer never answered, so the
+        next trigger can re-arm the chain elsewhere."""
         now = time.monotonic() if now is None else now
+        if self._sync_inflight and now - self._sync_sent_at >= RETRY_AFTER:
+            self._sync_inflight = 0
         by_peer: dict[int, list[BlockRef]] = {}
         for pending in self._pending.values():
             if now - pending.last_request < RETRY_AFTER:
@@ -79,3 +119,41 @@ class Synchronizer:
             return pending.ref.author
         candidates = [v for v in range(self._n) if v != self._transport.authority]
         return candidates[pending.attempts % len(candidates)]
+
+    # ------------------------------------------------------------------
+    # Deep fetches (recovery re-sync chain)
+    # ------------------------------------------------------------------
+    async def request_deep(
+        self,
+        peer: int,
+        refs: tuple[BlockRef, ...],
+        floor: int,
+        now: float | None = None,
+    ) -> int:
+        """Send one chunked deep fetch unless a chain is already in
+        flight; returns the request's token (0 when suppressed)."""
+        if self._sync_inflight or not refs:
+            return 0
+        self._sync_token += 1
+        self._sync_inflight = self._sync_token
+        self._sync_sent_at = time.monotonic() if now is None else now
+        self.deep_requests_sent += 1
+        await self._transport.send(
+            peer, SyncRequest(refs=refs, floor=floor, token=self._sync_token)
+        )
+        return self._sync_token
+
+    def note_sync_response(self, token: int) -> bool:
+        """Whether ``token`` tags the deep fetch currently in flight;
+        clears the in-flight marker when it does.  Stale responses (a
+        previous incarnation's, or one that raced the retry timeout)
+        still carry useful blocks but must not drive the chain."""
+        current = bool(token) and token == self._sync_inflight
+        if current:
+            self._sync_inflight = 0
+        return current
+
+    def reset(self) -> None:
+        """Drop all fetch state (a restart loses its queues)."""
+        self._pending.clear()
+        self._sync_inflight = 0

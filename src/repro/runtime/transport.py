@@ -20,6 +20,11 @@ from .messages import MAX_FRAME, Message, decode_message, encode_message, frame
 #: ``(sender, message)`` delivery callback.
 MessageHandler = Callable[[int, Message], Awaitable[None]]
 
+#: First re-dial delay after a failed connection attempt (seconds).
+DIAL_BACKOFF_BASE = 0.05
+#: Ceiling for the exponential re-dial delay (seconds).
+DIAL_BACKOFF_CAP = 2.0
+
 
 class Transport(ABC):
     """Point-to-point + broadcast messaging between validators."""
@@ -49,9 +54,15 @@ class Transport(ABC):
         """Best-effort delivery to one peer (drops if unreachable)."""
 
     async def broadcast(self, message: Message, peers: list[int]) -> None:
-        """Best-effort delivery to every peer in ``peers``."""
-        for dst in peers:
-            await self.send(dst, message)
+        """Best-effort delivery to every peer in ``peers``.
+
+        Fans out concurrently: one slow (or dead) peer must not delay
+        the others' delivery by its dial timeout — serial awaiting would
+        add a full round's latency per unreachable peer.
+        """
+        if not peers:
+            return
+        await asyncio.gather(*(self.send(dst, message) for dst in peers))
 
 
 # ----------------------------------------------------------------------
@@ -129,6 +140,12 @@ class TcpTransport(Transport):
         self._locks: dict[int, asyncio.Lock] = {}
         self._reader_tasks: set[asyncio.Task] = set()
         self._closed = False
+        # Per-peer dial cooldown: dst -> (monotonic time before which no
+        # re-dial is attempted, current backoff delay).  Without it every
+        # send to a dead peer pays a fresh connection attempt — with a
+        # crashed validator that is one failed ``open_connection`` per
+        # broadcast per round.
+        self._dial_cooldown: dict[int, tuple[float, float]] = {}
 
     async def start(self) -> None:
         host, port = self._addresses[self.authority]
@@ -194,11 +211,25 @@ class TcpTransport(Transport):
         writer = self._writers.get(dst)
         if writer is not None and not writer.is_closing():
             return writer
+        now = asyncio.get_running_loop().time()
+        cooldown = self._dial_cooldown.get(dst)
+        if cooldown is not None and now < cooldown[0]:
+            return None  # peer recently unreachable: drop without dialing
         host, port = self._addresses[dst]
         try:
             _, writer = await asyncio.open_connection(host, port)
         except (ConnectionError, OSError):
+            delay = (
+                min(cooldown[1] * 2, DIAL_BACKOFF_CAP)
+                if cooldown is not None
+                else DIAL_BACKOFF_BASE
+            )
+            self._dial_cooldown[dst] = (
+                asyncio.get_running_loop().time() + delay,
+                delay,
+            )
             return None
+        self._dial_cooldown.pop(dst, None)
         writer.write(struct.pack("<I", self.authority))
         self._writers[dst] = writer
         return writer

@@ -20,95 +20,30 @@ Two recovery paths beyond the cold (refetch-to-genesis) restart of
   anti-equivocation guarantee), then syncs only the delta accumulated
   while it was down.  Replay is local, so its simulated cost is a CPU
   charge (:func:`replay_cost`) rather than network round trips.
+
+The transport-agnostic mechanics (:class:`CheckpointVotes`,
+:func:`replay_wal`) are shared with the asyncio runtime and live in
+:mod:`repro.statesync.recovery`; this module keeps the simulation-only
+cost model and re-exports the shared names for its callers.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from pathlib import Path
+from ..statesync.recovery import CheckpointVotes, WalReplay, replay_wal
 
-from ..crypto.hashing import Digest
-from ..runtime.wal import WriteAheadLog
-from ..statesync import Checkpoint, best_attested
+__all__ = [
+    "CheckpointVotes",
+    "WalReplay",
+    "replay_wal",
+    "replay_cost",
+    "WAL_REPLAY_COST_FACTOR",
+]
 
 #: Fraction of the normal consensus CPU cost charged per replayed
 #: block: replay skips signature verification (blocks were verified
 #: before they were logged) and pays no deserialization-into-network
 #: buffers, but still hashes and re-indexes every block.
 WAL_REPLAY_COST_FACTOR = 0.25
-
-
-class CheckpointVotes:
-    """Tally of ``ckpt_resp`` messages during one recovery attempt.
-
-    A responder attests every checkpoint in its response (it retains the
-    last few), so quorums intersect even when peers straddle a couple of
-    capture boundaries.
-    """
-
-    def __init__(self, quorum: int) -> None:
-        self._quorum = quorum
-        # Attesters kept in arrival order: the first responder is the
-        # lowest-latency peer, which is who the suffix fetch should hit.
-        self._votes: dict[Digest, tuple[Checkpoint, dict[int, None]]] = {}
-
-    def add(self, src: int, checkpoints: tuple[Checkpoint, ...]) -> Checkpoint | None:
-        """Record one peer's response; returns the highest checkpoint
-        attested by a quorum so far, or ``None``."""
-        for checkpoint in checkpoints:
-            entry = self._votes.get(checkpoint.checkpoint_id)
-            if entry is None:
-                entry = self._votes[checkpoint.checkpoint_id] = (checkpoint, {})
-            entry[1].setdefault(src)
-        return best_attested(
-            {key: (ckpt, set(srcs)) for key, (ckpt, srcs) in self._votes.items()},
-            self._quorum,
-        )
-
-    def attesters(self, checkpoint: Checkpoint) -> tuple[int, ...]:
-        """Peers that attested ``checkpoint``, in response-arrival order
-        (the first entry is the nearest peer — the suffix-fetch target)."""
-        entry = self._votes.get(checkpoint.checkpoint_id)
-        return tuple(entry[1]) if entry else ()
-
-    def clear(self) -> None:
-        self._votes.clear()
-
-
-@dataclass(frozen=True)
-class WalReplay:
-    """Outcome of replaying a write-ahead log into a fresh core."""
-
-    blocks: int
-    transactions: int
-    own_top_round: int
-    commit_round: int
-
-
-def replay_wal(core, path: str | Path) -> WalReplay:
-    """Replay a WAL into a fresh validator core.
-
-    Own and peer blocks are ingested in causal (round) order — the
-    core's pending buffer absorbs any stragglers a torn tail left
-    parentless — and the proposal round is floored at the highest
-    own-authored record, so the restarted validator can never equivocate
-    with blocks it signed before the crash (the WAL's core guarantee).
-    """
-    own, peers, commit_round = WriteAheadLog.recover(path)
-    blocks = sorted(own + peers, key=lambda b: (b.round, b.author, b.digest))
-    transactions = 0
-    for block in blocks:
-        core.add_block(block)
-        transactions += len(block.transactions)
-    own_top = max((b.round for b in own), default=0)
-    core.round = max(core.round, own_top)
-    core.restore_own_position()
-    return WalReplay(
-        blocks=len(blocks),
-        transactions=transactions,
-        own_top_round=own_top,
-        commit_round=commit_round,
-    )
 
 
 def replay_cost(replay: WalReplay, cpu, tx_weight: float) -> float:

@@ -51,6 +51,8 @@ from ..crypto.hashing import Digest
 from ..errors import SimulationError
 from ..runtime.wal import WriteAheadLog
 from ..statesync import Checkpoint
+from ..statesync.recovery import SYNC_MAX_BLOCKS as _SYNC_MAX_BLOCKS
+from ..statesync.recovery import ancestor_closure
 from ..transaction import Transaction
 from .checkpoint import CheckpointVotes, replay_cost, replay_wal
 from .events import EventLoop
@@ -102,11 +104,6 @@ _BLOCK_HEADER_SIZE = 150
 _SIGNATURE_SIZE = 64
 #: How long to wait before re-requesting a missing ancestor.
 _FETCH_RETRY = 1.0
-#: Most blocks served in one fetch response.  A re-syncing validator's
-#: deep fetch is truncated to the *lowest* rounds of the closure — it
-#: rebuilds the DAG ground-up and re-requests the rest as later blocks
-#: name them.
-_SYNC_MAX_BLOCKS = 4096
 #: How long a checkpoint-mode recoverer waits before re-broadcasting
 #: ``ckpt_req`` when no quorum of matching responses has formed yet
 #: (e.g. it restarted before peers finalized the first boundary).
@@ -814,38 +811,10 @@ class SimValidator:
         )
 
     def _ancestor_closure(self, blocks: list[Block], floor: int) -> list[Block]:
-        """The requested blocks plus their stored ancestors above round
-        ``floor``, lowest rounds first, truncated to
-        :data:`_SYNC_MAX_BLOCKS`.
-
-        The floor is the requester's highest accepted round: closure
-        expansion skips history it already holds, so a re-sync larger
-        than one chunk progresses chunk by chunk instead of re-serving
-        the same prefix forever.  Explicitly requested refs are always
-        served regardless of the floor (a partially-transferred round's
-        stragglers get named — and thus served — on the next request).
-        Genesis is excluded (every validator holds it) and ancestry
-        stops at the garbage-collection horizon — a peer cannot serve
-        history it pruned, so recovery workloads keep enough ``gc_depth``
-        (or disable GC) for the full causal history to remain fetchable.
-        """
-        store = self.core.store
-        requested = {block.digest for block in blocks}
-        closure: dict[Digest, Block] = {}
-        frontier = list(blocks)
-        while frontier:
-            block = frontier.pop()
-            if block.digest in closure or block.round <= 0:
-                continue
-            if block.round <= floor and block.digest not in requested:
-                continue
-            closure[block.digest] = block
-            for ref in block.parents:
-                if ref.round > floor and ref.round > 0 and ref.digest not in closure:
-                    if ref.digest in store:
-                        frontier.append(store.get(ref.digest))
-        ordered = sorted(closure.values(), key=lambda b: (b.round, b.author))
-        return ordered[: min(self._sync_chunk, _SYNC_MAX_BLOCKS)]
+        """Chunked deep-fetch serving (see
+        :func:`repro.statesync.recovery.ancestor_closure`), bounded by
+        this validator's configured chunk size."""
+        return ancestor_closure(self.core.store, blocks, floor, self._sync_chunk)
 
     def _step(self) -> None:
         self._try_propose()

@@ -10,11 +10,14 @@ refetch the DAG back to genesis (the needed history is behind its
 peers' garbage-collection horizon) adopts a quorum-attested checkpoint
 instead and deep-fetches only the suffix above it.
 
-This package is transport-agnostic: the simulator
-(:mod:`repro.sim.checkpoint`, :class:`repro.sim.node.SimValidator`)
-exchanges checkpoints over ``ckpt_req``/``ckpt_resp`` messages, and the
-SMR executor contributes its state digest via
-:func:`digest_executor_state`.
+This package is transport-agnostic: both backends build their recovery
+paths from it — the simulator (:class:`repro.sim.node.SimValidator`)
+exchanges checkpoints over ``ckpt_req``/``ckpt_resp`` messages, the
+asyncio runtime (:class:`repro.runtime.node.ValidatorNode`) over the
+equivalent wire messages — and the SMR executor contributes its state
+digest via :func:`digest_executor_state`.  The shared tally, WAL
+replay, and deep-fetch serving logic live in
+:mod:`repro.statesync.recovery`.
 """
 
 from .checkpoint import (
@@ -26,13 +29,25 @@ from .checkpoint import (
     chain_digest,
     digest_executor_state,
 )
+from .recovery import (
+    SYNC_MAX_BLOCKS,
+    CheckpointVotes,
+    WalReplay,
+    ancestor_closure,
+    replay_wal,
+)
 
 __all__ = [
     "DEFAULT_CHECKPOINT_LAG",
     "GENESIS_STATE",
+    "SYNC_MAX_BLOCKS",
     "Checkpoint",
+    "CheckpointVotes",
     "CommitLedger",
+    "WalReplay",
+    "ancestor_closure",
     "best_attested",
     "chain_digest",
     "digest_executor_state",
+    "replay_wal",
 ]

@@ -263,3 +263,61 @@ class TestMultipleLeaderSlots:
         statuses = committer.try_decide(1, 5)
         assert slot_status(statuses, 1, offset=0).decision is Decision.COMMIT
         assert slot_status(statuses, 1, offset=1).decision is Decision.SKIP
+
+
+class TestEpochBoundaryElection:
+    """A wave whose certify round lands at an epoch activation.
+
+    The DAG only guarantees the *certify round's* committee's quorum of
+    blocks at that round (each next-round block carries a quorum of
+    parents) — under partial participation nothing forces more.  The
+    coin must therefore open with the certify-round committee's quorum
+    of shares; demanding the (larger) proposing epoch's quorum from a
+    round only the shrunk committee proposes in would deadlock the
+    commit walk at the boundary forever.
+    """
+
+    def test_coin_opens_with_certify_round_quorum_after_shrink(self):
+        from repro.committee import CommitteeSchedule
+        from repro.core.decider import LeaderElector
+
+        old = Committee.of_size(5)  # quorum 4
+        new = old.with_removed(2)  # (0, 1, 3, 4) — quorum 3
+        activation = 8
+        schedule = CommitteeSchedule(old, provisioned=5)
+        schedule.schedule_epoch(activation, new)
+        coin = FixedCoin(n=5, threshold=old.quorum_threshold)
+        builder = DagBuilder(old, coin)
+        builder.rounds(1, activation - 1)
+        # The certify round itself: only the new committee's quorum of
+        # blocks — all the DAG structurally guarantees there.
+        builder.round(activation, authors=[0, 1, 3])
+        elector = LeaderElector(builder.store, schedule, coin)
+        propose = activation - (WAVE - 1)
+        leader = elector.leader(activation, 0, epoch_round=propose)
+        assert leader != UNKNOWN_AUTHORITY
+        # The value-to-validator mapping still follows the wave's epoch:
+        # the elected leader is drawn from the *old* committee.
+        assert old.is_member(leader)
+
+    def test_coin_waits_for_certify_round_quorum(self):
+        from repro.committee import CommitteeSchedule
+        from repro.core.decider import LeaderElector
+
+        old = Committee.of_size(5)
+        new = old.with_removed(2)
+        activation = 8
+        schedule = CommitteeSchedule(old, provisioned=5)
+        schedule.schedule_epoch(activation, new)
+        coin = FixedCoin(n=5, threshold=old.quorum_threshold)
+        builder = DagBuilder(old, coin)
+        builder.rounds(1, activation - 1)
+        # Below the certify-round committee's quorum: not open yet.
+        builder.round(activation, authors=[0, 1])
+        elector = LeaderElector(builder.store, schedule, coin)
+        propose = activation - (WAVE - 1)
+        assert elector.leader(activation, 0, epoch_round=propose) == UNKNOWN_AUTHORITY
+        # A third member's block arrives -> the coin opens (the cache
+        # retries once new authors appear at the certify round).
+        builder.block(3, activation)
+        assert elector.leader(activation, 0, epoch_round=propose) != UNKNOWN_AUTHORITY

@@ -154,6 +154,149 @@ class TestCrashRecovery:
 
 
 @pytest.mark.slow
+class TestRecoveryModes:
+    """Live restarts through :meth:`LocalCluster.restart` in each of the
+    three recovery modes, with the rest of the committee still running."""
+
+    def test_cold_restart_refetches_history(self, tmp_path):
+        async def scenario():
+            async with LocalCluster(n=4, wal_dir=tmp_path) as cluster:
+                await cluster.wait_for_commits(10)
+                await cluster.nodes[3].stop()
+                await _survivors_ahead_of(cluster, cluster.nodes[3])
+                node = await cluster.restart(3, recover_mode="cold")
+                await _wait(lambda: node.recovery_time is not None)
+                assert node.recovery_mode_used == "cold"
+                assert node.recovery_error is None
+                # A cold restart starts empty and must rebuild from peers.
+                await cluster.wait_for_commits(25, validator=3)
+
+        run(scenario())
+
+    def test_warm_restart_replays_wal_then_syncs(self, tmp_path):
+        async def scenario():
+            async with LocalCluster(n=4, wal_dir=tmp_path) as cluster:
+                await cluster.wait_for_commits(10)
+                await cluster.nodes[3].stop()
+                before = len(cluster.nodes[3].committed_blocks)
+                await cluster.wait_for_commits(20)
+                node = await cluster.restart(3, recover_mode="warm")
+                await _wait(lambda: node.recovery_time is not None)
+                assert node.recovery_mode_used == "warm"
+                assert node.recovery_error is None
+                # The WAL seeded it at least to where it left off (the
+                # commit queue drains just after recovery is stamped).
+                await _wait(lambda: len(node.committed_blocks) >= before)
+                await cluster.wait_for_commits(25, validator=3)
+
+        run(scenario())
+
+    def test_warm_restart_on_empty_wal_degenerates_to_cold(self, tmp_path):
+        async def scenario():
+            async with LocalCluster(n=4, wal_dir=tmp_path) as cluster:
+                await cluster.wait_for_commits(10)
+                await cluster.nodes[3].stop()
+                (tmp_path / "validator-3.wal").unlink()
+                # Open a gap wide enough that the restarted node detects
+                # it has fallen behind (that detection is what stamps
+                # recovery_time on a cold path).
+                await _survivors_ahead_of(cluster, cluster.nodes[3])
+                node = await cluster.restart(3, recover_mode="warm")
+                await _wait(lambda: node.recovery_time is not None)
+                assert node.recovery_mode_used == "cold"
+                assert node.recovery_error is None
+
+        run(scenario())
+
+    def test_checkpoint_restart_adopts_attested_base(self, tmp_path):
+        """With GC on, a long-dead validator cannot refetch to genesis:
+        it must adopt a ``2f + 1``-attested checkpoint and fetch only the
+        suffix above the transferred floor."""
+
+        async def scenario():
+            config = ProtocolConfig(
+                wave_length=5,
+                leaders_per_round=2,
+                garbage_collection_depth=64,
+                checkpoint_interval_rounds=10,
+            )
+            async with LocalCluster(n=4, config=config, wal_dir=tmp_path) as cluster:
+                await cluster.wait_for_commits(30)
+                await cluster.nodes[3].stop()
+                # Let the survivors race far ahead so validator 3's old
+                # frontier falls behind their GC horizon.
+                target = len(cluster.nodes[0].committed_blocks) + 120
+                await cluster.wait_for_commits(target, timeout=60)
+                node = await cluster.restart(3, recover_mode="checkpoint")
+                await _wait(lambda: node.recovery_time is not None, timeout=30)
+                assert node.recovery_mode_used == "checkpoint"
+                assert node.recovery_error is None
+                ledger = node.core.committer.ledger
+                assert ledger.adopted_base is not None
+                # Post-adoption commits extend the transferred state.
+                resumed = len(node.committed_blocks)
+                await _wait(lambda: len(node.committed_blocks) > resumed)
+                # The suffix it commits agrees with a survivor's sequence.
+                survivor = cluster.nodes[0].committed_blocks
+                digests = {b.digest for b in survivor}
+                assert all(b.digest in digests for b in node.committed_blocks[-5:])
+
+        run(scenario())
+
+
+async def _wait(condition, timeout: float = 20.0):
+    async def poll():
+        while not condition():
+            await asyncio.sleep(0.01)
+
+    await asyncio.wait_for(poll(), timeout)
+
+
+async def _survivors_ahead_of(cluster, stopped, waves: int = 3):
+    """Wait until the running committee's rounds are far enough past the
+    stopped node's frontier that a restart will detect it has fallen
+    behind (the detection threshold is two waves)."""
+    target = stopped.core.round + waves * cluster.config.wave_length
+    await _wait(lambda: cluster.nodes[0].core.round > target)
+
+
+@pytest.mark.slow
+class TestProcessCluster:
+    def test_multiprocess_kill_and_warm_recovery(self, tmp_path):
+        """The multi-process harness end to end (short): real processes
+        on real sockets, ``kill -9``, warm restart, and byte-identical
+        commit prefixes across every incarnation."""
+
+        async def scenario():
+            from repro.runtime.process_cluster import ProcessCluster
+
+            cluster = ProcessCluster(
+                4,
+                base_port=29710,
+                run_dir=tmp_path,
+                config={"wave_length": 5, "leaders_per_round": 2},
+                min_block_interval=0.02,
+            )
+            async with cluster:
+                await cluster.wait_status(
+                    0, lambda s: s["committed_blocks"] > 10, what="steady commits"
+                )
+                cluster.kill(3)
+                await asyncio.sleep(0.5)
+                await cluster.restart(3, recover_mode="warm")
+                status = await cluster.wait_status(
+                    3,
+                    lambda s: s["recovery_time"] is not None
+                    and s["recovery_error"] is None,
+                    what="warm recovery",
+                )
+                assert status["recovery_mode_used"] == "warm"
+            assert cluster.assert_consistent_prefixes() > 0
+
+        asyncio.run(asyncio.wait_for(scenario(), timeout=120))
+
+
+@pytest.mark.slow
 class TestSynchronizerIntegration:
     def test_late_joiner_catches_up(self):
         """A validator started late fetches missing history and commits."""

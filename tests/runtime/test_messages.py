@@ -7,13 +7,19 @@ from repro.crypto.coin import CoinShare
 from repro.errors import TransportError
 from repro.runtime.messages import (
     BlockMessage,
+    CheckpointRequest,
+    CheckpointResponse,
     FetchRequest,
     FetchResponse,
     MAX_FRAME,
+    SyncRequest,
+    SyncResponse,
+    TransactionMessage,
     decode_message,
     encode_message,
     frame,
 )
+from repro.statesync import Checkpoint
 from repro.transaction import Transaction
 
 
@@ -49,6 +55,57 @@ class TestRoundtrips:
         blocks = (sample_block(), *make_genesis(2))
         decoded = decode_message(encode_message(FetchResponse(blocks=blocks)))
         assert decoded == FetchResponse(blocks=blocks)
+
+    def test_checkpoint_request(self):
+        decoded = decode_message(encode_message(CheckpointRequest()))
+        assert decoded == CheckpointRequest()
+
+    def test_checkpoint_response(self):
+        checkpoint = Checkpoint(
+            round=24,
+            floor=8,
+            next_slot=(25, 1),
+            chain=b"\x11" * 32,
+            sequence_length=37,
+            committee_size=4,
+            linearized=tuple(b.reference for b in make_genesis(3)),
+            epochs=((0, 0, (0, 1, 2, 3)), (1, 40, (0, 1, 2, 3, 4))),
+        )
+        message = CheckpointResponse(checkpoints=(checkpoint,))
+        decoded = decode_message(encode_message(message))
+        assert decoded == message
+        # Adoption matches on the content address, so it must survive
+        # the trip byte-for-byte.
+        assert decoded.checkpoints[0].checkpoint_id == checkpoint.checkpoint_id
+
+    def test_sync_request(self):
+        refs = tuple(b.reference for b in make_genesis(4))
+        message = SyncRequest(refs=refs, floor=12, token=0xDEADBEEF)
+        assert decode_message(encode_message(message)) == message
+
+    def test_sync_request_negative_floor(self):
+        # Floor is signed: "no horizon yet" is expressed as -1.
+        message = SyncRequest(refs=(), floor=-1, token=1)
+        assert decode_message(encode_message(message)) == message
+
+    def test_sync_response(self):
+        genesis = make_genesis(4)
+        message = SyncResponse(
+            blocks=(sample_block(),),
+            pruned=(genesis[0].reference, genesis[2].reference),
+            token=7,
+        )
+        assert decode_message(encode_message(message)) == message
+
+    def test_transaction_message(self):
+        transactions = (
+            Transaction.dummy(1, submitted_at=123.5),
+            Transaction(tx_id=2, payload=b"reconfig-ish"),
+        )
+        message = TransactionMessage(transactions=transactions)
+        decoded = decode_message(encode_message(message))
+        assert decoded == message
+        assert decoded.transactions[0].submitted_at == 123.5
 
 
 class TestErrors:
