@@ -58,6 +58,8 @@ def paper_table_for_config(cfg) -> dict[str, dict] | None:
     (ablations, adversary sweeps, recovery workloads...)."""
     if cfg.num_equivocators or cfg.adversary_targets or cfg.num_recovering:
         return None
+    if cfg.leader_dos_slots or cfg.wan_matrix:
+        return None
     if cfg.fault_schedule or cfg.wave_length_override or not cfg.direct_skip:
         return None
     if cfg.num_crashed >= 3:
@@ -221,6 +223,180 @@ def check_epoch_curves(results: Iterable[ExperimentResult]) -> list[str]:
                     f"final epoch's member set should be fully available once "
                     f"leavers stop counting, got "
                     f"{result.epoch_summary[-1]['availability']:.3f} {label}"
+                )
+    return violations
+
+
+#: Adversary shape claims that need room for stalled load to drain
+#: (partition-tail monotonicity) are only enforced at or above this
+#: duration; smoke-shrunk runs end before campaign-era commits land.
+ADVERSARY_FULL_DURATION = 8.0
+
+
+def _scenario_group_key(cfg) -> str:
+    """Hash of a config with its fault schedule neutralized: results in
+    the same group differ only in scenario intensity (partition window,
+    straggler count, campaign count)."""
+    return config_hash(replace(cfg, fault_schedule=()))
+
+
+def _schedule_kinds(cfg) -> set[str]:
+    return {event.kind for event in cfg.fault_schedule}
+
+
+def check_adversary_curves(results: Iterable[ExperimentResult]) -> list[str]:
+    """Enforce the adversary-scenario shape claims (``bench_adversary``).
+
+    Scale-independent (smoke included): equivocation campaigns actually
+    equivocate without breaking liveness, partitions drop cross-links
+    and cost availability in proportion to the window, the multi-slot
+    leader-DoS point out-commits the single-slot one (relative to its
+    own no-DoS baseline), stragglers trail the round frontier and thin
+    throughput, and the metro WAN matrix beats both wide-area spreads.
+    Tail-latency monotonicity over the partition window additionally
+    needs the run to outlive the heal by a commit latency, so it is
+    held to full-scale durations (:data:`ADVERSARY_FULL_DURATION`).
+    """
+    violations = []
+    results = list(results)
+    # (1) Equivocation campaigns: conflicting blocks really went out,
+    # and the honest committee kept committing around them.
+    for r in results:
+        label = f"(duration={r.config.duration:.0f}s, load={r.config.load_tps:.0f})"
+        if r.config.campaign_equivocators:
+            if r.equivocations <= 0:
+                violations.append(
+                    f"{r.config.campaign_equivocators} equivocation campaign(s) "
+                    f"scheduled but no conflicting block was ever sent {label}"
+                )
+            if r.blocks_committed <= 0:
+                violations.append(
+                    f"equivocation campaign stalled the honest committee "
+                    f"(0 blocks committed) {label}"
+                )
+        if _schedule_kinds(r.config) & {"partition", "heal"}:
+            if r.messages_dropped <= 0:
+                violations.append(
+                    f"partition point dropped no cross-partition message {label}"
+                )
+            if r.availability >= 1.0:
+                violations.append(
+                    f"partitioned validators still counted fully available {label}"
+                )
+        if "straggle" in _schedule_kinds(r.config):
+            if r.max_rounds_behind <= 0:
+                violations.append(
+                    f"{r.config.straggler_count} straggler(s) scheduled but nobody "
+                    f"trailed the observer's round frontier {label}"
+                )
+    # (2) Shape over the partition-window / straggler-count axes.  The
+    # inner dicts are keyed by full config hash so a config shared by
+    # several sweeps (the clean baseline) lands in a group only once.
+    partition_groups: dict[str, dict[str, ExperimentResult]] = {}
+    straggler_groups: dict[str, dict[str, ExperimentResult]] = {}
+    for r in results:
+        kinds = _schedule_kinds(r.config)
+        if kinds <= {"partition", "heal"}:
+            partition_groups.setdefault(_scenario_group_key(r.config), {})[
+                config_hash(r.config)
+            ] = r
+        if kinds <= {"straggle"}:
+            straggler_groups.setdefault(_scenario_group_key(r.config), {})[
+                config_hash(r.config)
+            ] = r
+    for members in partition_groups.values():
+        group = sorted(members.values(), key=lambda r: r.config.partition_seconds)
+        if len({r.config.partition_seconds for r in group}) < 2:
+            continue
+        avail = [r.availability for r in group]
+        if any(b >= a for a, b in zip(avail, avail[1:])):
+            violations.append(
+                "availability should fall strictly with the partition window, "
+                f"measured {[round(a, 3) for a in avail]} over windows "
+                f"{[round(r.config.partition_seconds, 2) for r in group]}s"
+            )
+        if group[0].config.duration >= ADVERSARY_FULL_DURATION:
+            p99 = [r.latency.p99 for r in group]
+            if any(math.isnan(v) for v in p99) or any(
+                b <= a for a, b in zip(p99, p99[1:])
+            ):
+                violations.append(
+                    "p99 commit latency should grow strictly with the partition "
+                    f"window (stalled load lives in the tail), measured "
+                    f"{[round(v, 3) for v in p99]}s over windows "
+                    f"{[round(r.config.partition_seconds, 2) for r in group]}s"
+                )
+    for members in straggler_groups.values():
+        group = sorted(members.values(), key=lambda r: r.config.straggler_count)
+        if len({r.config.straggler_count for r in group}) < 2:
+            continue
+        clean, worst = group[0], group[-1]
+        if worst.throughput_tps >= clean.throughput_tps:
+            violations.append(
+                f"{worst.config.straggler_count} straggler(s) should thin committee "
+                f"throughput but measured {worst.throughput_tps:.0f} tx/s vs "
+                f"{clean.throughput_tps:.0f} tx/s clean"
+            )
+    # (3) Leader DoS: each DoS point is normalized against its own
+    # no-DoS baseline; more leader slots must mean a better ratio (the
+    # multi-leader resilience claim), and the widest pipeline must keep
+    # committing under attack.
+    dos_keys = {
+        config_hash(replace(r.config, leader_dos_slots=0))
+        for r in results
+        if r.config.leader_dos_slots
+    }
+    dos_pairs: dict[str, dict[int, ExperimentResult]] = {}
+    for r in results:
+        key = config_hash(replace(r.config, leader_dos_slots=0))
+        if key in dos_keys:
+            dos_pairs.setdefault(key, {})[r.config.leader_dos_slots] = r
+    ratios: dict[tuple, dict[int, float]] = {}
+    for pair in dos_pairs.values():
+        baseline = pair.get(0)
+        attacked = next((r for s, r in pair.items() if s), None)
+        if baseline is None or attacked is None or baseline.throughput_tps <= 0:
+            continue
+        cfg = attacked.config
+        key = config_hash(replace(cfg, leader_dos_slots=0, leaders_per_round=1))
+        ratios.setdefault(key, {})[cfg.leaders_per_round] = (
+            attacked.throughput_tps / baseline.throughput_tps
+        )
+        if cfg.leaders_per_round > 1 and attacked.blocks_committed <= 0:
+            violations.append(
+                f"leader DoS fully censored the {cfg.leaders_per_round}-slot "
+                f"pipeline (0 blocks committed) — the extra anchors should "
+                f"ride through (delay={cfg.leader_dos_delay:.1f}s)"
+            )
+    for by_slots in ratios.values():
+        if len(by_slots) < 2:
+            continue
+        narrow, wide = min(by_slots), max(by_slots)
+        if by_slots[narrow] >= by_slots[wide]:
+            violations.append(
+                f"leader DoS should hurt the {narrow}-slot pipeline more than the "
+                f"{wide}-slot one, measured throughput ratios "
+                f"{by_slots[narrow]:.2f} vs {by_slots[wide]:.2f}"
+            )
+    # (4) WAN matrices: latency tracks the deployment's RTT scale.
+    wan_groups: dict[str, dict[str, ExperimentResult]] = {}
+    for r in results:
+        if r.config.wan_matrix:
+            key = config_hash(replace(r.config, wan_matrix="", region_assignment=()))
+            wan_groups.setdefault(key, {})[r.config.wan_matrix] = r
+    for group in wan_groups.values():
+        metro = group.get("metro-3")
+        if metro is None or math.isnan(metro.latency.avg):
+            continue
+        for wide in ("paper-5", "global-10"):
+            other = group.get(wide)
+            if other is None or math.isnan(other.latency.avg):
+                continue
+            if metro.latency.avg >= other.latency.avg:
+                violations.append(
+                    f"metro-3 (sub-ms paths) should beat {wide} on commit latency "
+                    f"but measured {metro.latency.avg:.3f}s vs "
+                    f"{other.latency.avg:.3f}s"
                 )
     return violations
 

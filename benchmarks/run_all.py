@@ -39,6 +39,7 @@ BENCH_MODULES = (
     "benchmarks.bench_ablations",
     "benchmarks.bench_commit_probability",
     "benchmarks.bench_recovery",
+    "benchmarks.bench_adversary",
     # bench_cluster declares no simulator sweeps (SWEEPS = ()): it is a
     # standalone multi-process runtime benchmark, run separately as
     # `python benchmarks/bench_cluster.py [--smoke]`.  Its metrics file
@@ -326,13 +327,50 @@ def main(argv: list[str] | None = None) -> int:
         print("repro-bench: FAIL - no epoch-reconfiguration point declared")
         return 1
 
+    # The adversary gate: a full run must put each modeled adversary on
+    # the simulated network — at least one equivocation-campaign point
+    # that actually sent conflicting blocks, one partition point that
+    # dropped cross-links and healed, and one leader-DoS point.  An
+    # --only subset is exempt from declaring but not from completing
+    # the points it does declare.
+    equivocation_points = [r for r in all_results if r.config.campaign_equivocators]
+    partition_points = [
+        r
+        for r in all_results
+        if any(e.kind == "heal" for e in r.config.fault_schedule)
+    ]
+    dos_points = [r for r in all_results if r.config.leader_dos_slots]
+    if not args.only and not (equivocation_points and partition_points and dos_points):
+        missing = [
+            name
+            for name, points in (
+                ("equivocation-campaign", equivocation_points),
+                ("partition-heal", partition_points),
+                ("leader-dos", dos_points),
+            )
+            if not points
+        ]
+        print(f"repro-bench: FAIL - no adversary point declared for: {', '.join(missing)}")
+        return 1
+    if equivocation_points and not any(r.equivocations > 0 for r in equivocation_points):
+        print("repro-bench: FAIL - no equivocation-campaign point ever equivocated")
+        return 1
+    if partition_points and not any(r.messages_dropped > 0 for r in partition_points):
+        print("repro-bench: FAIL - no partition point dropped a cross-partition message")
+        return 1
+
     # Curve shapes: the robust protocol orderings the paper's claims
     # rest on, the recovery-mode shape claims (warm < cold, checkpoint
-    # ~flat vs cold growing with history), and the epoch-reconfiguration
+    # ~flat vs cold growing with history), the epoch-reconfiguration
     # claims (n actually resizes; thresholds and availability follow the
-    # active epoch) — see benchmarks/curve_checks.py.  Enforced at any
-    # scale, smoke included.
+    # active epoch), and the adversary-scenario claims (campaigns
+    # equivocate without stalling, partitions cost availability and tail
+    # latency, multi-slot leader pipelines ride through a targeted DoS,
+    # stragglers trail and thin throughput, WAN matrices order by RTT)
+    # — see benchmarks/curve_checks.py.  Enforced at any scale, smoke
+    # included.
     from benchmarks.curve_checks import (
+        check_adversary_curves,
         check_curve_shapes,
         check_epoch_curves,
         check_recovery_curves,
@@ -342,6 +380,7 @@ def main(argv: list[str] | None = None) -> int:
         check_curve_shapes(all_results)
         + check_recovery_curves(all_results)
         + check_epoch_curves(all_results)
+        + check_adversary_curves(all_results)
     )
     for violation in violations:
         print(f"repro-bench: curve-shape violation - {violation}")

@@ -223,3 +223,18 @@ class FastCoin(CommonCoin):
             [self._seed, round_number.to_bytes(8, "little")], person=b"fastcoin-out"
         )
         return int.from_bytes(seed, "big")
+
+    def peek(self, round_number: int) -> int:
+        """The coin value for ``round_number`` *without* shares.
+
+        This is the omniscient-adversary hook: a simulated attacker
+        granted ``peek`` can resolve future leaders and target them
+        (:class:`~repro.sim.network.LeaderDosScheduler`), deliberately
+        breaking the unpredictability assumption the random network
+        model relies on.  Honest protocol code must keep using
+        :meth:`reconstruct`, which enforces the share quorum.
+        """
+        seed = hash_parts(
+            [self._seed, round_number.to_bytes(8, "little")], person=b"fastcoin-out"
+        )
+        return int.from_bytes(seed, "big")

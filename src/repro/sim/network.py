@@ -117,6 +117,61 @@ class AsyncAdversaryScheduler:
         return 0.0
 
 
+class LeaderDosScheduler:
+    """A *targeted* leader-slot DoS adversary.
+
+    Unlike :class:`AsyncAdversaryScheduler` — which must guess, because
+    post-hoc election hides future leaders from any real adversary —
+    this scheduler is omniscient: it resolves the elected leaders of
+    every propose round (via a resolver the experiment builds from the
+    simulation's own coin and committee schedule, see
+    :meth:`~repro.crypto.coin.FastCoin.peek`) and delays only *their*
+    ``block``/``cert`` traffic for that round.  It deliberately breaks
+    the unpredictability assumption to measure the worst case the paper's
+    multi-leader design defends against: with one leader slot per round
+    the whole wave stalls behind the delayed leader, while with multiple
+    slots the untargeted leaders keep committing.
+
+    Args:
+        leaders_for_round: Maps a propose round to the elected leader
+            indices in offset order (empty for non-propose rounds).
+        delay: Extra one-way delay applied to a targeted leader's block
+            and certificate traffic for its leader round.
+        slots: How many leader slots (offset 0 upward) to DoS per round.
+    """
+
+    def __init__(
+        self,
+        leaders_for_round: Callable[[int], tuple[int, ...]],
+        delay: float,
+        slots: int = 1,
+    ) -> None:
+        self._leaders_for_round = leaders_for_round
+        self._delay = delay
+        self._slots = slots
+        # Per-round target cache: every broadcast fans the same block to
+        # n-1 peers, so the resolver would otherwise run n-1 times per
+        # proposal on the hot path.
+        self._cached_round = -1
+        self._cached_targets: tuple[int, ...] = ()
+
+    def targets(self, round_number: int) -> tuple[int, ...]:
+        """The validators DoS'd for ``round_number`` (leader offsets
+        ``0..slots-1`` of that propose round)."""
+        if round_number != self._cached_round:
+            self._cached_targets = tuple(self._leaders_for_round(round_number)[: self._slots])
+            self._cached_round = round_number
+        return self._cached_targets
+
+    def extra_delay(self, message: Message, now: float, rng: random.Random) -> float:
+        if message.kind not in ("block", "cert"):
+            return 0.0
+        block = message.payload
+        if message.src in self.targets(block.round) and block.author == message.src:
+            return self._delay
+        return 0.0
+
+
 @dataclass
 class NetworkConfig:
     """Static network parameters.
@@ -157,8 +212,10 @@ class SimNetwork:
         "_egress_free",
         "_last_delivery",
         "_link_queue",
+        "_partition",
         "messages_sent",
         "bytes_sent",
+        "messages_dropped",
     )
 
     def __init__(
@@ -195,8 +252,12 @@ class SimNetwork:
         # monotonic, so each deque stays sorted by construction and an
         # armed flush event exists exactly while its deque is non-empty.
         self._link_queue: dict[tuple[int, int], deque] = {}
+        # Live partition state: validator -> (group, cross-group delay).
+        # Unlisted validators form the implicit default group "".
+        self._partition: dict[int, tuple[str, float]] = {}
         self.messages_sent = 0
         self.bytes_sent = 0
+        self.messages_dropped = 0
 
     @property
     def num_validators(self) -> int:
@@ -220,12 +281,60 @@ class SimNetwork:
         self._batch_handlers[validator] = handler
 
     # ------------------------------------------------------------------
+    # Partitions
+    # ------------------------------------------------------------------
+    def set_partition(self, validator: int, group: str, cross_delay: float = 0.0) -> None:
+        """Move ``validator`` into partition ``group``.
+
+        Messages crossing group boundaries (the implicit default group
+        ``""`` included) are dropped when any partitioned endpoint has a
+        zero ``cross_delay``, otherwise delayed by the largest endpoint
+        delay — modeling a hard cut vs. a heavily degraded inter-region
+        path.  The validator itself stays up and keeps proposing into
+        its side of the cut.
+        """
+        if not group:
+            raise ValueError("partition group must be non-empty (heal() restores the default)")
+        self._partition[validator] = (group, cross_delay)
+
+    def heal(self, validator: int) -> None:
+        """Return ``validator`` to the default group (no-op if whole)."""
+        self._partition.pop(validator, None)
+
+    def partition_group(self, validator: int) -> str:
+        """The validator's current partition group (``""`` = default)."""
+        entry = self._partition.get(validator)
+        return entry[0] if entry else ""
+
+    def _cross_partition(self, src: int, dst: int) -> tuple[bool, float]:
+        """(dropped, extra_delay) for the src->dst link under the
+        current partition state."""
+        src_entry = self._partition.get(src)
+        dst_entry = self._partition.get(dst)
+        src_group = src_entry[0] if src_entry else ""
+        dst_group = dst_entry[0] if dst_entry else ""
+        if src_group == dst_group:
+            return False, 0.0
+        delays = [entry[1] for entry in (src_entry, dst_entry) if entry is not None]
+        if any(delay <= 0.0 for delay in delays):
+            return True, 0.0
+        return False, max(delays)
+
+    # ------------------------------------------------------------------
     # Sending
     # ------------------------------------------------------------------
     def send(self, src: int, dst: int, kind: str, payload: Any, size: int) -> None:
         """Send one message; delivery is scheduled on the event loop."""
         if src == dst:
             raise ValueError("validators do not message themselves")
+        partition_delay = 0.0
+        if self._partition:
+            dropped, partition_delay = self._cross_partition(src, dst)
+            if dropped:
+                # The link is cut: the message never occupies the
+                # sender's uplink (TCP backs off) and never arrives.
+                self.messages_dropped += 1
+                return
         message = Message(src=src, dst=dst, kind=kind, payload=payload, size=size)
         wire_size = size + self._config.message_overhead
         now = self._loop.now
@@ -236,8 +345,8 @@ class SimNetwork:
             start = now
         egress_done = start + wire_size / self._config.bandwidth
         egress_free[src] = egress_done
-        # Propagation + scheduler-injected delay.
-        delay = self._sample_delay(src, dst)
+        # Propagation + partition degradation + scheduler-injected delay.
+        delay = self._sample_delay(src, dst) + partition_delay
         if not self._benign:
             delay += self._scheduler.extra_delay(message, now, self._rng)
         arrival = egress_done + delay

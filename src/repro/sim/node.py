@@ -159,6 +159,9 @@ class SimValidator:
         "checkpoint_adoptions",
         "_was_member",
         "left_at",
+        "_slow",
+        "ever_equivocated",
+        "equivocations_sent",
     )
 
     def __init__(
@@ -280,6 +283,14 @@ class SimValidator:
         #: the leave command's submission — availability accounting uses
         #: the observed instant).
         self.left_at: float | None = None
+        # Straggler model: multiplies every CPU stage cost and the
+        # proposal pacing interval (1.0 = full speed).
+        self._slow = 1.0
+        #: Whether this validator ever actually sent an equivocating
+        #: sibling — once Byzantine, always excluded from the honest
+        #: safety universe, even after the campaign desists.
+        self.ever_equivocated = False
+        self.equivocations_sent = 0
         if self.behavior.crash_at is not None and self.behavior.crash_at > loop.now:
             loop.schedule_at(self.behavior.crash_at, self.crash)
         network.register(self.authority, self.on_message)
@@ -315,6 +326,29 @@ class SimValidator:
         if not self._down and self.left_at is None:
             self.left_at = self._loop.now
         self.crash()
+
+    @property
+    def slow_factor(self) -> float:
+        """The current straggler multiplier (1.0 = full speed)."""
+        return self._slow
+
+    def set_slow_factor(self, scale: float) -> None:
+        """Make this validator a persistent straggler: every CPU stage
+        cost and the proposal pacing interval are multiplied by
+        ``scale`` from now on (``1.0`` restores full speed).  Survives
+        crashes and recoveries — it models a slow machine, not slow
+        state."""
+        if scale < 1.0:
+            raise ValueError(f"slow factor must be >= 1, got {scale}")
+        self._slow = scale
+
+    def set_equivocating(self, active: bool) -> None:
+        """Start or stop an equivocation campaign.  While active, every
+        own proposal is split into conflicting siblings across the peer
+        set (:meth:`_dispatch_equivocation`); stopping resumes honest
+        broadcasts but the validator stays marked
+        :attr:`ever_equivocated` once it actually equivocated."""
+        self.behavior.equivocate = active
 
     def recover(self) -> None:
         """Restart after a crash (or come online for the first time —
@@ -368,7 +402,7 @@ class SimValidator:
             # Replay is local CPU work, not network round trips: charge
             # the consensus stage so post-restart messages queue behind
             # it, exactly like a real validator re-indexing its log.
-            cost = replay_cost(replay, self._cpu, self._tx_weight)
+            cost = replay_cost(replay, self._cpu, self._tx_weight) * self._slow
             self._consensus_free = max(self._loop.now, self._consensus_free) + cost
 
     # ------------------------------------------------------------------
@@ -441,7 +475,7 @@ class SimValidator:
             self.core.add_transaction(tx)
             return
         now = self._loop.now
-        cost = self._cpu.tx_ingress_cost * self._tx_weight
+        cost = self._cpu.tx_ingress_cost * self._tx_weight * self._slow
         self._ingress_free = max(now, self._ingress_free) + cost
         # Binds the *current* core: transactions queued at crash time
         # land in the abandoned instance, as on a real restart.
@@ -537,7 +571,7 @@ class SimValidator:
                     block.transactions
                 )
                 first_block = False
-        return cost
+        return cost * self._slow
 
     def _handle(self, message: Message) -> None:
         if self._down:
@@ -850,7 +884,7 @@ class SimValidator:
             if not self.core.ready_to_propose():
                 return
             now = self._loop.now
-            next_allowed = self._last_proposal + self._interval
+            next_allowed = self._last_proposal + self._interval * self._slow
             if now < next_allowed:
                 if not self._propose_timer_armed:
                     self._propose_timer_armed = True
@@ -895,6 +929,8 @@ class SimValidator:
     def _dispatch_equivocation(self, block: Block, size: int) -> None:
         """Send the honest block to half the peers and a conflicting
         sibling to the other half (our own DAG keeps the original)."""
+        self.ever_equivocated = True
+        self.equivocations_sent += 1
         sibling = make_equivocating_sibling(block)
         peers = [v for v in range(self._network.num_validators) if v != self.authority]
         half = len(peers) // 2

@@ -30,9 +30,21 @@ from ..statesync import GENESIS_STATE, chain_digest
 from .client import OpenLoopClient, reset_tx_ids
 from .events import EventLoop
 from .faults import FaultEvent, FaultSchedule, NodeBehavior, normalize_events
-from .latency import GeoLatencyModel, LatencyModel, UniformLatencyModel
+from .latency import (
+    GeoLatencyModel,
+    LatencyModel,
+    UniformLatencyModel,
+    WAN_PRESETS,
+    wan_matrix_model,
+)
 from .metrics import ExperimentMetrics, LatencySummary, availability
-from .network import AsyncAdversaryScheduler, MessageScheduler, NetworkConfig, SimNetwork
+from .network import (
+    AsyncAdversaryScheduler,
+    LeaderDosScheduler,
+    MessageScheduler,
+    NetworkConfig,
+    SimNetwork,
+)
 from .node import RECOVER_MODES, CpuConfig, SimValidator
 from ..transaction import Transaction
 
@@ -115,6 +127,23 @@ class ExperimentConfig:
         adversary_targets: Validators simultaneously delayed by the
             asynchronous adversary (0 = random network model).
         adversary_delay: Extra one-way delay the adversary injects.
+        leader_dos_slots: Leader slots per round the *targeted* DoS
+            adversary delays (0 = off).  Unlike ``adversary_targets``
+            this adversary is omniscient — it precomputes each round's
+            elected leaders via the simulation coin and delays exactly
+            their block/cert traffic
+            (:class:`~repro.sim.network.LeaderDosScheduler`); Mahi-Mahi
+            protocols only, and mutually exclusive with
+            ``adversary_targets``.
+        leader_dos_delay: Extra one-way delay on a DoS'd leader's
+            blocks.
+        wan_matrix: Name of a preset per-region RTT matrix
+            (:data:`~repro.sim.latency.WAN_PRESETS`) replacing the
+            default 5-region geo model; mutually exclusive with
+            ``uniform_delay``.
+        region_assignment: With ``wan_matrix``: explicit validator ->
+            region-index mapping (length ``num_validators``); empty
+            means round-robin like the paper's deployment.
         block_interval: Minimum spacing between a validator's own
             proposals (batching/processing cadence of a real validator;
             see :class:`~repro.sim.node.SimValidator`).
@@ -165,6 +194,10 @@ class ExperimentConfig:
     uniform_delay: float | None = None
     adversary_targets: int = 0
     adversary_delay: float = 0.2
+    leader_dos_slots: int = 0
+    leader_dos_delay: float = 0.4
+    wan_matrix: str = ""
+    region_assignment: tuple[int, ...] = ()
     block_interval: float = 0.2
     model_cpu: bool = True
     wave_length_override: int | None = None
@@ -190,6 +223,9 @@ class ExperimentConfig:
             "tx_size_mix",
             tuple((int(size), float(share)) for size, share in self.tx_size_mix),
         )
+        object.__setattr__(
+            self, "region_assignment", tuple(int(r) for r in self.region_assignment)
+        )
         for size, share in self.tx_size_mix:
             if size <= 0 or share <= 0:
                 raise ConfigError(
@@ -214,6 +250,42 @@ class ExperimentConfig:
                 f"gc_depth ({self.gc_depth}): a checkpoint older than the GC horizon "
                 "cannot anchor a suffix fetch"
             )
+        if self.leader_dos_slots < 0:
+            raise ConfigError("leader_dos_slots must be >= 0")
+        if self.leader_dos_slots:
+            if not self.protocol.startswith("mahi-mahi"):
+                raise ConfigError(
+                    "leader_dos_slots targets Mahi-Mahi's per-round leader slots; "
+                    f"protocol {self.protocol!r} is not supported"
+                )
+            if self.adversary_targets:
+                raise ConfigError(
+                    "leader_dos_slots and adversary_targets are mutually exclusive "
+                    "(one targeted and one blind adversary cannot share the network)"
+                )
+            if self.leader_dos_delay <= 0:
+                raise ConfigError("leader_dos_delay must be > 0 when leader_dos_slots is set")
+        if self.wan_matrix:
+            if self.wan_matrix not in WAN_PRESETS:
+                raise ConfigError(
+                    f"unknown wan_matrix {self.wan_matrix!r}; presets: {sorted(WAN_PRESETS)}"
+                )
+            if self.uniform_delay is not None:
+                raise ConfigError("wan_matrix and uniform_delay are mutually exclusive")
+            regions = WAN_PRESETS[self.wan_matrix][0]
+            if self.region_assignment:
+                if len(self.region_assignment) != self.num_validators:
+                    raise ConfigError(
+                        f"region_assignment covers {len(self.region_assignment)} "
+                        f"validators, committee has {self.num_validators}"
+                    )
+                if any(not 0 <= r < len(regions) for r in self.region_assignment):
+                    raise ConfigError(
+                        f"region_assignment indexes outside 0..{len(regions) - 1} "
+                        f"for wan_matrix {self.wan_matrix!r}"
+                    )
+        elif self.region_assignment:
+            raise ConfigError("region_assignment requires wan_matrix")
         schedule = FaultSchedule(self.fault_schedule)  # validates lifecycles
         if self.initial_committee_size < 0:
             raise ConfigError("initial_committee_size must be >= 0")
@@ -239,14 +311,21 @@ class ExperimentConfig:
         budget_schedule = self.effective_schedule()
         if self.epoch_reconfig:
             budget_schedule = FaultSchedule(
-                tuple(e for e in budget_schedule if e.kind in ("crash", "recover"))
+                tuple(
+                    e
+                    for e in budget_schedule
+                    if e.kind in ("crash", "recover", "equivocate", "desist")
+                )
             )
-        worst_scheduled = budget_schedule.max_concurrent_down()
+        # Scheduled equivocation campaigns are Byzantine for their whole
+        # span, so they spend budget exactly like concurrent downtime
+        # (partitions and stragglers are honest and free).
+        worst_scheduled = budget_schedule.max_concurrent_faulty()
         if permanent_faults + worst_scheduled > faults_tolerated:
             raise ConfigError(
                 f"{self.num_crashed} crashed + {self.num_equivocators} equivocators "
-                f"+ {worst_scheduled} concurrently down (recovering/scheduled) "
-                f"exceeds f={faults_tolerated}"
+                f"+ {worst_scheduled} concurrently faulty (recovering/scheduled/"
+                f"campaigning) exceeds f={faults_tolerated}"
             )
         first_static_fault = self.num_validators - static_faults
         for validator in schedule.validators():
@@ -331,6 +410,26 @@ class ExperimentConfig:
         total = sum(share for _, share in self.tx_size_mix)
         return sum(size * share for size, share in self.tx_size_mix) / total
 
+    @property
+    def partition_seconds(self) -> float:
+        """Longest single partition span any validator spends cut off
+        (0.0 without partitions) — a derived figure axis for partition
+        sweeps (``FigureSpec`` resolves axes via ``getattr``)."""
+        intervals = FaultSchedule(self.fault_schedule).partition_intervals(self.duration)
+        spans = [end - start for per in intervals.values() for start, end in per]
+        return max(spans, default=0.0)
+
+    @property
+    def straggler_count(self) -> int:
+        """Validators slowed by a ``straggle`` event (derived axis)."""
+        return len(FaultSchedule(self.fault_schedule).straggler_validators())
+
+    @property
+    def campaign_equivocators(self) -> int:
+        """Validators running a scheduled equivocation campaign
+        (derived axis; the static ``num_equivocators`` not included)."""
+        return len({e.validator for e in self.fault_schedule if e.kind == "equivocate"})
+
     def effective_schedule(self) -> FaultSchedule:
         """The full fault schedule the harness replays: explicit
         ``fault_schedule`` events plus the crash+recover pair that
@@ -394,6 +493,16 @@ class ExperimentResult:
     #: commits/latency attributed, member-set availability) — see
     #: :meth:`repro.sim.metrics.ExperimentMetrics.epoch_attribution`.
     epoch_summary: tuple = ()
+    #: Conflicting sibling pairs actually dispatched by equivocating
+    #: validators (static flags and scheduled campaigns combined).
+    equivocations: int = 0
+    #: Messages the network dropped on cut partition links.
+    messages_dropped: int = 0
+    #: Total validator-seconds spent partitioned (honest but cut off).
+    partitioned_seconds: float = 0.0
+    #: How far the slowest live honest validator's DAG trails the
+    #: observer's at the end of the run (straggler lag, in rounds).
+    max_rounds_behind: int = 0
 
     def summary(self) -> str:
         """One human-readable line, in the paper's units."""
@@ -475,14 +584,44 @@ class Experiment:
     def _make_latency_model(self) -> LatencyModel:
         if self.config.uniform_delay is not None:
             return UniformLatencyModel(self.config.uniform_delay)
+        if self.config.wan_matrix:
+            return wan_matrix_model(
+                self.config.wan_matrix,
+                self.config.num_validators,
+                self.config.region_assignment,
+            )
         return GeoLatencyModel(self.config.num_validators)
 
     def _make_scheduler(self) -> MessageScheduler | None:
-        if self.config.adversary_targets > 0:
+        cfg = self.config
+        if cfg.leader_dos_slots > 0:
+            # The omniscient leader-DoS adversary: resolve the elected
+            # leaders of each propose round from the simulation coin
+            # (FastCoin.peek) and the observer's live committee
+            # schedule.  The closure reads ``self.nodes`` lazily — the
+            # network (and this scheduler) is built before the nodes,
+            # but no message flows until after they exist.
+            default_wave = 5 if cfg.protocol == "mahi-mahi-5" else 4
+            wave_length = cfg.wave_length_override or default_wave
+            coin = self._coin
+
+            def leaders_for_round(propose_round: int) -> tuple[int, ...]:
+                schedule = self.nodes[0].core.schedule
+                committee = schedule.committee_at(propose_round)
+                value = coin.peek(propose_round + wave_length - 1)
+                return tuple(
+                    committee.leader_for(value, offset)
+                    for offset in range(cfg.leaders_per_round)
+                )
+
+            return LeaderDosScheduler(
+                leaders_for_round, cfg.leader_dos_delay, cfg.leader_dos_slots
+            )
+        if cfg.adversary_targets > 0:
             return AsyncAdversaryScheduler(
-                committee_size=self.config.num_validators,
-                targets_per_window=self.config.adversary_targets,
-                delay=self.config.adversary_delay,
+                committee_size=cfg.num_validators,
+                targets_per_window=cfg.adversary_targets,
+                delay=cfg.adversary_delay,
             )
         return None
 
@@ -693,6 +832,21 @@ class Experiment:
 
     def _apply_fault_event(self, event) -> None:
         node = self.nodes[event.validator]
+        if event.kind == "equivocate":
+            node.set_equivocating(True)
+            return
+        if event.kind == "desist":
+            node.set_equivocating(False)
+            return
+        if event.kind == "partition":
+            self._network.set_partition(event.validator, event.group, event.scale)
+            return
+        if event.kind == "heal":
+            self._network.heal(event.validator)
+            return
+        if event.kind == "straggle":
+            node.set_slow_factor(event.scale)
+            return
         if self.config.epoch_reconfig and event.kind in ("join", "leave"):
             # Epoch reconfiguration: the event submits a membership
             # command; thresholds move when the committed command's
@@ -723,7 +877,7 @@ class Experiment:
         )
         self._reconfig_seq += 1
         for node in self.nodes:
-            if not node.down and not node.behavior.equivocate:
+            if not node.down and not node.behavior.equivocate and not node.ever_equivocated:
                 node.submit(tx)
                 return
 
@@ -743,12 +897,17 @@ class Experiment:
         exactly there.  Checkpoints themselves are cross-checked — every
         honest validator must have captured identical checkpoints at
         each boundary.  Only equivocators are excluded (Byzantine, no
-        honest sequence to check)."""
+        honest sequence to check) — including validators whose scheduled
+        campaign has desisted: once a validator actually sent a
+        conflicting sibling it left the honest universe for good.
+        Partitioned and straggling validators are honest and stay
+        **included**: a cut-off validator holds a shorter (or stalled)
+        prefix, never a diverging one."""
         full: list[list[bytes]] = []
         adopted: list[tuple[object, list[bytes]]] = []
         checkpoints_by_round: dict[int, set[bytes]] = {}
         for node in self.nodes:
-            if node.behavior.equivocate:
+            if node.behavior.equivocate or node.ever_equivocated:
                 continue
             sequence = [b.digest for b in node.core.committed_blocks()]
             ledger = getattr(node.core.committer, "ledger", None)
@@ -773,7 +932,7 @@ class Experiment:
         # the reconfiguration analogue of Theorem 1.
         epoch_views: dict[int, set[tuple[int, tuple[int, ...]]]] = {}
         for node in self.nodes:
-            if node.behavior.equivocate:
+            if node.behavior.equivocate or node.ever_equivocated:
                 continue
             for epoch in node.core.schedule.epochs():
                 epoch_views.setdefault(epoch.epoch_id, set()).add(
@@ -835,6 +994,20 @@ class Experiment:
                     break
         return intervals
 
+    @staticmethod
+    def _merge_spans(
+        *span_lists: list[tuple[float, float]],
+    ) -> list[tuple[float, float]]:
+        """Union of ``[start, end)`` spans (overlaps merged)."""
+        spans = sorted(span for spans in span_lists for span in spans if span[1] > span[0])
+        merged: list[tuple[float, float]] = []
+        for start, end in spans:
+            if merged and start <= merged[-1][1]:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+            else:
+                merged.append((start, end))
+        return merged
+
     def _result(self) -> ExperimentResult:
         observer = self.nodes[0]
         stats = observer.core.committer.stats
@@ -842,11 +1015,35 @@ class Experiment:
         recoveries, recovery_avg, recovery_max = self._metrics.recovery_summary()
         observer_ledger = getattr(observer.core.committer, "ledger", None)
         down_intervals = self._observed_down_intervals()
-        downtime = self.config.num_crashed * self.config.duration + sum(
+        partition_intervals = self._schedule.partition_intervals(self.config.duration)
+        partitioned_seconds = sum(
             end - max(0.0, start)
-            for spans in down_intervals.values()
+            for spans in partition_intervals.values()
             for start, end in spans
             if end > start
+        )
+        # Availability attribution: a partitioned honest validator is
+        # *unavailable* — its clients' transactions stall behind the
+        # cut — without being crashed (it never shows up in recoveries
+        # or crash counts).  Per validator the partition spans join the
+        # downtime union, so a crash inside a partition window is not
+        # double-counted.
+        unavailable = 0.0
+        for validator in set(down_intervals) | set(partition_intervals):
+            merged = self._merge_spans(
+                down_intervals.get(validator, []),
+                partition_intervals.get(validator, []),
+            )
+            unavailable += sum(end - max(0.0, start) for start, end in merged)
+        downtime = self.config.num_crashed * self.config.duration + unavailable
+        observer_round = observer.core.store.highest_round
+        live_rounds = [
+            node.core.store.highest_round
+            for node in self.nodes
+            if not node.down and not (node.behavior.equivocate or node.ever_equivocated)
+        ]
+        max_rounds_behind = max(
+            0, observer_round - min(live_rounds, default=observer_round)
         )
         observer_schedule = observer.core.schedule
         epoch_transitions = len(observer_schedule.epochs()) - 1
@@ -885,6 +1082,10 @@ class Experiment:
             epoch_transitions=epoch_transitions,
             final_committee_size=final_committee_size,
             epoch_summary=epoch_summary,
+            equivocations=sum(node.equivocations_sent for node in self.nodes),
+            messages_dropped=self._network.messages_dropped,
+            partitioned_seconds=partitioned_seconds,
+            max_rounds_behind=max_rounds_behind,
         )
 
 

@@ -51,7 +51,7 @@ from .runner import Experiment, ExperimentConfig, ExperimentResult
 #: initial_committee_size / reconfig_lag config keys, epoch-transition
 #: and per-epoch attribution result metrics) plus batched per-link
 #: network delivery (event ordering at equal instants changed).
-SCHEMA_VERSION = 5
+SCHEMA_VERSION = 6
 
 #: Default on-disk location of the results store, relative to CWD.
 DEFAULT_RESULTS_DIR = "results"
@@ -207,7 +207,7 @@ def smoke_config(config: ExperimentConfig) -> ExperimentConfig:
     # committee's fault budget: drop whole validators (highest index
     # first) until the worst concurrent downtime fits.
     budget = faults_tolerated - crashed - recovering - equivocators
-    while schedule and FaultSchedule(schedule).max_concurrent_down() > budget:
+    while schedule and FaultSchedule(schedule).max_concurrent_faulty() > budget:
         victim = max(event.validator for event in schedule)
         schedule = tuple(event for event in schedule if event.validator != victim)
     return replace(
@@ -218,6 +218,9 @@ def smoke_config(config: ExperimentConfig) -> ExperimentConfig:
         num_equivocators=equivocators,
         fault_schedule=schedule,
         adversary_targets=min(config.adversary_targets, faults_tolerated),
+        # An explicit region map must cover exactly the shrunken
+        # committee; keep each surviving validator's region.
+        region_assignment=config.region_assignment[:validators],
         duration=_SMOKE_DURATION,
         warmup=_SMOKE_WARMUP,
         load_tps=min(config.load_tps, _SMOKE_MAX_LOAD),
@@ -344,6 +347,11 @@ def _config_field(config: ExperimentConfig, name: str):
 def _result_metric(result: ExperimentResult, name: str):
     if name == "latency_avg_s":
         value = result.latency.avg
+        return None if math.isnan(value) else value
+    if name == "latency_p99_s":
+        # Tail latency: the partition sweeps plot it (stalled
+        # transactions of a healed cut live in the tail, not the mean).
+        value = result.latency.p99
         return None if math.isnan(value) else value
     return getattr(result, name)
 

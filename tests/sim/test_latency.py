@@ -2,10 +2,15 @@
 
 import random
 
+import pytest
+
 from repro.sim.latency import (
     GeoLatencyModel,
+    LatencyMatrixModel,
     PAPER_REGIONS,
     UniformLatencyModel,
+    WAN_PRESETS,
+    wan_matrix_model,
 )
 
 
@@ -109,3 +114,86 @@ class TestMakeSampler:
 
         sampler = ConstantModel(0.1, jitter_sigma=0.05).make_sampler(random.Random(0))
         assert sampler(0, 1) == 42.0
+
+
+class TestLatencyMatrixModel:
+    REGIONS = ("a", "b")
+    MATRIX = ((0.001, 0.050), (0.050, 0.001))
+
+    def test_round_robin_default_assignment(self):
+        model = LatencyMatrixModel(self.REGIONS, self.MATRIX, num_validators=4)
+        assert [model.region_of(i) for i in range(4)] == ["a", "b", "a", "b"]
+        assert model.base_delay(0, 2) == 0.001
+        assert model.base_delay(0, 1) == 0.050
+
+    def test_explicit_assignment(self):
+        model = LatencyMatrixModel(
+            self.REGIONS, self.MATRIX, num_validators=3, assignment=(1, 1, 0)
+        )
+        assert model.region_of(0) == "b"
+        assert model.base_delay(0, 1) == 0.001
+        assert model.base_delay(1, 2) == 0.050
+
+    def test_rejects_non_square_matrix(self):
+        with pytest.raises(ValueError):
+            LatencyMatrixModel(self.REGIONS, ((0.001, 0.05),), num_validators=2)
+
+    def test_rejects_asymmetric_matrix(self):
+        with pytest.raises(ValueError):
+            LatencyMatrixModel(
+                self.REGIONS, ((0.001, 0.050), (0.060, 0.001)), num_validators=2
+            )
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ValueError):
+            LatencyMatrixModel(
+                self.REGIONS, ((0.001, -0.1), (-0.1, 0.001)), num_validators=2
+            )
+
+    def test_rejects_bad_assignment(self):
+        with pytest.raises(ValueError):
+            LatencyMatrixModel(
+                self.REGIONS, self.MATRIX, num_validators=3, assignment=(0, 1)
+            )
+        with pytest.raises(ValueError):
+            LatencyMatrixModel(
+                self.REGIONS, self.MATRIX, num_validators=2, assignment=(0, 2)
+            )
+
+
+class TestWanPresets:
+    def test_paper_preset_matches_geo_model(self):
+        """``paper-5`` is the paper's deployment expressed as an explicit
+        matrix: it must agree with GeoLatencyModel on every pair."""
+        matrix = wan_matrix_model("paper-5", 10)
+        geo = GeoLatencyModel(10)
+        for src in range(10):
+            for dst in range(10):
+                if geo.region_of(src) != geo.region_of(dst):
+                    assert matrix.base_delay(src, dst) == geo.base_delay(src, dst)
+
+    def test_all_presets_are_valid_matrices(self):
+        for name in WAN_PRESETS:
+            model = wan_matrix_model(name, 12)
+            for src in range(12):
+                for dst in range(12):
+                    assert model.base_delay(src, dst) == model.base_delay(dst, src)
+                    assert model.base_delay(src, dst) >= 0
+
+    def test_metro_is_uniformly_faster_than_wan(self):
+        metro = wan_matrix_model("metro-3", 6)
+        wan = wan_matrix_model("global-10", 6)
+        worst_metro = max(
+            metro.base_delay(a, b) for a in range(6) for b in range(6) if a != b
+        )
+        best_wan_cross = min(
+            wan.base_delay(a, b)
+            for a in range(6)
+            for b in range(6)
+            if a != b and wan.region_of(a) != wan.region_of(b)
+        )
+        assert worst_metro < best_wan_cross
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ValueError, match="unknown WAN matrix"):
+            wan_matrix_model("mars-2", 4)

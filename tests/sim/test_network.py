@@ -215,3 +215,65 @@ class TestAdversary:
         first = set(scheduler._targets(2.0))
         for now in (2.1, 2.5, 2.999):
             assert set(scheduler._targets(now)) == first
+
+
+class TestPartitions:
+    def test_cross_partition_messages_dropped(self):
+        loop, network, inboxes = make_network()
+        network.set_partition(1, "minority")
+        network.send(0, 1, "block", "into the cut", size=10)
+        network.send(1, 0, "block", "out of the cut", size=10)
+        loop.run_to_completion()
+        assert not inboxes[1] and not inboxes[0]
+        assert network.messages_dropped == 2
+        assert network.messages_sent == 0
+
+    def test_same_group_keeps_talking(self):
+        loop, network, inboxes = make_network()
+        network.set_partition(1, "minority")
+        network.set_partition(2, "minority")
+        network.send(1, 2, "block", "inside", size=10)
+        network.send(0, 3, "block", "outside", size=10)
+        loop.run_to_completion()
+        assert [m.payload for m, _ in inboxes[2]] == ["inside"]
+        assert [m.payload for m, _ in inboxes[3]] == ["outside"]
+        assert network.messages_dropped == 0
+
+    def test_degraded_cross_links_delay_instead_of_drop(self):
+        loop, network, inboxes = make_network(delay=0.05)
+        network.set_partition(1, "minority", cross_delay=0.4)
+        network.send(0, 1, "block", "slow", size=10)
+        network.send(0, 2, "block", "fast", size=10)
+        loop.run_to_completion()
+        [(_, slow_when)] = inboxes[1]
+        [(_, fast_when)] = inboxes[2]
+        assert slow_when == pytest.approx(0.45, rel=0.05)
+        assert fast_when < 0.1
+        assert network.messages_dropped == 0
+
+    def test_any_zero_delay_endpoint_cuts_the_link(self):
+        """A hard cut on either side wins over the other side's degraded
+        (delaying) partition."""
+        loop, network, inboxes = make_network()
+        network.set_partition(1, "east", cross_delay=0.0)
+        network.set_partition(2, "west", cross_delay=0.4)
+        network.send(1, 2, "block", "x", size=10)
+        loop.run_to_completion()
+        assert not inboxes[2]
+        assert network.messages_dropped == 1
+
+    def test_heal_restores_traffic(self):
+        loop, network, inboxes = make_network()
+        network.set_partition(1, "minority")
+        network.send(0, 1, "block", "lost", size=10)
+        network.heal(1)
+        network.send(0, 1, "block", "delivered", size=10)
+        loop.run_to_completion()
+        assert [m.payload for m, _ in inboxes[1]] == ["delivered"]
+        assert network.messages_dropped == 1
+        assert network.partition_group(1) == ""
+
+    def test_empty_group_rejected(self):
+        _, network, _ = make_network()
+        with pytest.raises(ValueError):
+            network.set_partition(1, "")

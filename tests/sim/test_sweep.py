@@ -63,7 +63,7 @@ class TestConfigHash:
         """The serialization is part of the cache contract: if this
         changes, bump SCHEMA_VERSION in sweep.py (old caches must read
         as misses, not as silently wrong hits)."""
-        assert config_hash(ExperimentConfig()) == "6eb501c7d5c3e3e3"
+        assert config_hash(ExperimentConfig()) == "f7e19f549ada109a"
 
     def test_stable_across_interpreter_instances(self):
         """No PYTHONHASHSEED leakage: a fresh interpreter with a random
