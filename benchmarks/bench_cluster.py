@@ -72,7 +72,28 @@ def _base_config(**overrides) -> dict:
     return config
 
 
-async def bench_steady(run_dir: Path, profile: dict, base_port: int) -> dict:
+def _telemetry(cluster: ProcessCluster, validators: range, elapsed: float) -> dict:
+    """Live telemetry from each validator's status-JSON registry
+    snapshot: commit rate, pending-queue depth, and sync activity."""
+    out: dict[str, dict] = {}
+    for validator in validators:
+        status = cluster.status(validator) or {}
+        metrics = status.get("metrics") or {}
+        out[str(validator)] = {
+            "commit_rate_tps": round(metrics.get("txs_committed", 0.0) / max(elapsed, 1e-9), 1),
+            "blocks_proposed": metrics.get("blocks_proposed", 0.0),
+            "pending_blocks": metrics.get("pending_blocks", 0.0),
+            "missing_refs": metrics.get("missing_refs", 0.0),
+            "sync_requests": metrics.get("sync_requests_sent", 0.0),
+            "deep_sync_requests": metrics.get("sync_deep_requests_sent", 0.0),
+            "round": metrics.get("round", 0.0),
+        }
+    return out
+
+
+async def bench_steady(
+    run_dir: Path, profile: dict, base_port: int, trace_dir: Path | None = None
+) -> dict:
     """Sustained load against a healthy 4-validator committee."""
     cluster = ProcessCluster(
         4,
@@ -80,6 +101,8 @@ async def bench_steady(run_dir: Path, profile: dict, base_port: int) -> dict:
         run_dir=run_dir,
         config=_base_config(),
         min_block_interval=profile["interval"],
+        trace=trace_dir is not None,
+        trace_dir=trace_dir,
     )
     async with cluster:
         started = time.monotonic()
@@ -92,8 +115,10 @@ async def bench_steady(run_dir: Path, profile: dict, base_port: int) -> dict:
             what="load tail committed",
         )
         elapsed = time.monotonic() - started
+        telemetry = _telemetry(cluster, range(4), elapsed)
     indices = cluster.assert_consistent_prefixes()
     return {
+        "telemetry": telemetry,
         "n": 4,
         "duration_s": round(elapsed, 3),
         "offered_tps": profile["tps"],
@@ -146,6 +171,7 @@ async def bench_recovery(run_dir: Path, profile: dict, base_port: int) -> dict:
                 what=f"{mode} recovery",
             )
             downtime = time.monotonic() - killed_at
+            victim_metrics = status.get("metrics") or {}
             await load
         indices = cluster.assert_consistent_prefixes()
         per_mode[mode] = {
@@ -155,6 +181,13 @@ async def bench_recovery(run_dir: Path, profile: dict, base_port: int) -> dict:
             "gc_depth": gc_depth,
             "adopted_base_round": status["adopted_base_round"],
             "commit_indices": indices,
+            # The victim's re-sync activity: how the recovery actually
+            # proceeded (shallow fetches vs chunked deep re-sync).
+            "victim_sync_requests": victim_metrics.get("sync_requests_sent", 0.0),
+            "victim_deep_sync_requests": victim_metrics.get(
+                "sync_deep_requests_sent", 0.0
+            ),
+            "victim_blocks_received": victim_metrics.get("blocks_received", 0.0),
         }
     return per_mode
 
@@ -213,13 +246,20 @@ async def bench_resize(run_dir: Path, profile: dict, base_port: int) -> dict:
     }
 
 
-async def run_benchmark(results_dir: Path, *, smoke: bool, base_port: int) -> dict:
+async def run_benchmark(
+    results_dir: Path, *, smoke: bool, base_port: int, trace: bool = False
+) -> dict:
     profile = SMOKE_PROFILE if smoke else FULL_PROFILE
     metrics: dict = {"mode": "smoke" if smoke else "full", "profile": profile}
+    # Traces land beside the cluster metrics, under results/trace/:
+    # one Chrome trace JSON (+ JSONL span log) per validator process.
+    trace_dir = results_dir.parent / "trace" / "cluster" if trace else None
     with tempfile.TemporaryDirectory(prefix="repro-cluster-") as tmp:
         tmp_dir = Path(tmp)
         print(f"bench_cluster[steady]: {profile['duration']}s at {profile['tps']} tps")
-        metrics["steady"] = await bench_steady(tmp_dir / "steady", profile, base_port)
+        metrics["steady"] = await bench_steady(
+            tmp_dir / "steady", profile, base_port, trace_dir
+        )
         print(
             f"bench_cluster[steady]: {metrics['steady']['throughput_tps']} tx/s, "
             f"p50 {metrics['steady']['latency_p50_s']:.3f}s"
@@ -240,6 +280,9 @@ async def run_benchmark(results_dir: Path, *, smoke: bool, base_port: int) -> di
     out = results_dir / "cluster_metrics.json"
     out.write_text(json.dumps(metrics, indent=2, sort_keys=True))
     print(f"bench_cluster: wrote {out}")
+    if trace_dir is not None:
+        traces = sorted(trace_dir.glob("*.trace.json"))
+        print(f"bench_cluster: {len(traces)} trace files -> {trace_dir}/")
     return metrics
 
 
@@ -256,11 +299,19 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--base-port", type=int, default=30300, help="first TCP port of the sweep"
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="record per-validator lifecycle traces in the steady scenario "
+        "and export Chrome trace JSON under results/trace/cluster/",
+    )
     args = parser.parse_args(argv)
     results_root = args.results or os.environ.get("REPRO_RESULTS_DIR") or "results"
     results_dir = Path(results_root) / "cluster"
     metrics = asyncio.run(
-        run_benchmark(results_dir, smoke=args.smoke, base_port=args.base_port)
+        run_benchmark(
+            results_dir, smoke=args.smoke, base_port=args.base_port, trace=args.trace
+        )
     )
 
     from benchmarks.curve_checks import check_cluster_metrics

@@ -215,6 +215,74 @@ class TestEventLoop:
         benchmark.extra_info["sim_events_per_s"] = rate
 
 
+class TestTracing:
+    """The observability before/after pin: a disabled tracer must cost
+    attribute-check money, not event-recording money.  Every hot-path
+    site is guarded by ``if tracer.enabled:``, so the disabled
+    experiment should drain within noise of the recording one's rate
+    plus the recording work it skips."""
+
+    CONFIG = dict(
+        protocol="mahi-mahi-5",
+        num_validators=10,
+        load_tps=2_000,
+        duration=4.0,
+        warmup=1.0,
+        seed=3,
+    )
+
+    @classmethod
+    def _drain_rate(cls, trace):
+        experiment = Experiment(ExperimentConfig(trace=trace, **cls.CONFIG))
+        started = time.perf_counter()
+        result = experiment.run()
+        elapsed = time.perf_counter() - started
+        return result.events_processed / elapsed
+
+    def test_null_tracer_guard_cost(self, benchmark):
+        """The per-site cost when tracing is off: one attribute check
+        against the class-level ``enabled = False``."""
+        from repro.obs.trace import NULL_TRACER
+
+        tracer = NULL_TRACER
+
+        def guarded(n=100_000):
+            hits = 0
+            for _ in range(n):
+                if tracer.enabled:
+                    hits += 1
+            return hits
+
+        assert benchmark(guarded) == 0
+
+    def test_sim_drain_rate_disabled_vs_enabled(self, benchmark):
+        disabled = max(self._drain_rate(False) for _ in range(2))
+        enabled = max(self._drain_rate(True) for _ in range(2))
+        print_table(
+            "Lifecycle tracing overhead (mahi-mahi-5, n=10, 2k tx/s)",
+            [
+                Row(
+                    label="tracing disabled (default)",
+                    paper="near-zero overhead",
+                    measured=f"{disabled:,.0f} events/s",
+                ),
+                Row(
+                    label="tracing enabled (--trace)",
+                    paper="-",
+                    measured=f"{enabled:,.0f} events/s "
+                    f"({disabled / enabled:.2f}x slower when on)",
+                ),
+            ],
+        )
+        benchmark.extra_info["disabled_events_per_s"] = disabled
+        benchmark.extra_info["enabled_events_per_s"] = enabled
+        benchmark.extra_info["enabled_overhead_x"] = disabled / enabled
+        benchmark.pedantic(self._drain_rate, args=(False,), rounds=1, iterations=1)
+        # Loose bound: the disabled path pays only the guard, so it must
+        # not drain slower than the recording path beyond noise.
+        assert disabled > enabled * 0.9
+
+
 class _PerMessageNetwork:
     """The pre-batching delivery path, kept as the *before* side of the
     comparison: every message schedules its own event-loop entry (the

@@ -65,6 +65,43 @@ def discover_sweeps() -> list:
     return sweeps
 
 
+def run_traced_point(results_dir: Path, *, smoke: bool) -> Path:
+    """Run one lifecycle-traced experiment and export its trace.
+
+    The point runs directly through :class:`~repro.sim.runner.Experiment`
+    rather than the cached sweep engine — a cache hit would skip
+    execution and produce no events.  The protocol is Tusk (the one
+    certified baseline), so the export exhibits *every* lifecycle stage
+    including ``block_certified``; the Mahi-Mahi protocols are
+    uncertified by design and would legitimately lack that stage.
+    """
+    from repro.obs.export import write_chrome_trace, write_jsonl
+    from repro.sim.runner import Experiment, ExperimentConfig
+
+    config = ExperimentConfig(
+        protocol="tusk",
+        num_validators=10,
+        load_tps=500.0,
+        duration=6.0 if smoke else 15.0,
+        warmup=1.0,
+        trace=True,
+        seed=7,
+    )
+    experiment = Experiment(config)
+    experiment.run()
+    trace_dir = Path(results_dir) / "trace"
+    chrome_path = write_chrome_trace(
+        experiment.tracer.events, trace_dir / "sim-tusk.trace.json"
+    )
+    write_jsonl(experiment.tracer.events, trace_dir / "sim-tusk.trace.jsonl")
+    stages = sorted(experiment.tracer.stages_seen())
+    print(
+        f"repro-bench: traced point -> {chrome_path} "
+        f"({len(experiment.tracer)} events; stages: {', '.join(stages)})"
+    )
+    return chrome_path
+
+
 def main(argv: list[str] | None = None) -> int:
     _bootstrap_sys_path()
     parser = argparse.ArgumentParser(
@@ -109,6 +146,13 @@ def main(argv: list[str] | None = None) -> int:
         "--render",
         action="store_true",
         help="after the sweeps, render results/figures/*.svg + results/REPORT.md",
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="also run one dedicated traced sweep point and export the "
+        "per-transaction lifecycle trace to results/trace/ (Chrome "
+        "trace-event JSON for Perfetto plus a JSONL span log)",
     )
     parser.add_argument(
         "--profile",
@@ -244,6 +288,9 @@ def main(argv: list[str] | None = None) -> int:
         f"repro-bench: {executed} points run, {cached} cached in {wall:.1f}s "
         f"({sim_events:,} sim events; {committed:,} blocks committed)"
     )
+
+    if args.trace:
+        run_traced_point(store.root, smoke=args.smoke)
 
     if args.render:
         # Render before the gates: a failing gate still leaves figures

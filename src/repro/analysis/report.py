@@ -385,6 +385,44 @@ def _recovery_lines(group: list[LoadedSweep]) -> list[str]:
     ]
 
 
+def _stage_breakdown_lines(group: list[LoadedSweep]) -> list[str]:
+    """Per-stage latency decomposition table for figure groups whose
+    points carry ``stage_breakdown`` (queue / network / cpu /
+    commit-walk shares of the observer's commit latency)."""
+    rows = []
+    for sweep in group:
+        for point in sweep.points:
+            result = point.result or {}
+            breakdown = result.get("stage_breakdown") or {}
+            if not breakdown.get("samples"):
+                continue
+            rows.append(
+                [
+                    sweep.name,
+                    str(point.series),
+                    _format_value(point.x),
+                    _format_value(breakdown.get("queue_s")),
+                    _format_value(breakdown.get("network_s")),
+                    _format_value(breakdown.get("cpu_s")),
+                    _format_value(breakdown.get("commit_walk_s")),
+                    _format_value(breakdown.get("commit_walk_share"), digits=2),
+                    _format_value(int(breakdown["samples"])),
+                ]
+            )
+    if not rows:
+        return []
+    return [
+        "",
+        "**Latency decomposition** (mean seconds per lifecycle stage at the observer):",
+        "",
+        *_md_table(
+            ["sweep", "series", "x", "queue (s)", "network (s)", "cpu (s)",
+             "commit walk (s)", "walk share", "samples"],
+            rows,
+        ),
+    ]
+
+
 def _sweep_inventory_lines(group: list[LoadedSweep]) -> list[str]:
     rows = [
         [
@@ -481,6 +519,7 @@ def generate_report(
                 ["", "paper", "measured", "deviation"],
                 [[row.label, row.paper, row.measured, row.deviation] for row in rows],
             )
+        lines += _stage_breakdown_lines(group)
         lines += _recovery_lines(group)
         lines += [""]
 

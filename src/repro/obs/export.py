@@ -1,0 +1,122 @@
+"""Trace exporters: JSONL span logs and Chrome trace-event JSON.
+
+The Chrome format (the ``traceEvents`` array consumed by Perfetto,
+``chrome://tracing`` and speedscope) maps one **pid per validator**
+and one **tid per subsystem** (client / ingress / consensus / network /
+commit / sync), with ``process_name`` / ``thread_name`` metadata rows
+so the UI shows readable lanes.  Timestamps are converted from the
+tracer's seconds to the format's microseconds.
+
+Both writers create the parent directory (``results/trace/`` in the
+benchmark drivers) on demand.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.obs.trace import SUBSYSTEMS, TraceEvent
+
+
+def _prepare(path) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def write_jsonl(events: Iterable[TraceEvent], path) -> Path:
+    """One JSON object per line: the raw span log, grep/jq friendly."""
+    path = _prepare(path)
+    with path.open("w", encoding="utf-8") as handle:
+        for event in events:
+            row = {
+                "validator": event.validator,
+                "subsystem": event.subsystem,
+                "name": event.name,
+                "ts": event.ts,
+            }
+            if event.dur is not None:
+                row["dur"] = event.dur
+            if event.args:
+                row["args"] = event.args
+            handle.write(json.dumps(row, sort_keys=True) + "\n")
+    return path
+
+
+def _tid_table(events: list[TraceEvent]) -> dict[str, int]:
+    """Stable subsystem → tid mapping: known subsystems keep their
+    canonical slot, novel ones get appended slots."""
+    table = {name: i for i, name in enumerate(SUBSYSTEMS)}
+    for event in events:
+        if event.subsystem not in table:
+            table[event.subsystem] = len(table)
+    return table
+
+
+def chrome_trace_events(
+    events: Iterable[TraceEvent], *, process_prefix: str = "validator"
+) -> list[dict]:
+    """The ``traceEvents`` rows for a list of recorded events."""
+    events = list(events)
+    tids = _tid_table(events)
+    rows: list[dict] = []
+    seen_pids: set[int] = set()
+    seen_threads: set[tuple[int, int]] = set()
+    for event in events:
+        pid = event.validator
+        tid = tids[event.subsystem]
+        if pid not in seen_pids:
+            seen_pids.add(pid)
+            rows.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": f"{process_prefix}-{pid}"},
+                }
+            )
+        if (pid, tid) not in seen_threads:
+            seen_threads.add((pid, tid))
+            rows.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": event.subsystem},
+                }
+            )
+        row = {
+            "name": event.name,
+            "cat": event.subsystem,
+            "pid": pid,
+            "tid": tid,
+            "ts": event.ts * 1e6,
+        }
+        if event.dur is not None:
+            row["ph"] = "X"
+            row["dur"] = event.dur * 1e6
+        else:
+            row["ph"] = "i"
+            row["s"] = "t"
+        if event.args:
+            row["args"] = event.args
+        rows.append(row)
+    return rows
+
+
+def write_chrome_trace(
+    events: Iterable[TraceEvent], path, *, process_prefix: str = "validator"
+) -> Path:
+    """Write a Perfetto/speedscope-loadable Chrome trace JSON file."""
+    path = _prepare(path)
+    document = {
+        "traceEvents": chrome_trace_events(events, process_prefix=process_prefix),
+        "displayTimeUnit": "ms",
+    }
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(document, handle)
+    return path

@@ -40,6 +40,9 @@ from ..core.protocol import MahiMahiCore
 from ..crypto.coin import CommonCoin
 from ..dag.validation import BlockVerifier
 from ..errors import StateTransferError
+from ..obs import trace as _trace
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import NULL_TRACER
 from ..statesync import Checkpoint, CheckpointVotes, ancestor_closure, replay_wal
 from ..statesync.recovery import SYNC_MAX_BLOCKS
 from ..transaction import Transaction
@@ -102,6 +105,7 @@ class ValidatorNode:
         recover_mode: str = "warm",
         sync_chunk_blocks: int = SYNC_MAX_BLOCKS,
         on_recovery: Callable[[int, float, str], None] | None = None,
+        tracer=NULL_TRACER,
     ) -> None:
         """Args mirror :class:`~repro.core.MahiMahiCore`, plus:
 
@@ -120,6 +124,10 @@ class ValidatorNode:
         on_recovery: Called as ``(authority, recovery_seconds, mode)``
             at the first own proposal after a restart that had to
             re-sync — the recovery-time metric hook.
+        tracer: A :class:`repro.obs.trace.Tracer` recording lifecycle
+            spans with **wall-clock** timestamps (``time.time()``);
+            defaults to the no-op tracer.  Shared with the transport
+            and synchronizer, alongside the node's metrics registry.
         """
         if recover_mode not in RECOVER_MODES:
             raise ValueError(
@@ -143,7 +151,25 @@ class ValidatorNode:
             WriteAheadLog(wal_path, sync=wal_sync) if wal_path is not None else None
         )
         self._wal_path = wal_path
-        self.synchronizer = Synchronizer(transport, self.schedule.provisioned)
+        #: Lifecycle tracer (wall-clock) and live metrics registry —
+        #: the registry snapshot is what ``process_cluster`` flushes
+        #: into its status JSON.
+        self.tracer = tracer
+        self.metrics = MetricsRegistry()
+        m = self.metrics
+        self._m_submitted = m.counter("txs_submitted", help="client transactions accepted")
+        self._m_proposed = m.counter("blocks_proposed", help="own blocks proposed")
+        self._m_received = m.counter("blocks_received", help="peer blocks accepted into the DAG")
+        self._m_committed_blocks = m.counter("blocks_committed", help="blocks linearized by the commit walk")
+        self._m_committed_tx = m.counter("txs_committed", help="transactions in linearized blocks")
+        self._m_waves = m.counter("waves_decided", help="slot decisions, labeled by outcome")
+        self._g_round = m.gauge("round", help="current proposal round")
+        self._g_pending = m.gauge("pending_blocks", help="blocks buffered awaiting ancestors")
+        self._g_missing = m.gauge("missing_refs", help="references the synchronizer is fetching")
+        transport.instrument(tracer, m)
+        self.synchronizer = Synchronizer(
+            transport, self.schedule.provisioned, registry=m
+        )
         self._interval = min_block_interval
         self._last_proposal = float("-inf")
         self._last_rebroadcast = float("-inf")
@@ -206,6 +232,14 @@ class ValidatorNode:
             # the suffix above its floor is in.
             self._syncing = True
             self._recovered_at = time.monotonic()
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    self.authority,
+                    "sync",
+                    "recovery_started",
+                    time.time(),
+                    {"mode": "checkpoint"},
+                )
             await self._request_checkpoints()
         self._tasks = [
             asyncio.create_task(self._proposal_loop()),
@@ -242,6 +276,14 @@ class ValidatorNode:
             # (or a deep fetch, if far behind) finishes the job.
             self._syncing = True
             self._recovered_at = time.monotonic()
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    self.authority,
+                    "sync",
+                    "recovery_started",
+                    time.time(),
+                    {"mode": "warm", "replayed": len(replay.blocks)},
+                )
 
     def _ckpt_quorum(self) -> int:
         """The attestation quorum for checkpoint adoption: ``2f + 1`` of
@@ -254,6 +296,11 @@ class ValidatorNode:
     def submit_transaction(self, tx: Transaction) -> None:
         """Queue a client transaction."""
         self.core.add_transaction(tx)
+        self._m_submitted.inc()
+        if self.tracer.enabled:
+            self.tracer.instant(
+                self.authority, "client", _trace.TX_SUBMITTED, time.time(), {"tx": tx.tx_id}
+            )
 
     # ------------------------------------------------------------------
     # Loops
@@ -271,6 +318,25 @@ class ValidatorNode:
                 if block is not None:
                     self._last_proposal = loop_time
                     self._last_block = block
+                    self._m_proposed.inc()
+                    self._g_round.set(self.core.round)
+                    if self.tracer.enabled:
+                        wall = time.time()
+                        self.tracer.instant(
+                            self.authority,
+                            "consensus",
+                            _trace.BLOCK_PROPOSED,
+                            wall,
+                            {"round": block.round, "txs": len(block.transactions)},
+                        )
+                        if block.transactions:
+                            self.tracer.instant(
+                                self.authority,
+                                "ingress",
+                                _trace.TX_INCLUDED,
+                                wall,
+                                {"round": block.round, "count": len(block.transactions)},
+                            )
                     if self._wal is not None:
                         # Own proposals are durable *before* broadcast: a
                         # warm restart replays them and never signs a
@@ -362,7 +428,7 @@ class ValidatorNode:
             await self._on_sync_response(message, sender)
         elif isinstance(message, TransactionMessage):
             for tx in message.transactions:
-                self.core.add_transaction(tx)
+                self.submit_transaction(tx)
 
     async def _ingest(self, block: Block, sender: int, live: bool = True) -> None:
         result = self.core.add_block(block)
@@ -373,6 +439,19 @@ class ValidatorNode:
             if self._wal is not None and accepted.author != self.authority:
                 self._wal.append_peer_block(accepted)
         if result.accepted:
+            self._m_received.inc(len(result.accepted))
+            self._g_pending.set(self.core.pending_count)
+            self._g_missing.set(self.synchronizer.missing)
+            if self.tracer.enabled:
+                wall = time.time()
+                for accepted in result.accepted:
+                    self.tracer.instant(
+                        self.authority,
+                        "consensus",
+                        _trace.BLOCK_RECEIVED,
+                        wall,
+                        {"author": accepted.author, "round": accepted.round, "src": sender},
+                    )
             if self._syncing and live and self.core.pending_count == 0:
                 # Caught up: a freshly broadcast block connected with its
                 # whole causal history present.  Fetched chunks
@@ -404,6 +483,14 @@ class ValidatorNode:
             self._syncing = True
             if self._recovered_at is None:
                 self._recovered_at = time.monotonic()
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    self.authority,
+                    "sync",
+                    "recovery_started",
+                    time.time(),
+                    {"mode": "cold", "behind": self._behind_by(block)},
+                )
             await self.synchronizer.request_deep(sender, missing, self._sync_floor())
             return
         self.synchronizer.note_missing(missing, sender)
@@ -420,6 +507,14 @@ class ValidatorNode:
 
     def _finish_sync(self) -> None:
         self._syncing = False
+        if self.tracer.enabled:
+            self.tracer.instant(
+                self.authority,
+                "sync",
+                "sync_finished",
+                time.time(),
+                {"mode": self.recovery_mode_used},
+            )
         # Never propose in a round the pre-crash incarnation already
         # proposed in: lead with the newest visible own-authored block.
         self.core.restore_own_position()
@@ -574,10 +669,46 @@ class ValidatorNode:
         for observation in observations:
             self.commits.put_nowait(observation)
             self.committed_blocks.extend(observation.linearized)
+        if observations:
+            self._record_commit_metrics(observations)
         if observations and self._wal is not None:
             self._wal.append_commit_mark(self.core.committer.last_finalized_round)
         if observations and not self.schedule.is_static:
             self._check_epoch_exit()
+
+    def _record_commit_metrics(self, observations: tuple[CommitObservation, ...]) -> None:
+        """Registry counters plus — when tracing — one wave-decision
+        instant per slot and commit/execute instants for linearized
+        transactions (the runtime applies the linearized prefix to its
+        commit queue immediately, so committed and executed coincide)."""
+        tracing = self.tracer.enabled
+        wall = time.time() if tracing else 0.0
+        for observation in observations:
+            status = observation.status
+            self._m_waves.inc(decision=status.decision.name.lower())
+            blocks = len(observation.linearized)
+            self._m_committed_blocks.inc(blocks)
+            txs = sum(len(b.transactions) for b in observation.linearized)
+            self._m_committed_tx.inc(txs)
+            if tracing:
+                args = {
+                    "round": status.slot.round,
+                    "leader": status.slot.authority,
+                    "decision": status.decision.name.lower(),
+                    "blocks": blocks,
+                }
+                self.tracer.instant(
+                    self.authority, "commit", _trace.WAVE_DECIDED, wall, args
+                )
+                if txs:
+                    tx_args = {"round": status.slot.round, "count": txs}
+                    self.tracer.instant(
+                        self.authority, "commit", _trace.TX_COMMITTED, wall, tx_args
+                    )
+                    self.tracer.instant(
+                        self.authority, "commit", _trace.TX_EXECUTED, wall, tx_args
+                    )
+        self._g_pending.set(self.core.pending_count)
 
     def _check_epoch_exit(self) -> None:
         """Go silent for good once an activated epoch excludes us.

@@ -44,6 +44,8 @@ from ..config import ProtocolConfig
 from ..crypto.coin import FastCoin
 from ..crypto.signing import NullSignatureScheme, generate_keys
 from ..dag.validation import BlockVerifier
+from ..obs.export import write_chrome_trace, write_jsonl
+from ..obs.trace import NULL_TRACER, Tracer
 from ..transaction import Transaction
 from .messages import TransactionMessage, encode_message, frame
 from .node import ValidatorNode
@@ -56,7 +58,7 @@ RECONFIG_TX_BASE = 1 << 62
 STATUS_INTERVAL = 0.2
 
 
-def _build_node(spec: dict) -> ValidatorNode:
+def _build_node(spec: dict, tracer=NULL_TRACER) -> ValidatorNode:
     """Construct one validator from a spec dict (child-process side).
 
     Keys, coin, and committee are re-derived deterministically from the
@@ -97,6 +99,7 @@ def _build_node(spec: dict) -> ValidatorNode:
         sign=lambda data, _k=private, _s=scheme: _s.sign(_k, data),
         min_block_interval=spec.get("min_block_interval", 0.0),
         recover_mode=spec["recover_mode"],
+        tracer=tracer,
     )
 
 
@@ -110,7 +113,9 @@ def _write_status(path: Path, status: dict) -> None:
 async def _child_main(spec_path: str) -> None:
     """Run one validator until SIGTERM (the child-process entry)."""
     spec = json.loads(Path(spec_path).read_text())
-    node = _build_node(spec)
+    trace_path = spec.get("trace_path")
+    tracer = Tracer() if trace_path else NULL_TRACER
+    node = _build_node(spec, tracer=tracer)
     status_path = Path(spec["status_path"])
     commit_log = open(spec["commit_log_path"], "a", encoding="ascii")
     started_at = time.monotonic()
@@ -161,6 +166,12 @@ async def _child_main(spec_path: str) -> None:
             logged = len(committed)
         ledger = getattr(core.committer, "ledger", None)
         latencies_sorted = sorted(latencies)
+        # Refresh the point-in-time gauges at publication time: the
+        # node only touches them on ingest/commit, which under-reports
+        # an idle or stalled validator.
+        node.metrics.gauge("round").set(core.round)
+        node.metrics.gauge("pending_blocks").set(core.pending_count)
+        node.metrics.gauge("missing_refs").set(node.synchronizer.missing)
         status = {
             "ready": True,
             "final": final,
@@ -200,6 +211,12 @@ async def _child_main(spec_path: str) -> None:
             "latency_p95": (
                 latencies_sorted[int(len(latencies) * 0.95)] if latencies else None
             ),
+            # Live committee view (the latest epoch this validator's
+            # commit walk scheduled) and the node's metrics registry,
+            # flushed verbatim so drivers can report live telemetry.
+            "epoch": node.schedule.latest.epoch_id,
+            "committee_size": node.schedule.latest.committee.size,
+            "metrics": node.metrics.snapshot(),
         }
         _write_status(status_path, status)
         return len(committed)
@@ -217,6 +234,10 @@ async def _child_main(spec_path: str) -> None:
         await node.stop()
         publish(final=True)
         commit_log.close()
+        if tracer.enabled and trace_path:
+            path = Path(trace_path)
+            write_chrome_trace(tracer.events, path, process_prefix="validator")
+            write_jsonl(tracer.events, path.with_suffix(".jsonl"))
 
 
 # ----------------------------------------------------------------------
@@ -319,6 +340,8 @@ class ProcessCluster:
         provisioned: int | None = None,
         config: dict | None = None,
         min_block_interval: float = 0.0,
+        trace: bool = False,
+        trace_dir: str | Path | None = None,
     ) -> None:
         """Args:
         n: Genesis committee size.
@@ -329,6 +352,11 @@ class ProcessCluster:
             each child re-derives the deployment from it).
         provisioned: Total wire identities (join targets included).
         config: :class:`~repro.config.ProtocolConfig` kwargs.
+        trace: Record lifecycle traces in every validator process; each
+            incarnation writes a Chrome trace JSON (plus a JSONL span
+            log) into ``trace_dir`` at shutdown.
+        trace_dir: Where traced children export (default
+            ``run_dir/trace``).
         """
         self.n = n
         self.base_port = base_port
@@ -338,6 +366,8 @@ class ProcessCluster:
         self.seed = seed
         self.config = config or {"wave_length": 5, "leaders_per_round": 2}
         self._min_block_interval = min_block_interval
+        self.trace = trace
+        self.trace_dir = Path(trace_dir) if trace_dir is not None else self.run_dir / "trace"
         self._procs: dict[int, subprocess.Popen] = {}
         self._incarnation = dict.fromkeys(range(self.provisioned), 0)
         self._reconfig_seq = 0
@@ -370,6 +400,11 @@ class ProcessCluster:
             "status_path": str(self._status_path(validator)),
             "commit_log_path": str(self._commit_log_path(validator)),
         }
+        if self.trace:
+            incarnation = self._incarnation[validator]
+            spec["trace_path"] = str(
+                self.trace_dir / f"validator-{validator}-{incarnation}.trace.json"
+            )
         spec_path = self.run_dir / f"spec-{validator}.json"
         spec_path.write_text(json.dumps(spec))
         self._status_path(validator).unlink(missing_ok=True)

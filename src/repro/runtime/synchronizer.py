@@ -28,6 +28,7 @@ from dataclasses import dataclass
 
 from ..block import BlockRef
 from ..crypto.hashing import Digest
+from ..obs.metrics import MetricsRegistry
 from .messages import FetchRequest, SyncRequest
 from .transport import Transport
 
@@ -49,18 +50,41 @@ class _Pending:
 class Synchronizer:
     """Tracks missing block references and drives fetch requests."""
 
-    def __init__(self, transport: Transport, committee_size: int) -> None:
+    def __init__(
+        self,
+        transport: Transport,
+        committee_size: int,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
         self._transport = transport
         self._n = committee_size
         self._pending: dict[Digest, _Pending] = {}
-        self.requests_sent = 0
+        # Request counters live in the (possibly shared) metrics
+        # registry, so a cluster's status JSON reports sync activity
+        # without a second set of ad-hoc ints.
+        registry = registry if registry is not None else MetricsRegistry()
+        self._m_requests = registry.counter(
+            "sync_requests_sent", help="shallow fetch requests issued"
+        )
+        self._m_deep = registry.counter(
+            "sync_deep_requests_sent", help="deep (chunked re-sync) requests issued"
+        )
         # Deep-fetch chain state: the token in flight (0 = none), a
         # monotonic counter so stale responses never clear a newer
         # request, and the send time for the retry timeout.
         self._sync_token = 0
         self._sync_inflight = 0
         self._sync_sent_at = 0.0
-        self.deep_requests_sent = 0
+
+    @property
+    def requests_sent(self) -> int:
+        """Shallow fetch requests issued so far."""
+        return int(self._m_requests.total)
+
+    @property
+    def deep_requests_sent(self) -> int:
+        """Deep fetch requests issued so far."""
+        return int(self._m_deep.total)
 
     @property
     def missing(self) -> int:
@@ -108,7 +132,7 @@ class Synchronizer:
         for peer, refs in by_peer.items():
             for start in range(0, len(refs), BATCH):
                 chunk = tuple(refs[start : start + BATCH])
-                self.requests_sent += 1
+                self._m_requests.inc()
                 await self._transport.send(peer, FetchRequest(refs=chunk))
 
     def _pick_peer(self, pending: _Pending) -> int:
@@ -137,7 +161,7 @@ class Synchronizer:
         self._sync_token += 1
         self._sync_inflight = self._sync_token
         self._sync_sent_at = time.monotonic() if now is None else now
-        self.deep_requests_sent += 1
+        self._m_deep.inc()
         await self._transport.send(
             peer, SyncRequest(refs=refs, floor=floor, token=self._sync_token)
         )

@@ -11,10 +11,12 @@ from __future__ import annotations
 
 import asyncio
 import struct
+import time
 from abc import ABC, abstractmethod
 from typing import Awaitable, Callable
 
 from ..errors import TransportError
+from ..obs.trace import NULL_TRACER
 from .messages import MAX_FRAME, Message, decode_message, encode_message, frame
 
 #: ``(sender, message)`` delivery callback.
@@ -32,6 +34,29 @@ class Transport(ABC):
     def __init__(self, authority: int) -> None:
         self.authority = authority
         self._handler: MessageHandler | None = None
+        self.tracer = NULL_TRACER
+        self._frames_sent = None
+        self._bytes_sent = None
+        self._frames_received = None
+        self._bytes_received = None
+
+    def instrument(self, tracer, registry) -> None:
+        """Attach a lifecycle tracer and a metrics registry (the node
+        shares its own).  Counters are cached here so the send path
+        pays one attribute check, not a registry lookup per frame."""
+        self.tracer = tracer
+        self._frames_sent = registry.counter(
+            "transport_frames_sent", help="frames written to peers"
+        )
+        self._bytes_sent = registry.counter(
+            "transport_bytes_sent", help="framed bytes written to peers"
+        )
+        self._frames_received = registry.counter(
+            "transport_frames_received", help="frames read from peers"
+        )
+        self._bytes_received = registry.counter(
+            "transport_bytes_received", help="framed bytes read from peers"
+        )
 
     def on_message(self, handler: MessageHandler) -> None:
         """Register the delivery callback (one per transport)."""
@@ -192,6 +217,17 @@ class TcpTransport(Transport):
             if length > MAX_FRAME:
                 raise TransportError(f"oversized frame from {peer}: {length}")
             body = await reader.readexactly(length)
+            if self._frames_received is not None:
+                self._frames_received.inc()
+                self._bytes_received.inc(length + 4)
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    self.authority,
+                    "network",
+                    "frame_received",
+                    time.time(),
+                    {"src": peer, "bytes": length + 4},
+                )
             await self._dispatch(peer, decode_message(body))
 
     # -- sending --------------------------------------------------------
@@ -201,11 +237,29 @@ class TcpTransport(Transport):
             writer = await self._writer_for(dst)
             if writer is None:
                 return
+            body = frame(encode_message(message))
+            start = time.time() if self.tracer.enabled else 0.0
             try:
-                writer.write(frame(encode_message(message)))
+                writer.write(body)
                 await writer.drain()
             except (ConnectionError, RuntimeError):
                 self._writers.pop(dst, None)
+                return
+            if self._frames_sent is not None:
+                self._frames_sent.inc()
+                self._bytes_sent.inc(len(body))
+            if self.tracer.enabled:
+                # The span covers encode-to-drain: the kernel buffer
+                # handoff, not the wire flight (receipt is the peer's
+                # frame_received instant).
+                self.tracer.span(
+                    self.authority,
+                    "network",
+                    "tcp_send",
+                    start,
+                    time.time(),
+                    {"dst": dst, "bytes": len(body)},
+                )
 
     async def _writer_for(self, dst: int) -> asyncio.StreamWriter | None:
         writer = self._writers.get(dst)

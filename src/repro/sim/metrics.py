@@ -12,6 +12,17 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro.obs.metrics import MetricsRegistry
+
+#: The per-transaction latency decomposition, in lifecycle order:
+#: ``queue``   submit → included in a proposed block (ingress queue +
+#:             proposal cadence at the submission validator),
+#: ``network`` inclusion → the block's arrival at the observer,
+#: ``cpu``     arrival → the observer's consensus stage ingesting it,
+#: ``commit_walk`` ingest → the commit walk linearizing it (waiting for
+#:             the wave decision).
+STAGES = ("queue", "network", "cpu", "commit_walk")
+
 
 @dataclass(frozen=True)
 class LatencySummary:
@@ -60,6 +71,20 @@ class ExperimentMetrics:
         # Per-epoch latency accumulation: epoch_id -> [weight, weighted
         # latency sum, commit count].
         self._epoch_latency: dict[int, list[float]] = {}
+        #: Shared metrics registry: the per-stage latency histograms
+        #: live here (and anything else an observer wants to export).
+        self.registry = MetricsRegistry()
+        self._stage_hist = {
+            stage: self.registry.histogram(
+                f"tx_stage_seconds_{stage}",
+                help=f"per-transaction {stage} share of commit latency",
+            )
+            for stage in STAGES
+        }
+        # tx_id -> first inclusion time (at the proposing validator).
+        self._included: dict[int, float] = {}
+        # tx_id -> (arrival, ingest) at the observer validator.
+        self._block_times: dict[int, tuple[float, float]] = {}
 
     # ------------------------------------------------------------------
     # Recording
@@ -75,8 +100,21 @@ class ExperimentMetrics:
             self.duplicate_commits += 1
             return
         submitted_at, weight = submission
+        included = self._included.pop(tx_id, None)
+        block_times = self._block_times.pop(tx_id, None)
         if submitted_at < self._warmup:
             return
+        if included is not None:
+            # Stage decomposition: an observer-proposed block never
+            # crossed the network, so its network/cpu shares are zero.
+            arrival, ingest = (
+                block_times if block_times is not None else (included, included)
+            )
+            hist = self._stage_hist
+            hist["queue"].observe(max(0.0, included - submitted_at))
+            hist["network"].observe(max(0.0, arrival - included))
+            hist["cpu"].observe(max(0.0, ingest - arrival))
+            hist["commit_walk"].observe(max(0.0, time - ingest))
         self.committed_unique += 1
         self.committed_weight += weight
         latency = time - submitted_at
@@ -91,6 +129,20 @@ class ExperimentMetrics:
         if self._first_commit_time is None:
             self._first_commit_time = time
         self._last_commit_time = time
+
+    def record_inclusion(self, tx_id: int, time: float) -> None:
+        """``tx_id`` was packed into a block its submission validator
+        proposed at ``time`` (first inclusion wins — a recovered
+        validator may re-propose)."""
+        if tx_id not in self._included:
+            self._included[tx_id] = time
+
+    def record_block_times(self, tx_id: int, arrival: float, ingest: float) -> None:
+        """The block carrying ``tx_id`` reached the observer: it
+        arrived off the wire at ``arrival`` and cleared the consensus
+        CPU stage (entered the DAG) at ``ingest``."""
+        if tx_id not in self._block_times:
+            self._block_times[tx_id] = (arrival, ingest)
 
     def record_recovery(
         self, validator: int, recovered_at: float, resumed_at: float, mode: str = "cold"
@@ -148,6 +200,24 @@ class ExperimentMetrics:
             if cumulative >= threshold:
                 return latency
         return ordered[-1][0]
+
+    def stage_breakdown(self) -> dict[str, float]:
+        """Mean seconds per lifecycle stage over committed transactions
+        (``{}`` until something commits), plus each stage's share of
+        their sum.  Batch weights are uniform within a run, so the
+        unweighted histogram means match the weighted latency average's
+        weighting."""
+        samples = self._stage_hist["queue"].count()
+        if not samples:
+            return {}
+        means = {stage: self._stage_hist[stage].mean() for stage in STAGES}
+        total = sum(means.values())
+        breakdown: dict[str, float] = {f"{stage}_s": means[stage] for stage in STAGES}
+        breakdown["samples"] = samples
+        if total > 0:
+            for stage in STAGES:
+                breakdown[f"{stage}_share"] = means[stage] / total
+        return breakdown
 
     def throughput(self, duration: float) -> float:
         """Committed (weighted) transactions per second over the

@@ -23,6 +23,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Protocol
 
+from ..obs.trace import NULL_TRACER
 from .events import EventLoop
 from .latency import LatencyModel
 
@@ -213,6 +214,7 @@ class SimNetwork:
         "_last_delivery",
         "_link_queue",
         "_partition",
+        "_tracer",
         "messages_sent",
         "bytes_sent",
         "messages_dropped",
@@ -227,6 +229,7 @@ class SimNetwork:
         config: NetworkConfig | None = None,
         scheduler: MessageScheduler | None = None,
         seed: int = 0,
+        tracer=None,
     ) -> None:
         self._loop = loop
         self._latency = latency
@@ -255,6 +258,9 @@ class SimNetwork:
         # Live partition state: validator -> (group, cross-group delay).
         # Unlisted validators form the implicit default group "".
         self._partition: dict[int, tuple[str, float]] = {}
+        # Lifecycle tracer (disabled no-op by default): wire-flight
+        # spans are recorded on the *sender's* network lane.
+        self._tracer = tracer if tracer is not None else NULL_TRACER
         self.messages_sent = 0
         self.bytes_sent = 0
         self.messages_dropped = 0
@@ -358,6 +364,15 @@ class SimNetwork:
         self._last_delivery[link] = arrival
         self.messages_sent += 1
         self.bytes_sent += wire_size
+        if self._tracer.enabled:
+            self._tracer.span(
+                src,
+                "network",
+                "net_flight",
+                start,
+                arrival,
+                {"kind": kind, "dst": dst, "bytes": wire_size},
+            )
         # Batch per (src, dst, tick): enqueue, and arm one flush event
         # at the head's tick boundary only when none is armed.  Later
         # sends on this link always arrive at or after the queued head

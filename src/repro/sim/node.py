@@ -49,6 +49,8 @@ from ..block import Block, BlockRef
 from ..core.protocol import MahiMahiCore
 from ..crypto.hashing import Digest
 from ..errors import SimulationError
+from ..obs import trace as _trace
+from ..obs.trace import NULL_TRACER
 from ..runtime.wal import WriteAheadLog
 from ..statesync import Checkpoint
 from ..statesync.recovery import SYNC_MAX_BLOCKS as _SYNC_MAX_BLOCKS
@@ -162,6 +164,10 @@ class SimValidator:
         "_slow",
         "ever_equivocated",
         "equivocations_sent",
+        "_tracer",
+        "_stage_metrics",
+        "_stage_observer",
+        "_arrivals",
     )
 
     def __init__(
@@ -184,6 +190,9 @@ class SimValidator:
         recover_mode: str = "cold",
         wal: WriteAheadLog | None = None,
         sync_chunk_blocks: int = _SYNC_MAX_BLOCKS,
+        tracer=NULL_TRACER,
+        stage_metrics=None,
+        stage_observer: bool = False,
     ) -> None:
         """Args:
         core: The protocol state machine (already holding genesis).
@@ -225,6 +234,17 @@ class SimValidator:
             synchronizer's request cap).  Must exceed the cluster's
             block production per fetch round trip or a re-sync can
             never catch up.
+        tracer: Lifecycle tracer (:data:`repro.obs.NULL_TRACER` by
+            default — every recording site is guarded by
+            ``tracer.enabled`` so the disabled cost is one attribute
+            load).
+        stage_metrics: The experiment's :class:`~repro.sim.metrics
+            .ExperimentMetrics`, used to record per-transaction
+            inclusion times (every validator) for the stage-latency
+            breakdown.
+        stage_observer: This validator is the metrics observer: also
+            record block arrival/ingest times for the network/cpu
+            stage shares.
         """
         self.core = core
         self.authority = core.authority
@@ -291,6 +311,12 @@ class SimValidator:
         #: safety universe, even after the campaign desists.
         self.ever_equivocated = False
         self.equivocations_sent = 0
+        self._tracer = tracer
+        self._stage_metrics = stage_metrics
+        self._stage_observer = stage_observer and stage_metrics is not None
+        # Observer-only: block reference -> wire arrival time, consumed
+        # when the consensus stage ingests the block.
+        self._arrivals: dict = {}
         if self.behavior.crash_at is not None and self.behavior.crash_at > loop.now:
             loop.schedule_at(self.behavior.crash_at, self.crash)
         network.register(self.authority, self.on_message)
@@ -386,6 +412,14 @@ class SimValidator:
         self._ckpt_votes = CheckpointVotes(self._ckpt_quorum())
         self._ckpt_adopted = False
         self._recovery_mode_used = "cold"
+        if self._tracer.enabled:
+            self._tracer.instant(
+                self.authority,
+                "sync",
+                "recovery_started",
+                self._loop.now,
+                {"mode": self._recover_mode},
+            )
         if self._recover_mode == "warm" and self._wal is not None:
             self._replay_wal()
         elif self._recover_mode == "checkpoint":
@@ -472,11 +506,31 @@ class SimValidator:
         if self._down:
             return
         if self._cpu is None:
+            if self._tracer.enabled:
+                self._tracer.instant(
+                    self.authority,
+                    "client",
+                    _trace.TX_SUBMITTED,
+                    self._loop.now,
+                    {"tx": tx.tx_id},
+                )
             self.core.add_transaction(tx)
             return
         now = self._loop.now
         cost = self._cpu.tx_ingress_cost * self._tx_weight * self._slow
         self._ingress_free = max(now, self._ingress_free) + cost
+        if self._tracer.enabled:
+            self._tracer.instant(
+                self.authority, "client", _trace.TX_SUBMITTED, now, {"tx": tx.tx_id}
+            )
+            self._tracer.span(
+                self.authority,
+                "ingress",
+                "ingress_stage",
+                now,
+                self._ingress_free,
+                {"tx": tx.tx_id},
+            )
         # Binds the *current* core: transactions queued at crash time
         # land in the abandoned instance, as on a real restart.
         self._loop.schedule_at(self._ingress_free, self.core.add_transaction, tx)
@@ -487,15 +541,34 @@ class SimValidator:
     def on_message(self, message: Message) -> None:
         if self._down:
             return
+        if self._stage_observer:
+            self._note_arrival(message)
         if self._cpu is not None:
+            now = self._loop.now
             delay = self._batch_cost([message])
-            self._consensus_free = max(self._loop.now, self._consensus_free) + delay
-            if self._consensus_free > self._loop.now:
+            self._consensus_free = max(now, self._consensus_free) + delay
+            if self._tracer.enabled:
+                self._tracer.span(
+                    self.authority,
+                    "consensus",
+                    "consensus_stage",
+                    now,
+                    self._consensus_free,
+                    {"kind": message.kind, "src": message.src},
+                )
+            if self._consensus_free > now:
                 self._loop.schedule_at(
                     self._consensus_free, self._handle_queued, message, self._incarnation
                 )
                 return
         self._handle(message)
+
+    def _note_arrival(self, message: Message) -> None:
+        """Observer-only: stamp a block's wire-arrival time (the header
+        in certified mode arrives first and wins) for the stage-latency
+        breakdown."""
+        if message.kind in ("block", "cert"):
+            self._arrivals.setdefault(message.payload.reference, self._loop.now)
 
     def on_batch(self, messages: "list[Message]") -> None:
         """Deliver one tick's worth of messages from one link together.
@@ -509,10 +582,23 @@ class SimValidator:
         """
         if self._down:
             return
+        if self._stage_observer:
+            for message in messages:
+                self._note_arrival(message)
         if self._cpu is not None:
+            now = self._loop.now
             delay = self._batch_cost(messages)
-            self._consensus_free = max(self._loop.now, self._consensus_free) + delay
-            if self._consensus_free > self._loop.now:
+            self._consensus_free = max(now, self._consensus_free) + delay
+            if self._tracer.enabled:
+                self._tracer.span(
+                    self.authority,
+                    "consensus",
+                    "consensus_stage",
+                    now,
+                    self._consensus_free,
+                    {"batch": len(messages), "src": messages[0].src},
+                )
+            if self._consensus_free > now:
                 self._loop.schedule_at(
                     self._consensus_free, self._handle_batch_queued, messages, self._incarnation
                 )
@@ -653,6 +739,14 @@ class SimValidator:
         # The certificate quorum follows the epoch of the block's round.
         if len(acks) >= self.core.schedule.quorum_threshold(block.round):
             self._cert_sent.add(digest)
+            if self._tracer.enabled:
+                self._tracer.instant(
+                    self.authority,
+                    "consensus",
+                    _trace.BLOCK_CERTIFIED,
+                    self._loop.now,
+                    {"author": block.author, "round": block.round, "acks": len(acks)},
+                )
             cert_size = self._block_wire_size(block) + _SIGNATURE_SIZE * len(acks)
             self._network.broadcast(self.authority, "cert", block, cert_size)
 
@@ -666,6 +760,21 @@ class SimValidator:
         if result.accepted and self._wal is not None:
             for accepted in result.accepted:
                 self._wal.append_peer_block(accepted)
+        if result.accepted and self._stage_observer:
+            now = self._loop.now
+            for accepted in result.accepted:
+                arrival = self._arrivals.pop(accepted.reference, now)
+                for tx in accepted.transactions:
+                    self._stage_metrics.record_block_times(tx.tx_id, arrival, now)
+        if result.accepted and self._tracer.enabled:
+            for accepted in result.accepted:
+                self._tracer.instant(
+                    self.authority,
+                    "consensus",
+                    _trace.BLOCK_RECEIVED,
+                    self._loop.now,
+                    {"author": accepted.author, "round": accepted.round, "src": sender},
+                )
         if result.accepted:
             if self._syncing and live and not self.core.pending_count:
                 # Caught up: a *freshly broadcast* block connected with
@@ -679,6 +788,14 @@ class SimValidator:
     def _finish_sync(self) -> None:
         self._syncing = False
         self._sync_inflight = 0
+        if self._tracer.enabled:
+            self._tracer.instant(
+                self.authority,
+                "sync",
+                "sync_finished",
+                self._loop.now,
+                {"mode": self._recovery_mode_used},
+            )
         # Never propose in a round the pre-crash incarnation already
         # proposed in (that would equivocate with our own old blocks):
         # floor the proposal round at the highest own-authored block
@@ -911,6 +1028,27 @@ class SimValidator:
         self._commit()
 
     def _dispatch_own(self, block: Block) -> None:
+        if self._stage_metrics is not None and block.transactions:
+            now = self._loop.now
+            for tx in block.transactions:
+                self._stage_metrics.record_inclusion(tx.tx_id, now)
+        if self._tracer.enabled:
+            now = self._loop.now
+            self._tracer.instant(
+                self.authority,
+                "consensus",
+                _trace.BLOCK_PROPOSED,
+                now,
+                {"round": block.round, "txs": len(block.transactions)},
+            )
+            if block.transactions:
+                self._tracer.instant(
+                    self.authority,
+                    "consensus",
+                    _trace.TX_INCLUDED,
+                    now,
+                    {"round": block.round, "count": len(block.transactions)},
+                )
         if self._wal is not None:
             # Own proposals are durable *before* broadcast: a warm
             # restart replays them and never signs a second block for a
@@ -943,6 +1081,8 @@ class SimValidator:
         observations = self.core.try_commit()
         if observations and self._wal is not None:
             self._wal.append_commit_mark(self.core.committer.last_finalized_round)
+        if observations and self._tracer.enabled:
+            self._trace_commit(observations)
         if self._on_commit is None:
             return
         now = self._loop.now
@@ -951,6 +1091,33 @@ class SimValidator:
                 self.commits += 1
                 for tx in block.transactions:
                     self._on_commit(tx, now)
+
+    def _trace_commit(self, observations) -> None:
+        """Per decided slot: a wave-decision instant, plus commit and
+        execute instants for the transactions it linearized (the sim
+        applies the linearized prefix immediately, so committed and
+        executed coincide)."""
+        tracer = self._tracer
+        now = self._loop.now
+        for observation in observations:
+            status = observation.status
+            tracer.instant(
+                self.authority,
+                "commit",
+                _trace.WAVE_DECIDED,
+                now,
+                {
+                    "round": status.slot.round,
+                    "leader": status.slot.authority,
+                    "decision": status.decision.name.lower(),
+                    "blocks": len(observation.linearized),
+                },
+            )
+            txs = sum(len(block.transactions) for block in observation.linearized)
+            if txs:
+                args = {"round": status.slot.round, "count": txs}
+                tracer.instant(self.authority, "commit", _trace.TX_COMMITTED, now, args)
+                tracer.instant(self.authority, "commit", _trace.TX_EXECUTED, now, args)
 
     # ------------------------------------------------------------------
     # Wire sizes

@@ -46,6 +46,7 @@ from .network import (
     SimNetwork,
 )
 from .node import RECOVER_MODES, CpuConfig, SimValidator
+from ..obs.trace import NULL_TRACER, Tracer
 from ..transaction import Transaction
 
 #: Protocols the harness knows how to deploy, as named in the paper's
@@ -173,6 +174,12 @@ class ExperimentConfig:
             batches).  Recovery workloads lower it so re-sync cost
             scales with the history actually fetched; it must stay
             above the cluster's block production per fetch round trip.
+        trace: Record per-transaction lifecycle spans
+            (:class:`repro.obs.trace.Tracer`) across every validator
+            and the network; the recorded events are exposed as
+            ``Experiment.tracer`` for export to Chrome trace / JSONL
+            (``repro-bench --trace``).  Off by default: the no-op
+            tracer keeps the hot path at a single attribute load.
         seed: Master seed; every run with the same config is identical.
     """
 
@@ -208,6 +215,7 @@ class ExperimentConfig:
     recover_mode: str = "cold"
     checkpoint_interval: int = 0
     sync_chunk_blocks: int = 4096
+    trace: bool = False
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -503,17 +511,25 @@ class ExperimentResult:
     #: How far the slowest live honest validator's DAG trails the
     #: observer's at the end of the run (straggler lag, in rounds).
     max_rounds_behind: int = 0
+    #: Mean seconds (and share of their sum) each committed transaction
+    #: spent per lifecycle stage — queue / network / cpu / commit_walk —
+    #: see :meth:`repro.sim.metrics.ExperimentMetrics.stage_breakdown`.
+    #: Empty when nothing committed.
+    stage_breakdown: dict = field(default_factory=dict)
 
     def summary(self) -> str:
         """One human-readable line, in the paper's units."""
-        latency = self.latency.avg
-        latency_str = f"{latency:.3f}s" if not math.isnan(latency) else "n/a"
+
+        def fmt(seconds: float) -> str:
+            # Zero-commit runs summarize as n/a, never as a literal nan.
+            return f"{seconds:.3f}s" if not math.isnan(seconds) else "n/a"
+
         return (
             f"{self.config.protocol:>15} n={self.config.num_validators:<3} "
             f"load={self.config.load_tps / 1000:.0f}k tx/s -> "
             f"throughput={self.throughput_tps / 1000:.1f}k tx/s, "
-            f"avg latency={latency_str} "
-            f"(p50={self.latency.p50:.3f}s p99={self.latency.p99:.3f}s)"
+            f"avg latency={fmt(self.latency.avg)} "
+            f"(p50={fmt(self.latency.p50)} p99={fmt(self.latency.p99)})"
         )
 
 
@@ -536,6 +552,11 @@ class Experiment:
             threshold=self._committee.quorum_threshold,
         )
         self._latency_model = self._make_latency_model()
+        #: Lifecycle span recorder shared by every validator and the
+        #: network; the no-op tracer unless ``config.trace`` asked for
+        #: a recording one.  Exported after ``run()`` via
+        #: ``repro.obs.export``.
+        self.tracer = Tracer() if config.trace else NULL_TRACER
         self._network = SimNetwork(
             self._loop,
             self._latency_model,
@@ -543,6 +564,7 @@ class Experiment:
             config=NetworkConfig(),
             scheduler=self._make_scheduler(),
             seed=config.seed,
+            tracer=self.tracer,
         )
         self._schedule = config.effective_schedule()
         self._initially_down = self._schedule.initially_down()
@@ -753,6 +775,12 @@ class Experiment:
             recover_mode=self.config.recover_mode,
             wal=self._wals.get(authority),
             sync_chunk_blocks=self.config.sync_chunk_blocks,
+            tracer=self.tracer,
+            stage_metrics=self._metrics,
+            # Only the observer decomposes commit latency into stages
+            # (arrival/ingest are measured where commits are measured);
+            # every validator still records first inclusions.
+            stage_observer=authority == 0,
         )
 
     def _make_clients(self) -> list[OpenLoopClient]:
@@ -1086,6 +1114,7 @@ class Experiment:
             messages_dropped=self._network.messages_dropped,
             partitioned_seconds=partitioned_seconds,
             max_rounds_behind=max_rounds_behind,
+            stage_breakdown=self._metrics.stage_breakdown(),
         )
 
 

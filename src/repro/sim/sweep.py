@@ -51,7 +51,9 @@ from .runner import Experiment, ExperimentConfig, ExperimentResult
 #: initial_committee_size / reconfig_lag config keys, epoch-transition
 #: and per-epoch attribution result metrics) plus batched per-link
 #: network delivery (event ordering at equal instants changed).
-SCHEMA_VERSION = 6
+#: v7: observability subsystem (``trace`` config key, per-stage
+#: ``stage_breakdown`` result field).
+SCHEMA_VERSION = 7
 
 #: Default on-disk location of the results store, relative to CWD.
 DEFAULT_RESULTS_DIR = "results"

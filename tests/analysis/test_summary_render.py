@@ -1,0 +1,63 @@
+"""Regression tests for rendering zero-commit results: an empty
+latency summary must surface as ``n/a`` in human-facing output, never
+as a literal ``nan``."""
+
+import math
+
+from repro.analysis.report import _format_value
+from repro.sim.metrics import LatencySummary
+from repro.sim.runner import ExperimentConfig, ExperimentResult
+
+
+def zero_commit_result() -> ExperimentResult:
+    # The shape a fully-partitioned or overloaded sweep point produces:
+    # nothing committed, so every latency statistic is NaN.
+    return ExperimentResult(
+        config=ExperimentConfig(protocol="mahi-mahi-5", load_tps=100.0),
+        latency=LatencySummary.empty(),
+        throughput_tps=0.0,
+        rounds_reached=0,
+        blocks_committed=0,
+        direct_commits=0,
+        indirect_commits=0,
+        direct_skips=0,
+        indirect_skips=0,
+        messages_sent=0,
+        bytes_sent=0,
+        pending_transactions=42,
+    )
+
+
+class TestZeroCommitRendering:
+    def test_summary_line_says_not_available(self):
+        line = zero_commit_result().summary()
+        assert "n/a" in line
+        assert "nan" not in line
+
+    def test_summary_line_still_reports_throughput(self):
+        assert "throughput=0.0k tx/s" in zero_commit_result().summary()
+
+    def test_committed_summary_unaffected(self):
+        result = zero_commit_result()
+        committed = ExperimentResult(
+            config=result.config,
+            latency=LatencySummary(10.0, 0.5, 0.4, 0.8, 0.9, 1.0),
+            throughput_tps=1000.0,
+            rounds_reached=5,
+            blocks_committed=5,
+            direct_commits=5,
+            indirect_commits=0,
+            direct_skips=0,
+            indirect_skips=0,
+            messages_sent=1,
+            bytes_sent=1,
+            pending_transactions=0,
+        )
+        line = committed.summary()
+        assert "0.500s" in line
+        assert "n/a" not in line
+
+    def test_report_table_cells_render_nan_as_not_available(self):
+        assert _format_value(math.nan) == "n/a"
+        assert _format_value(None) == "n/a"
+        assert _format_value(0.5) == "0.5"

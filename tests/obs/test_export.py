@@ -1,0 +1,70 @@
+"""Tests for the trace exporters: the Chrome trace-event JSON that
+Perfetto/speedscope load, and the JSONL span log."""
+
+import json
+
+import pytest
+
+from repro.obs.export import chrome_trace_events, write_chrome_trace, write_jsonl
+from repro.obs.trace import Tracer
+
+
+def _sample_tracer() -> Tracer:
+    tracer = Tracer()
+    tracer.instant(0, "client", "tx_submitted", 0.001, {"tx": 1})
+    tracer.span(0, "network", "net_flight", 0.002, 0.052, {"bytes": 512})
+    tracer.instant(1, "consensus", "block_received", 0.06)
+    return tracer
+
+
+class TestChromeTrace:
+    def test_metadata_rows_name_processes_and_threads(self):
+        rows = chrome_trace_events(_sample_tracer().events)
+        meta = [r for r in rows if r["ph"] == "M"]
+        names = {(r["name"], r["pid"]) for r in meta}
+        assert ("process_name", 0) in names
+        assert ("process_name", 1) in names
+        process_labels = {
+            r["args"]["name"] for r in meta if r["name"] == "process_name"
+        }
+        assert process_labels == {"validator-0", "validator-1"}
+        assert any(r["name"] == "thread_name" for r in meta)
+
+    def test_span_row_microsecond_units(self):
+        rows = chrome_trace_events(_sample_tracer().events)
+        span = next(r for r in rows if r["ph"] == "X")
+        assert span["name"] == "net_flight"
+        assert span["ts"] == pytest.approx(2000.0)  # 0.002 s in us
+        assert span["dur"] == pytest.approx(50000.0)
+        assert span["args"] == {"bytes": 512}
+
+    def test_instant_rows_thread_scoped(self):
+        rows = chrome_trace_events(_sample_tracer().events)
+        instants = [r for r in rows if r["ph"] == "i"]
+        assert len(instants) == 2
+        assert all(r["s"] == "t" for r in instants)
+
+    def test_written_file_is_loadable_json(self, tmp_path):
+        path = tmp_path / "trace" / "out.trace.json"
+        write_chrome_trace(_sample_tracer().events, path)
+        doc = json.loads(path.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        assert isinstance(doc["traceEvents"], list)
+
+    def test_process_prefix(self):
+        rows = chrome_trace_events(_sample_tracer().events, process_prefix="node")
+        labels = {
+            r["args"]["name"] for r in rows if r.get("name") == "process_name"
+        }
+        assert labels == {"node-0", "node-1"}
+
+
+class TestJsonl:
+    def test_round_trips_every_event(self, tmp_path):
+        tracer = _sample_tracer()
+        path = tmp_path / "out.jsonl"
+        write_jsonl(tracer.events, path)
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(lines) == len(tracer.events)
+        assert lines[0]["name"] == "tx_submitted"
+        assert lines[1]["dur"] == pytest.approx(0.05)

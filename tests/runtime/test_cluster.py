@@ -278,9 +278,16 @@ class TestProcessCluster:
                 min_block_interval=0.02,
             )
             async with cluster:
-                await cluster.wait_status(
+                steady = await cluster.wait_status(
                     0, lambda s: s["committed_blocks"] > 10, what="steady commits"
                 )
+                # The status JSON carries the live committee view and a
+                # metrics-registry snapshot (telemetry consumers key on
+                # these).
+                assert steady["epoch"] == 0
+                assert steady["committee_size"] == 4
+                assert steady["metrics"]["blocks_committed"] > 0
+                assert steady["metrics"]["transport_frames_sent"] > 0
                 cluster.kill(3)
                 await asyncio.sleep(0.5)
                 await cluster.restart(3, recover_mode="warm")

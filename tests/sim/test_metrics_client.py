@@ -70,6 +70,54 @@ class TestMetrics:
         assert metrics.pending == 1
 
 
+class TestWeightedPercentile:
+    """Edge cases of the weighted-percentile kernel behind
+    :meth:`ExperimentMetrics.latency_summary`."""
+
+    @staticmethod
+    def pct(ordered, q):
+        total = sum(w for _, w in ordered)
+        return ExperimentMetrics._weighted_percentile(ordered, total, q)
+
+    def test_single_sample_is_every_percentile(self):
+        sample = [(0.7, 3.0)]
+        for q in (0.0, 0.5, 0.9, 0.99, 1.0):
+            assert self.pct(sample, q) == 0.7
+
+    def test_equal_weights_match_rank_statistics(self):
+        ordered = [(float(i), 1.0) for i in range(1, 11)]
+        assert self.pct(ordered, 0.50) == 5.0
+        assert self.pct(ordered, 0.90) == 9.0
+        assert self.pct(ordered, 1.0) == 10.0
+
+    def test_skewed_weights_shift_the_median(self):
+        # One heavy slow batch outweighs many light fast ones: the
+        # weighted p50 lands on the heavy sample, the unweighted
+        # rank-median would not.
+        ordered = [(0.1, 1.0), (0.2, 1.0), (0.3, 1.0), (5.0, 10.0)]
+        assert self.pct(ordered, 0.50) == 5.0
+        # With the weights flipped, the fast mass dominates instead.
+        flipped = [(0.1, 10.0), (0.2, 1.0), (0.3, 1.0), (5.0, 1.0)]
+        assert self.pct(flipped, 0.50) == 0.1
+
+    def test_percentiles_monotonic_under_random_weights(self):
+        import random
+
+        rng = random.Random(5)
+        metrics = ExperimentMetrics()
+        for i in range(200):
+            metrics.record_submission(i, 0.0, weight=rng.uniform(0.1, 20.0))
+            metrics.record_commit(i, rng.expovariate(1.0) + 0.01)
+        s = metrics.latency_summary()
+        assert s.p50 <= s.p90 <= s.p99 <= s.max
+
+    def test_quantile_past_total_weight_clamps_to_max(self):
+        # Floating-point weight accumulation can leave the cumulative
+        # sum epsilon short of q * total; the kernel must still answer.
+        ordered = [(1.0, 0.1), (2.0, 0.2)]
+        assert ExperimentMetrics._weighted_percentile(ordered, 0.3 + 1e-9, 1.0) == 2.0
+
+
 class TestOpenLoopClient:
     def test_average_rate(self):
         reset_tx_ids()

@@ -63,7 +63,7 @@ class TestConfigHash:
         """The serialization is part of the cache contract: if this
         changes, bump SCHEMA_VERSION in sweep.py (old caches must read
         as misses, not as silently wrong hits)."""
-        assert config_hash(ExperimentConfig()) == "f7e19f549ada109a"
+        assert config_hash(ExperimentConfig()) == "fc36c321d8bec8c8"  # v7: +trace
 
     def test_stable_across_interpreter_instances(self):
         """No PYTHONHASHSEED leakage: a fresh interpreter with a random

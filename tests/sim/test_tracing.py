@@ -1,0 +1,74 @@
+"""End-to-end lifecycle tracing through the simulator: a traced
+experiment covers every stage of the paper's transaction lifecycle, an
+untraced one records nothing, and the per-stage latency decomposition
+is populated either way."""
+
+import json
+
+import pytest
+
+from repro.obs.export import write_chrome_trace
+from repro.obs.trace import LIFECYCLE_STAGES, UNCERTIFIED_STAGES
+from repro.sim.metrics import STAGES
+from repro.sim.runner import Experiment, ExperimentConfig
+
+
+def _run(protocol: str, trace: bool):
+    config = ExperimentConfig(
+        protocol=protocol,
+        num_validators=4,
+        load_tps=200.0,
+        duration=6.0,
+        warmup=1.0,
+        trace=trace,
+        seed=11,
+    )
+    experiment = Experiment(config)
+    result = experiment.run()
+    assert result.blocks_committed > 0
+    return experiment, result
+
+
+@pytest.mark.slow
+class TestTracedExperiment:
+    def test_tusk_covers_full_lifecycle(self):
+        # Tusk is the certified baseline: the only protocol where the
+        # block_certified stage exists, so it exercises all 8 stages.
+        experiment, _ = _run("tusk", trace=True)
+        assert experiment.tracer.stages_seen() == set(LIFECYCLE_STAGES)
+
+    def test_uncertified_covers_all_but_certification(self):
+        experiment, _ = _run("mahi-mahi-5", trace=True)
+        assert experiment.tracer.stages_seen() == set(UNCERTIFIED_STAGES)
+
+    def test_untraced_records_nothing(self):
+        experiment, result = _run("mahi-mahi-5", trace=False)
+        assert len(experiment.tracer) == 0
+        # The stage decomposition is always-on — it rides the metrics
+        # registry, not the tracer.
+        assert result.stage_breakdown["samples"] > 0
+
+    def test_trace_exports_loadable_chrome_json(self, tmp_path):
+        experiment, _ = _run("mahi-mahi-5", trace=True)
+        path = write_chrome_trace(experiment.tracer.events, tmp_path / "t.json")
+        doc = json.loads(path.read_text())
+        names = {row.get("name") for row in doc["traceEvents"]}
+        for stage in UNCERTIFIED_STAGES:
+            assert stage in names
+
+
+@pytest.mark.slow
+class TestStageBreakdown:
+    def test_stages_decompose_commit_latency(self):
+        _, result = _run("mahi-mahi-5", trace=False)
+        breakdown = result.stage_breakdown
+        for stage in STAGES:
+            assert breakdown[f"{stage}_s"] >= 0.0
+        # The four stages partition submit → commit, so their shares
+        # sum to one.
+        assert sum(breakdown[f"{stage}_share"] for stage in STAGES) == pytest.approx(
+            1.0
+        )
+        # The decomposition's total tracks the measured commit latency.
+        total = sum(breakdown[f"{stage}_s"] for stage in STAGES)
+        assert total == pytest.approx(result.latency.avg, rel=0.5)
