@@ -1,0 +1,363 @@
+#!/usr/bin/env python3
+"""Deviation-trend tracking: reproduction fidelity as a regression test.
+
+The report's paper-vs-measured tables are re-derived from scratch on
+every run and never compared across commits — a silent fidelity drift
+(a protocol change that doubles Tusk's measured latency ratio, say)
+only shows up when a human re-reads the table.  This tool makes the
+ratios first-class data:
+
+1. **Compute** per-figure deviation ratios from any results directory:
+   measured/paper commit latency for the Figure 3/4 load points and
+   measured/paper leader-slot latency gain for Figures 5/7 — the same
+   joins the report renders, as plain numbers.
+2. **Append** one row keyed by git revision (and run mode) to
+   ``results/deviation_trend.jsonl``, so fidelity history reads as a
+   diffable log across commits.
+3. **Gate** the current ratios against the frozen baselines under
+   ``results/reference/`` (written once from a full-scale fleet run,
+   plus the seed-stable smoke baselines CI compares against): any
+   tracked ratio drifting more than ``--tolerance`` (default 25%)
+   from its baseline fails the run.
+
+Usage::
+
+    python benchmarks/deviation_trend.py                  # gate results/
+    python benchmarks/deviation_trend.py --update-baseline  # freeze current
+    python benchmarks/deviation_trend.py --no-gate        # record only
+
+The smoke baselines are exact by construction — the simulator is
+deterministic and smoke configs are pinned — so a tripped smoke gate
+means the *code* changed measured behavior, not that a runner was
+noisy.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _bootstrap_sys_path() -> None:
+    for path in (REPO_ROOT / "src", REPO_ROOT):
+        entry = str(path)
+        if entry not in sys.path:
+            sys.path.insert(0, entry)
+
+
+_bootstrap_sys_path()
+
+from repro.analysis.report import LoadedSweep, load_sweeps  # noqa: E402
+from repro.sim.sweep import config_from_dict  # noqa: E402
+
+from benchmarks.curve_checks import paper_table_for_config  # noqa: E402
+from benchmarks.paper_data import LEADER_SWEEP_IMPROVEMENT  # noqa: E402
+
+#: Relative drift allowed against a baseline ratio before the gate trips.
+DEFAULT_TOLERANCE = 0.25
+
+#: Floor on the drift denominator: leader-gain ratios can sit near zero
+#: at smoke scale, where a relative comparison would explode.
+RATIO_FLOOR = 0.1
+
+
+# ----------------------------------------------------------------------
+# Ratio computation
+# ----------------------------------------------------------------------
+def _latency_ratios(figure_id: str, sweeps: list[LoadedSweep]) -> dict[str, float]:
+    """Measured/paper average-latency ratio per Figure 3/4 load point."""
+    ratios: dict[str, float] = {}
+    seen: set[str] = set()
+    for sweep in sweeps:
+        for point in sweep.points:
+            if point.config is None or point.result is None:
+                continue
+            if point.config_hash in seen:
+                continue  # smoke collapsing: sweeps share identical points
+            seen.add(point.config_hash)
+            config = config_from_dict(point.config)
+            table = paper_table_for_config(config)
+            if table is None or config.protocol not in table:
+                continue
+            paper = table[config.protocol]
+            latency = (point.result.get("latency") or {}).get("avg")
+            if latency is None or paper["latency_s"] <= 0:
+                continue
+            key = (
+                f"fig{figure_id}:{config.protocol}:n{config.num_validators}"
+                f":load{int(config.load_tps)}"
+            )
+            ratios[key] = latency / paper["latency_s"]
+    return ratios
+
+
+def _leader_gain_ratios(figure_id: str, sweeps: list[LoadedSweep]) -> dict[str, float]:
+    """Measured/paper 1->3 leader-slot latency-gain ratio (Figures 5/7)."""
+    ratios: dict[str, float] = {}
+    for sweep in sweeps:
+        by_series: dict[object, dict] = {}
+        for point in sweep.points:
+            by_series.setdefault(point.series, {})[point.x] = point.y
+        for crashed, by_leaders in by_series.items():
+            one, three = by_leaders.get(1), by_leaders.get(3)
+            if one is None or three is None:
+                continue
+            paper_ms = (
+                LEADER_SWEEP_IMPROVEMENT["faulty_ms"]
+                if crashed
+                else LEADER_SWEEP_IMPROVEMENT["ideal_ms"]
+            )
+            gain_ms = (one - three) * 1000.0
+            ratios[f"fig{figure_id}:{sweep.name}:crashed{crashed}"] = gain_ms / paper_ms
+    return ratios
+
+
+def compute_ratios(results_dir: str | Path) -> dict[str, float]:
+    """Every tracked paper-vs-measured ratio for one results directory."""
+    by_figure: dict[str, list[LoadedSweep]] = {}
+    for sweep in load_sweeps(Path(results_dir)):
+        by_figure.setdefault(sweep.spec.figure, []).append(sweep)
+    ratios: dict[str, float] = {}
+    for figure_id in ("3", "4"):
+        ratios.update(_latency_ratios(figure_id, by_figure.get(figure_id, [])))
+    for figure_id in ("5", "7"):
+        ratios.update(_leader_gain_ratios(figure_id, by_figure.get(figure_id, [])))
+    return dict(sorted(ratios.items()))
+
+
+def run_mode(results_dir: str | Path) -> str:
+    """The run mode (``smoke``/``full``) recorded by ``repro-bench``."""
+    try:
+        summary = json.loads((Path(results_dir) / "summary.json").read_text())
+    except (OSError, ValueError):
+        return "unknown"
+    return str(summary.get("mode", "unknown")) if isinstance(summary, dict) else "unknown"
+
+
+# ----------------------------------------------------------------------
+# Baseline + gate
+# ----------------------------------------------------------------------
+def load_baseline(reference_dir: str | Path) -> dict:
+    """The frozen baseline document (``{"modes": {mode: {metric: ratio}}}``)."""
+    path = Path(reference_dir) / "deviation_baseline.json"
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return {"schema": 1, "modes": {}}
+    if not isinstance(data, dict) or not isinstance(data.get("modes"), dict):
+        return {"schema": 1, "modes": {}}
+    return data
+
+
+def drift(current: float, baseline: float) -> float:
+    """Relative drift of one ratio against its baseline (floored
+    denominator: near-zero baselines compare absolutely)."""
+    return abs(current - baseline) / max(abs(baseline), RATIO_FLOOR)
+
+
+def gate_ratios(
+    current: dict[str, float],
+    baseline_for_mode: dict[str, float],
+    *,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> tuple[list[str], float]:
+    """Hold the current ratios to the baseline.
+
+    Every baseline metric must still be measured, and must sit within
+    ``tolerance`` relative drift.  Metrics the baseline does not know
+    (new sweeps) pass freely — they become gated once the baseline is
+    refreshed.  Returns ``(violations, max_drift)``.
+    """
+    violations: list[str] = []
+    max_drift = 0.0
+    for metric, base in sorted(baseline_for_mode.items()):
+        if metric not in current:
+            violations.append(
+                f"{metric}: tracked by the baseline but no longer measured "
+                "(sweep removed or its point cache evicted?)"
+            )
+            continue
+        d = drift(current[metric], float(base))
+        max_drift = max(max_drift, d)
+        if d > tolerance:
+            violations.append(
+                f"{metric}: ratio {current[metric]:.3f} drifted "
+                f"{d:.0%} from baseline {float(base):.3f} "
+                f"(tolerance {tolerance:.0%})"
+            )
+    return violations, max_drift
+
+
+# ----------------------------------------------------------------------
+# The trend log
+# ----------------------------------------------------------------------
+def git_revision() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 else "unknown"
+
+
+def append_trend_row(trend_path: Path, row: dict) -> bool:
+    """Append one row unless the log's most recent row *for this mode*
+    is an identical measurement at the same revision (idempotent
+    re-runs, even when full/smoke appends interleave)."""
+    rows = [r for r in read_trend(trend_path) if r.get("mode") == row.get("mode")]
+    if rows:
+        last = rows[-1]
+        if (
+            last.get("rev") == row.get("rev")
+            and last.get("ratios") == row.get("ratios")
+        ):
+            return False
+    trend_path.parent.mkdir(parents=True, exist_ok=True)
+    with trend_path.open("a") as handle:
+        handle.write(json.dumps(row, sort_keys=True) + "\n")
+    return True
+
+
+def read_trend(trend_path: str | Path) -> list[dict]:
+    """Parsed trend rows, oldest first (malformed lines skipped)."""
+    rows = []
+    try:
+        lines = Path(trend_path).read_text().splitlines()
+    except OSError:
+        return []
+    for line in lines:
+        try:
+            row = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(row, dict):
+            rows.append(row)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="deviation-trend",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "--results", default="results", help="results directory (default: results/)"
+    )
+    parser.add_argument(
+        "--reference",
+        default=None,
+        help="reference-baseline directory (default: <results>/reference, "
+        "falling back to the checked-in results/reference)",
+    )
+    parser.add_argument(
+        "--trend-file",
+        default=None,
+        help="trend log path (default: <results>/deviation_trend.jsonl)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="allowed relative drift per ratio (default: 0.25)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="freeze the current ratios as this mode's baseline instead of gating",
+    )
+    parser.add_argument(
+        "--no-append", action="store_true", help="do not touch the trend log"
+    )
+    parser.add_argument(
+        "--no-gate", action="store_true", help="record but never fail"
+    )
+    args = parser.parse_args(argv)
+
+    results_dir = Path(args.results)
+    if args.reference is not None:
+        reference_dir = Path(args.reference)
+    else:
+        reference_dir = results_dir / "reference"
+        if not (reference_dir / "deviation_baseline.json").is_file():
+            reference_dir = REPO_ROOT / "results" / "reference"
+    trend_path = (
+        Path(args.trend_file)
+        if args.trend_file is not None
+        else results_dir / "deviation_trend.jsonl"
+    )
+
+    ratios = compute_ratios(results_dir)
+    mode = run_mode(results_dir)
+    if not ratios:
+        print(
+            f"deviation-trend: no comparable points under {results_dir}/ - "
+            "run `repro-bench [--smoke]` first"
+        )
+        return 1
+    print(f"deviation-trend: {len(ratios)} tracked ratios ({mode} mode)")
+    for metric, value in ratios.items():
+        print(f"  {metric:<48} {value:>8.3f}")
+
+    baseline = load_baseline(reference_dir)
+    if args.update_baseline:
+        baseline.setdefault("modes", {})[mode] = {
+            k: round(v, 6) for k, v in ratios.items()
+        }
+        baseline["schema"] = 1
+        baseline["tolerance"] = args.tolerance
+        reference_dir.mkdir(parents=True, exist_ok=True)
+        path = reference_dir / "deviation_baseline.json"
+        path.write_text(json.dumps(baseline, indent=2, sort_keys=True) + "\n")
+        print(f"deviation-trend: baseline for mode={mode} frozen -> {path}")
+
+    baseline_for_mode = baseline.get("modes", {}).get(mode, {})
+    violations, max_drift = gate_ratios(
+        ratios, baseline_for_mode, tolerance=args.tolerance
+    )
+
+    row = {
+        "rev": git_revision(),
+        "mode": mode,
+        "ratios": {k: round(v, 6) for k, v in ratios.items()},
+        "max_drift": round(max_drift, 6) if baseline_for_mode else None,
+        "gate_passed": not violations,
+    }
+    if not args.no_append:
+        if append_trend_row(trend_path, row):
+            print(f"deviation-trend: appended rev={row['rev']} mode={mode} -> {trend_path}")
+        else:
+            print(f"deviation-trend: {trend_path} already ends with this measurement")
+
+    if not baseline_for_mode:
+        print(
+            f"deviation-trend: no baseline for mode={mode} under {reference_dir}/ "
+            "- run with --update-baseline to freeze one"
+        )
+        return 0
+    for violation in violations:
+        print(f"deviation-trend: GATE - {violation}")
+    if violations and not args.no_gate:
+        return 1
+    print(
+        f"deviation-trend: gate passed - max drift {max_drift:.1%} of "
+        f"{len(baseline_for_mode)} baseline ratios (tolerance {args.tolerance:.0%})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import subprocess
 import sys
 import tempfile
@@ -31,6 +32,15 @@ import time
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _bootstrap_sys_path() -> None:
+    for path in (str(REPO_ROOT / "src"),):
+        if path not in sys.path:
+            sys.path.insert(0, path)
+
+
+_bootstrap_sys_path()
 
 #: Order-of-magnitude floor on the optimized event loop's drain rate
 #: (events/s).  Typical runners measure 10-30x this.
@@ -116,7 +126,69 @@ def summarize(benchmark_json: Path) -> dict:
     return summary
 
 
-def apply_gate(summary: dict) -> list[str]:
+def fleet_comparison(workers: int = 2, points: int = 6) -> dict:
+    """Cold serial pass vs a cold ``local:N`` fleet over the same tiny
+    point set (both into fresh stores; results asserted byte-identical).
+
+    The speedup is recorded unconditionally but only *gated* when the
+    machine has enough cores to expect one (``--assert-fleet-speedup``,
+    set by the CI perf job): fleet workers are processes, so a 1-CPU
+    box legitimately measures overhead instead of parallelism.
+    """
+    from repro.fleet import FleetSpec, run_fleet
+    from repro.fleet.coordinator import items_for_configs
+    from repro.fleet.worker import run_item
+    from repro.sim.runner import ExperimentConfig
+    from repro.sim.sweep import ResultsStore
+
+    # ~1.5s of compute per point: heavy enough that parallelism beats
+    # the ~0.5s/worker interpreter start on a multi-core machine.
+    configs = [
+        ExperimentConfig(
+            protocol="mahi-mahi-4",
+            num_validators=10,
+            load_tps=2000.0 + 100.0 * i,
+            duration=15.0,
+            warmup=1.0,
+        )
+        for i in range(points)
+    ]
+    with tempfile.TemporaryDirectory(prefix="fleet-perf-") as tmp:
+        serial_store = ResultsStore(Path(tmp) / "serial")
+        serial_started = time.perf_counter()
+        for item in items_for_configs(configs):
+            run_item(item, serial_store)
+        serial_wall = time.perf_counter() - serial_started
+
+        fleet_store = ResultsStore(Path(tmp) / "fleet")
+        fleet_started = time.perf_counter()
+        report = run_fleet(
+            items_for_configs(configs), fleet_store, FleetSpec.local(workers)
+        )
+        fleet_wall = time.perf_counter() - fleet_started
+
+        identical = all(
+            (serial_store.points_dir / name).read_bytes()
+            == (fleet_store.points_dir / name).read_bytes()
+            for name in sorted(
+                p.name for p in serial_store.points_dir.glob("*.json")
+                if not p.name.endswith(".wall.json")
+            )
+        )
+    return {
+        "workers": workers,
+        "points": points,
+        "cpu_count": os.cpu_count(),
+        "serial_wall_s": round(serial_wall, 3),
+        "fleet_wall_s": round(fleet_wall, 3),
+        "speedup": round(serial_wall / fleet_wall, 3) if fleet_wall > 0 else None,
+        "byte_identical": identical,
+        "redispatched": report.redispatched,
+        "worker_failures": report.worker_failures,
+    }
+
+
+def apply_gate(summary: dict, *, assert_fleet_speedup: bool = False) -> list[str]:
     """The soft floor gate; returns violation messages (empty = pass)."""
     violations: list[str] = []
     rate = summary.get("event_loop", {}).get("optimized_events_per_s")
@@ -128,6 +200,20 @@ def apply_gate(summary: dict) -> list[str]:
             f"({EVENTS_PER_SECOND_FLOOR:,.0f} events/s) - an order-of-magnitude "
             "regression"
         )
+    fleet = summary.get("fleet")
+    if isinstance(fleet, dict):
+        # Correctness is gated unconditionally; the speedup only where
+        # the hardware can deliver one (multi-core CI runners).
+        if not fleet.get("byte_identical"):
+            violations.append("fleet point cache is not byte-identical to the serial run")
+        if fleet.get("worker_failures"):
+            violations.append(f"fleet workers failed: {fleet['worker_failures']}")
+        speedup = fleet.get("speedup")
+        if assert_fleet_speedup and (speedup is None or speedup <= 1.0):
+            violations.append(
+                f"fleet speedup {speedup} is not > 1.0 with "
+                f"{fleet.get('workers')} workers on {fleet.get('cpu_count')} CPUs"
+            )
     return violations
 
 
@@ -148,6 +234,22 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="record the summary but never fail the run",
     )
+    parser.add_argument(
+        "--skip-fleet",
+        action="store_true",
+        help="skip the serial-vs-fleet wall-clock comparison",
+    )
+    parser.add_argument(
+        "--fleet-workers",
+        type=int,
+        default=2,
+        help="local fleet size for the comparison (default: 2)",
+    )
+    parser.add_argument(
+        "--assert-fleet-speedup",
+        action="store_true",
+        help="gate fleet speedup > 1.0 (only meaningful on multi-core machines)",
+    )
     args = parser.parse_args(argv)
 
     started = time.perf_counter()
@@ -162,8 +264,10 @@ def main(argv: list[str] | None = None) -> int:
             return status
 
     summary = summarize(benchmark_json)
+    if not args.skip_fleet:
+        summary["fleet"] = fleet_comparison(workers=args.fleet_workers)
     summary["wall_seconds"] = round(time.perf_counter() - started, 3)
-    violations = apply_gate(summary)
+    violations = apply_gate(summary, assert_fleet_speedup=args.assert_fleet_speedup)
     summary["gate"] = {
         "events_per_second_floor": EVENTS_PER_SECOND_FLOOR,
         "passed": not violations,
@@ -183,6 +287,15 @@ def main(argv: list[str] | None = None) -> int:
                 if value is not None
             )
             print(f"perf-summary: {section}: {rendered}")
+    fleet = summary.get("fleet")
+    if isinstance(fleet, dict):
+        print(
+            f"perf-summary: fleet: {fleet['points']} points, "
+            f"serial {fleet['serial_wall_s']}s vs {fleet['workers']}-worker fleet "
+            f"{fleet['fleet_wall_s']}s (speedup {fleet['speedup']}x, "
+            f"byte_identical={fleet['byte_identical']}, "
+            f"{fleet['cpu_count']} CPUs)"
+        )
     for violation in violations:
         print(f"perf-summary: GATE - {violation}")
     if violations and not args.no_gate:

@@ -118,7 +118,21 @@ def main(argv: list[str] | None = None) -> int:
         "--workers",
         type=int,
         default=None,
-        help="parallel worker processes (default: all cores, or REPRO_SWEEP_WORKERS)",
+        help="parallel worker processes (default: all cores, or REPRO_BENCH_WORKERS)",
+    )
+    parser.add_argument(
+        "--fleet",
+        default=None,
+        metavar="SPEC",
+        help="shard pending points over a worker fleet before summarizing: "
+        "'local[:N]' for N subprocess workers on this machine, or a "
+        "TOML/JSON fleet-spec path for ssh hosts (see benchmarks/README.md)",
+    )
+    parser.add_argument(
+        "--fleet-plan",
+        action="store_true",
+        help="with --list: also print the fleet shard assignment "
+        "(pending points per worker, cache hits excluded) without running",
     )
     parser.add_argument(
         "--results",
@@ -186,6 +200,15 @@ def main(argv: list[str] | None = None) -> int:
     total_points = sum(len(sweep.configs) for sweep in sweeps)
     results_dir = args.results or os.environ.get("REPRO_RESULTS_DIR") or "results"
     store = ResultsStore(results_dir)
+    if args.fleet_plan and not args.list:
+        parser.error("--fleet-plan only makes sense with --list")
+    if args.fleet is not None and args.profile:
+        parser.error("--profile runs in-process; it cannot be combined with --fleet")
+    fleet_spec = None
+    if args.fleet is not None or args.fleet_plan:
+        from repro.fleet import FleetSpec
+
+        fleet_spec = FleetSpec.load(args.fleet if args.fleet is not None else "local")
     if args.list:
         # Enumerate without running anything: per sweep, the paper
         # figure id, the point count, and how many points the
@@ -207,6 +230,23 @@ def main(argv: list[str] | None = None) -> int:
             f"{'total':<28} {'':<14} {total_points:>6} "
             f"{f'{total_cached}/{total_points}':>9}  (cache: {store.root}/points/)"
         )
+        if args.fleet_plan:
+            # Shard sizing for the fleet: how a round-robin split of
+            # today's *pending* points (cache hits excluded) would land
+            # per worker slot — the number that sizes an ssh fleet.
+            from repro.fleet import plan_shards
+            from repro.fleet.coordinator import pending_items
+
+            items = pending_items(sweeps, store)
+            print()
+            print(
+                f"fleet plan: {fleet_spec.backend} backend, "
+                f"{fleet_spec.total_workers} workers, "
+                f"{len(items)} pending points "
+                f"({total_points - len(items)} cached or duplicate points excluded)"
+            )
+            for worker, count in plan_shards(items, fleet_spec):
+                print(f"  {worker:<24} {count:>6} points")
         return 0
     workers = args.workers if args.workers is not None else default_workers()
     if args.profile:
@@ -214,10 +254,20 @@ def main(argv: list[str] | None = None) -> int:
         # engine has to run points in this process (it goes serial
         # in-process at workers <= 1).
         workers = 1
+    if fleet_spec is not None:
+        # The fleet is the fan-out; the summary pass below must not
+        # open a process pool on top of it (every point is a cache hit
+        # by then anyway).
+        workers = 1
     mode = "smoke" if args.smoke else "full"
     print(
         f"repro-bench: {len(sweeps)} sweeps, {total_points} points, "
-        f"{workers} workers, mode={mode}, results={store.root}/"
+        + (
+            f"fleet={fleet_spec.backend}:{fleet_spec.total_workers}"
+            if fleet_spec is not None
+            else f"{workers} workers"
+        )
+        + f", mode={mode}, results={store.root}/"
         + (" [profiling]" if args.profile else "")
     )
 
@@ -225,6 +275,22 @@ def main(argv: list[str] | None = None) -> int:
         for sweep in sweeps:
             for config in sweep.configs:
                 store.point_path(config).unlink(missing_ok=True)
+                store.wall_path(config).unlink(missing_ok=True)
+
+    fleet_report = None
+    if fleet_spec is not None:
+        # Phase 1: shard every cache-missing point over the fleet and
+        # merge the results into the content-addressed store.  Phase 2
+        # below is then a pure cache walk that writes the per-sweep
+        # summaries and applies the usual gates.
+        from repro.fleet import run_fleet
+        from repro.fleet.coordinator import pending_items
+
+        items = pending_items(sweeps, store)
+        if items:
+            fleet_report = run_fleet(items, store, fleet_spec, progress=print)
+        else:
+            print("[fleet] nothing pending - every point already cached")
 
     def run_sweeps() -> list:
         collected = []
@@ -268,6 +334,7 @@ def main(argv: list[str] | None = None) -> int:
             }
             for o in outcomes
         ],
+        "fleet": fleet_report.to_dict() if fleet_report is not None else None,
         "totals": {
             "points": total_points,
             "executed": executed,

@@ -121,9 +121,20 @@ def figure_spec_from_dict(data: dict) -> FigureSpec:
 
 def _load_point_file(points_dir: Path, config_hash: str) -> dict | None:
     try:
-        return json.loads((points_dir / f"{config_hash}.json").read_text())
+        data = json.loads((points_dir / f"{config_hash}.json").read_text())
     except (OSError, json.JSONDecodeError):
         return None
+    if not isinstance(data, dict):
+        return None
+    if "wall_seconds" not in data:
+        # Point files are deterministic; the writer's wall clock lives
+        # in a sidecar (legacy caches carried it in the payload).
+        try:
+            wall = json.loads((points_dir / f"{config_hash}.wall.json").read_text())
+            data["wall_seconds"] = wall.get("wall_seconds")
+        except (OSError, json.JSONDecodeError, AttributeError):
+            pass
+    return data
 
 
 def load_sweeps(results_dir: str | Path) -> list[LoadedSweep]:
@@ -344,7 +355,56 @@ def _provenance_lines(
                 f"{totals.get('wall_seconds', '?')}s wall, {events_text} sim events",
             ]
         )
+    fleet = (summary or {}).get("fleet")
+    if isinstance(fleet, dict):
+        rows.append(
+            [
+                "fleet",
+                f"{fleet.get('backend', '?')} backend, {fleet.get('workers', '?')} workers, "
+                f"{fleet.get('points', '?')} points in {fleet.get('rounds', '?')} round(s), "
+                f"{fleet.get('redispatched', 0)} re-dispatched, "
+                f"{fleet.get('wall_seconds', '?')}s wall",
+            ]
+        )
     return _md_table(["provenance", ""], rows)
+
+
+def _deviation_trend_lines(results_dir: Path) -> list[str]:
+    """Fidelity history from ``deviation_trend.jsonl`` (written by
+    ``benchmarks/deviation_trend.py``), newest rows last."""
+    rows = []
+    try:
+        lines = (results_dir / "deviation_trend.jsonl").read_text().splitlines()
+    except OSError:
+        return []
+    for line in lines:
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(row, dict) and isinstance(row.get("ratios"), dict):
+            rows.append(row)
+    if not rows:
+        return []
+    table = []
+    for row in rows[-10:]:
+        max_drift = row.get("max_drift")
+        table.append(
+            [
+                str(row.get("rev", "?")),
+                str(row.get("mode", "?")),
+                str(len(row["ratios"])),
+                f"{max_drift:.1%}" if isinstance(max_drift, (int, float)) else "n/a",
+                "pass" if row.get("gate_passed") else "FAIL",
+            ]
+        )
+    return [
+        "",
+        "**Deviation trend** (paper-vs-measured ratios per commit; "
+        "gate trips on >25% drift from the frozen baseline):",
+        "",
+        *_md_table(["rev", "mode", "tracked ratios", "max drift", "gate"], table),
+    ]
 
 
 def _recovery_lines(group: list[LoadedSweep]) -> list[str]:
@@ -487,6 +547,7 @@ def generate_report(
     png_paths: dict[str, Path] = {}
     lines: list[str] = [f"# {title}", ""]
     lines += _provenance_lines(results_dir, sweeps, git_rev)
+    lines += _deviation_trend_lines(results_dir)
     lines += [
         "",
         "Regenerate with `repro-bench --smoke --render` (or `python -m benchmarks.render` "

@@ -1,0 +1,45 @@
+"""Multi-worker sweep orchestration (the fleet).
+
+The sweep engine (:mod:`repro.sim.sweep`) tops out at one machine's
+``ProcessPoolExecutor``.  This package shards a sweep's *pending*
+(cache-missing) points across many worker processes — on this machine
+or over ssh — and merges the results back into the same
+content-addressed ``results/points/`` store, which is already safe for
+concurrent writers via atomic renames:
+
+* :mod:`repro.fleet.manifest` — the shared work manifest: a pull queue
+  of point files claimed by atomic rename, so two workers can never
+  both own a point, plus the straggler-release pass that returns a dead
+  worker's claim to the queue after a retry timeout.
+* :mod:`repro.fleet.worker` — the single worker entry point
+  (``python -m repro.fleet.worker``), shared by every backend.  Each
+  worker runs its points strictly in-process (``workers=1``): the fleet
+  *is* the fan-out, so process pools must not nest.
+* :mod:`repro.fleet.spec` — the fleet description (backend, hosts,
+  worker counts, retry policy) parsed from TOML or JSON.
+* :mod:`repro.fleet.backends` — the :class:`~repro.fleet.backends.
+  WorkerBackend` protocol with two implementations: ``local``
+  (subprocess workers pulling from the shared queue) and ``ssh`` (the
+  same worker entry point dispatched over ``ssh``/``rsync`` with
+  per-host point shards).
+* :mod:`repro.fleet.coordinator` — rounds of dispatch + straggler
+  re-dispatch + the merge step that verifies every claimed point landed
+  with the expected ``config_hash``.
+
+Drivers reach all of this through ``repro-bench --fleet <spec>``.
+"""
+
+from .coordinator import FleetReport, plan_shards, run_fleet
+from .manifest import FleetError, Manifest, WorkItem
+from .spec import FleetHost, FleetSpec
+
+__all__ = [
+    "FleetError",
+    "FleetHost",
+    "FleetReport",
+    "FleetSpec",
+    "Manifest",
+    "WorkItem",
+    "plan_shards",
+    "run_fleet",
+]

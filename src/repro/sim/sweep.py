@@ -30,6 +30,7 @@ import hashlib
 import json
 import math
 import os
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
@@ -284,7 +285,14 @@ class ResultsStore:
         path = self.point_path(config)
         try:
             data = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):
+        except (OSError, ValueError):
+            # ValueError covers json.JSONDecodeError *and* torn bytes
+            # that fail to decode as UTF-8: a reader racing a writer
+            # (or a crashed writer's partial file, on filesystems
+            # without atomic-rename durability) must see a cache miss,
+            # never an exception.
+            return None
+        if not isinstance(data, dict):
             return None
         if data.get("schema") != SCHEMA_VERSION:
             return None
@@ -298,7 +306,16 @@ class ResultsStore:
     def put(
         self, config: ExperimentConfig, result: ExperimentResult, *, wall_seconds: float
     ) -> Path:
-        """Persist one finished point (atomic rename, resumable cache)."""
+        """Persist one finished point (atomic rename, resumable cache).
+
+        The point file itself is a pure function of the config and the
+        (deterministic) simulation result, so any two writers — serial,
+        pooled, or a whole fleet of worker processes — produce
+        byte-identical files.  The wall clock of *this* writer's run is
+        timing metadata, not content: it lands in a ``.wall.json``
+        sidecar so it can never make two otherwise-identical caches
+        differ.
+        """
         self.points_dir.mkdir(parents=True, exist_ok=True)
         path = self.point_path(config)
         payload = {
@@ -306,15 +323,38 @@ class ResultsStore:
             "config_hash": config_hash(config),
             "config": config_to_dict(config),
             "result": result_to_dict(result),
-            "wall_seconds": wall_seconds,
         }
-        # Unique temp name per writer: concurrent processes (or hosts
-        # sharing results/) may finish the same point; each must rename
-        # its own complete file into place.
-        tmp = path.with_suffix(f".{os.getpid()}.tmp")
+        # Unique temp name per writer: concurrent processes, threads in
+        # one process, or hosts sharing results/ may finish the same
+        # point; each must rename its *own* complete file into place.
+        writer = f"{os.getpid()}-{threading.get_ident()}"
+        tmp = path.with_suffix(f".{writer}.tmp")
         tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        wall_tmp = path.with_suffix(f".{writer}.wall.tmp")
+        wall_tmp.write_text(json.dumps({"wall_seconds": wall_seconds}))
+        wall_tmp.replace(self.wall_path(config))
         tmp.replace(path)
         return path
+
+    def wall_path(self, config: ExperimentConfig) -> Path:
+        """The timing-metadata sidecar next to :meth:`point_path`."""
+        return self.points_dir / f"{config_hash(config)}.wall.json"
+
+    def wall_seconds(self, config: ExperimentConfig) -> float | None:
+        """Recorded compute seconds for a cached point, if any.
+
+        Reads the sidecar first, then falls back to the legacy in-file
+        ``wall_seconds`` key of pre-fleet caches.
+        """
+        for path, key in ((self.wall_path(config), "wall_seconds"),
+                          (self.point_path(config), "wall_seconds")):
+            try:
+                data = json.loads(path.read_text())
+            except (OSError, ValueError):
+                continue
+            if isinstance(data, dict) and isinstance(data.get(key), (int, float)):
+                return float(data[key])
+        return None
 
     def write_summary(self, outcome: "SweepOutcome") -> Path:
         """Write the per-sweep summary next to the points."""
@@ -392,11 +432,21 @@ def _run_point_job(job: tuple[dict, bool]) -> tuple[dict, dict, float]:
 
 
 def default_workers() -> int:
-    """Worker-count default: all cores, overridable via
-    ``REPRO_SWEEP_WORKERS``."""
-    env = os.environ.get("REPRO_SWEEP_WORKERS")
-    if env:
-        return max(1, int(env))
+    """Worker-count default: all cores, overridable via environment.
+
+    ``REPRO_BENCH_WORKERS`` wins (the documented knob, honored by every
+    driver); the original ``REPRO_SWEEP_WORKERS`` spelling is kept as a
+    fallback.  Callers that fan out *externally* — the fleet worker, a
+    profiled run — must not consult this at all: they pass an explicit
+    ``workers=1`` so process pools never nest.
+    """
+    for name in ("REPRO_BENCH_WORKERS", "REPRO_SWEEP_WORKERS"):
+        env = os.environ.get(name)
+        if env:
+            try:
+                return max(1, int(env))
+            except ValueError:
+                continue  # unusable override: fall through, not crash
     return os.cpu_count() or 1
 
 

@@ -1,0 +1,38 @@
+"""Shared fixtures for the fleet tests: tiny configs and work items."""
+
+from __future__ import annotations
+
+from repro.fleet.manifest import WorkItem
+from repro.sim.runner import ExperimentConfig
+from repro.sim.sweep import config_hash, config_to_dict
+
+
+def tiny_config(**overrides) -> ExperimentConfig:
+    """A deployment that finishes in well under a second."""
+    defaults = dict(
+        protocol="mahi-mahi-5",
+        num_validators=4,
+        load_tps=200.0,
+        duration=1.0,
+        warmup=0.25,
+        uniform_delay=0.05,
+        model_cpu=False,
+        seed=7,
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+def tiny_items(count: int, **overrides) -> list[WorkItem]:
+    """``count`` distinct work items over tiny configs."""
+    items = []
+    for i in range(count):
+        config = tiny_config(seed=100 + i, **overrides)
+        items.append(
+            WorkItem(
+                config_hash=config_hash(config),
+                config=config_to_dict(config),
+                sweep="tiny",
+            )
+        )
+    return items

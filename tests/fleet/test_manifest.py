@@ -1,0 +1,169 @@
+"""The claim protocol: atomic claims, crash recovery, receipts.
+
+These tests pin the safety properties the fleet rests on:
+
+* a queue entry can be claimed by **exactly one** worker, even under
+  thread-level contention (claim = atomic rename);
+* a worker crashing mid-claim does not lose the point — the straggler
+  pass re-queues it (with the attempt counter bumped) and another
+  worker picks it up;
+* a point whose result landed before its worker died is promoted to
+  done without being re-run;
+* a poisonous point exhausts ``max_attempts`` instead of looping.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+from repro.fleet.manifest import Manifest, WorkItem
+
+from tests.fleet.helpers import tiny_items
+
+
+class TestCreate:
+    def test_layout_and_scope(self, tmp_path):
+        items = tiny_items(3)
+        manifest = Manifest.create(tmp_path / "fleet", items)
+        assert sorted(manifest.item_hashes()) == sorted(i.config_hash for i in items)
+        assert manifest.pending() == sorted(i.config_hash for i in items)
+        assert manifest.claims() == []
+        assert manifest.completions() == {}
+
+    def test_duplicate_hashes_deduplicated(self, tmp_path):
+        items = tiny_items(2)
+        manifest = Manifest.create(tmp_path / "fleet", items + items)
+        assert len(manifest.item_hashes()) == 2
+        assert len(manifest.pending()) == 2
+
+
+class TestClaim:
+    def test_claim_removes_from_queue(self, tmp_path):
+        manifest = Manifest.create(tmp_path / "fleet", tiny_items(2))
+        item = manifest.claim("w0")
+        assert item is not None
+        assert item.config_hash not in manifest.pending()
+        assert [c.config_hash for c in manifest.claims()] == [item.config_hash]
+
+    def test_empty_queue_returns_none(self, tmp_path):
+        manifest = Manifest.create(tmp_path / "fleet", [])
+        assert manifest.claim("w0") is None
+
+    def test_two_workers_never_share_a_claim(self, tmp_path):
+        """Thread-level stampede: every point claimed exactly once."""
+        items = tiny_items(12)
+        manifest = Manifest.create(tmp_path / "fleet", items)
+        claimed: list[str] = []
+        lock = threading.Lock()
+
+        def drain(worker_id: str) -> None:
+            while True:
+                item = manifest.claim(worker_id)
+                if item is None:
+                    return
+                with lock:
+                    claimed.append(item.config_hash)
+
+        threads = [
+            threading.Thread(target=drain, args=(f"w{i}",)) for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert sorted(claimed) == sorted(i.config_hash for i in items)
+        assert len(claimed) == len(set(claimed))  # no double-claims
+        assert manifest.pending() == []
+
+    def test_completing_without_a_claim_leaves_no_receipt(self, tmp_path):
+        """A worker whose claim was released cannot retro-commit it."""
+        manifest = Manifest.create(tmp_path / "fleet", tiny_items(1))
+        item = manifest.claim("alive")
+        # "alive" looked dead; its claim is released to the queue.
+        manifest.release_stale(older_than_s=0.0, landed=lambda h: False, max_attempts=5)
+        manifest.complete(item, "alive")  # tolerated, but records nothing
+        assert manifest.completions() == {}
+        # The point is still pending for someone else.
+        assert manifest.pending() == [item.config_hash]
+
+
+class TestComplete:
+    def test_claim_moves_to_done(self, tmp_path):
+        manifest = Manifest.create(tmp_path / "fleet", tiny_items(1))
+        item = manifest.claim("w0")
+        manifest.complete(item, "w0")
+        assert manifest.claims() == []
+        assert manifest.completions() == {item.config_hash: "w0"}
+
+    def test_first_receipt_wins(self, tmp_path):
+        manifest = Manifest.create(tmp_path / "fleet", tiny_items(1))
+        item = manifest.claim("w0")
+        (manifest.done_dir / f"{item.config_hash}.earlier.json").write_text(
+            json.dumps(item.to_dict())
+        )
+        manifest.complete(item, "w0")
+        assert manifest.completions() == {item.config_hash: "earlier"}
+
+
+class TestReleaseStale:
+    def test_crash_mid_claim_requeues_with_bumped_attempts(self, tmp_path):
+        """A dead worker's point goes back to the queue and is claimable."""
+        manifest = Manifest.create(tmp_path / "fleet", tiny_items(1))
+        item = manifest.claim("dead")
+        released, exhausted = manifest.release_stale(
+            older_than_s=0.0, landed=lambda h: False, max_attempts=3
+        )
+        assert released == [item.config_hash]
+        assert exhausted == []
+        reclaimed = manifest.claim("alive")
+        assert reclaimed is not None
+        assert reclaimed.config_hash == item.config_hash
+        assert reclaimed.attempts == item.attempts + 1
+
+    def test_fresh_claims_survive_the_timeout(self, tmp_path):
+        manifest = Manifest.create(tmp_path / "fleet", tiny_items(1))
+        manifest.claim("busy")
+        released, exhausted = manifest.release_stale(
+            older_than_s=3600.0, landed=lambda h: False, max_attempts=3
+        )
+        assert released == [] and exhausted == []
+        assert len(manifest.claims()) == 1
+
+    def test_landed_point_promoted_to_done_not_rerun(self, tmp_path):
+        """Worker died between the store write and the receipt."""
+        manifest = Manifest.create(tmp_path / "fleet", tiny_items(1))
+        item = manifest.claim("dead")
+        released, exhausted = manifest.release_stale(
+            older_than_s=0.0, landed=lambda h: True, max_attempts=3
+        )
+        assert released == [] and exhausted == []
+        assert manifest.pending() == []
+        assert manifest.completions() == {item.config_hash: "dead"}
+
+    def test_poisonous_point_exhausts_attempts(self, tmp_path):
+        manifest = Manifest.create(tmp_path / "fleet", tiny_items(1))
+        expected = manifest.item_hashes()[0]
+        exhausted: list[str] = []
+        for _ in range(5):
+            if manifest.claim("doomed") is None:
+                break
+            _, exhausted = manifest.release_stale(
+                older_than_s=0.0, landed=lambda h: False, max_attempts=3
+            )
+            if exhausted:
+                break
+        assert exhausted == [expected]
+        assert manifest.pending() == []  # not re-queued after exhaustion
+        assert manifest.claims() == []
+
+
+class TestWorkItem:
+    def test_round_trip(self):
+        item = tiny_items(1)[0]
+        assert WorkItem.from_dict(item.to_dict()) == item
+
+    def test_attempts_default(self):
+        raw = tiny_items(1)[0].to_dict()
+        del raw["attempts"]
+        assert WorkItem.from_dict(raw).attempts == 0

@@ -272,6 +272,120 @@ class TestResultsStore:
         assert summary["points"][0]["config_hash"] == config_hash(spec.configs[0])
 
 
+class TestStoreHardening:
+    """Satellite of the fleet PR: many writers, torn reads, the wall
+    sidecar — everything concurrent fleet merges lean on."""
+
+    def test_torn_write_reads_as_miss(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        config = tiny_config()
+        run_sweep(tiny_spec([config]), store, workers=1)
+        payload = store.point_path(config).read_bytes()
+        store.point_path(config).write_bytes(payload[: len(payload) // 2])
+        assert store.get(config) is None
+
+    def test_non_dict_payload_reads_as_miss(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        config = tiny_config()
+        store.points_dir.mkdir(parents=True, exist_ok=True)
+        store.point_path(config).write_text("[1, 2, 3]")
+        assert store.get(config) is None
+
+    def test_invalid_utf8_reads_as_miss(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        config = tiny_config()
+        store.points_dir.mkdir(parents=True, exist_ok=True)
+        store.point_path(config).write_bytes(b'{"schema": \xff\xfe}')
+        assert store.get(config) is None
+
+    def test_concurrent_writers_never_tear_a_point(self, tmp_path):
+        """Many threads hammering put() on the same config while readers
+        poll get(): every read is all-or-nothing and the final file is
+        canonical (atomic tmp+rename, per-writer tmp names)."""
+        import threading
+
+        store = ResultsStore(tmp_path)
+        config = tiny_config()
+        [result] = run_sweep(tiny_spec([config]), ResultsStore(tmp_path / "seed"),
+                             workers=1).results
+        failures: list[str] = []
+        stop = threading.Event()
+
+        def writer() -> None:
+            for _ in range(25):
+                store.put(config, result, wall_seconds=0.5)
+
+        def reader() -> None:
+            while not stop.is_set():
+                restored = store.get(config)
+                if restored is not None and result_to_dict(restored) != result_to_dict(result):
+                    failures.append("reader saw a torn or foreign point")
+
+        readers = [threading.Thread(target=reader) for _ in range(2)]
+        writers = [threading.Thread(target=writer) for _ in range(6)]
+        for thread in readers + writers:
+            thread.start()
+        for thread in writers:
+            thread.join()
+        stop.set()
+        for thread in readers:
+            thread.join()
+        assert failures == []
+        restored = store.get(config)
+        assert restored is not None
+        assert result_to_dict(restored) == result_to_dict(result)
+        # No stray tmp files survive the stampede.
+        assert list(store.points_dir.glob("*.tmp")) == []
+
+    def test_wall_seconds_lives_in_a_sidecar(self, tmp_path):
+        """The point payload is deterministic (byte-comparable across
+        workers); the writer's wall clock goes to ``<hash>.wall.json``."""
+        store = ResultsStore(tmp_path)
+        config = tiny_config()
+        [result] = run_sweep(tiny_spec([config]), ResultsStore(tmp_path / "seed"),
+                             workers=1).results
+        store.put(config, result, wall_seconds=1.25)
+        payload = json.loads(store.point_path(config).read_text())
+        assert "wall_seconds" not in payload
+        assert store.wall_seconds(config) == 1.25
+
+    def test_legacy_in_payload_wall_seconds_still_read(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        config = tiny_config()
+        [result] = run_sweep(tiny_spec([config]), store, workers=1).results
+        path = store.point_path(config)
+        data = json.loads(path.read_text())
+        data["wall_seconds"] = 9.5  # pre-sidecar cache layout
+        path.write_text(json.dumps(data))
+        store.wall_path(config).unlink(missing_ok=True)
+        assert store.wall_seconds(config) == 9.5
+
+
+class TestDefaultWorkers:
+    def test_repro_bench_workers_wins(self, monkeypatch):
+        from repro.sim.sweep import default_workers
+
+        monkeypatch.setenv("REPRO_BENCH_WORKERS", "3")
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "7")
+        assert default_workers() == 3
+
+    def test_legacy_env_still_honored(self, monkeypatch):
+        from repro.sim.sweep import default_workers
+
+        monkeypatch.delenv("REPRO_BENCH_WORKERS", raising=False)
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "7")
+        assert default_workers() == 7
+
+    def test_garbage_env_falls_back_to_cpu_count(self, monkeypatch):
+        import os
+
+        from repro.sim.sweep import default_workers
+
+        monkeypatch.setenv("REPRO_BENCH_WORKERS", "many")
+        monkeypatch.delenv("REPRO_SWEEP_WORKERS", raising=False)
+        assert default_workers() == (os.cpu_count() or 1)
+
+
 class TestParallelExecution:
     def test_parallel_identical_to_serial(self, tmp_path):
         spec = tiny_spec([tiny_config(seed=s) for s in (1, 2, 3)])
